@@ -1,0 +1,1 @@
+bench/extensions.ml: Action_id Array Core Detector Enumerate Epistemic Fault_plan Format Init_plan List Pid Result Run Sim Util

@@ -1,0 +1,1 @@
+bench/main.ml: Cmd Cmdliner Extensions List Perf Props Table1 Term Theorems

@@ -1,0 +1,1 @@
+bench/props.ml: Core Detector Format List Oracle Pid Printf Protocol Sim Util

@@ -1,0 +1,1 @@
+bench/table1.ml: Array Consensus Core Detector Fault_plan Format List Oracle Result Sim Util

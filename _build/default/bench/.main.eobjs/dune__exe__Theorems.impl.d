@@ -1,0 +1,1 @@
+bench/theorems.ml: Action_id Array Consensus Core Detector Enumerate Epistemic Fault_plan Format Init_plan Lazy List Oracle Pid Printf Result Run Sim Util

@@ -1,0 +1,1 @@
+bench/util.ml: Fault_plan Format Init_plan Int64 List Prng Protocol Sim

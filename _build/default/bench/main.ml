@@ -1,0 +1,44 @@
+(* The experiment harness: one subcommand per paper artifact (see
+   DESIGN.md's per-experiment index), plus `perf` and `all`. *)
+
+let experiments =
+  [
+    ("table1", "E1: regenerate Table 1", Table1.run);
+    ("prop23", "E2: nUDC without detectors (Prop 2.3)", Props.prop23);
+    ("prop24", "E3: UDC on reliable channels (Prop 2.4)", Props.prop24);
+    ("prop31", "E4: UDC with strong detectors (Prop 3.1)", Props.prop31);
+    ("conversions", "E5: detector conversions (Props 2.1/2.2)", Props.conversions);
+    ("prop34", "E6: weak acc = strong acc (Prop 3.4)", Theorems.prop34);
+    ("prop35", "E7: epistemic precondition (Prop 3.5)", Theorems.prop35);
+    ("thm36", "E8: simulating perfect detectors (Thm 3.6)", Theorems.thm36);
+    ("prop41", "E9: generalized detectors (Prop 4.1/Cor 4.2)", Props.prop41);
+    ("thm43", "E10: simulating t-useful detectors (Thm 4.3)", Theorems.thm43);
+    ("separation", "E11: UDC vs consensus separation", Theorems.separation);
+    ("theta", "E12: the ATD99 weakest-detector class (Section 5)", Extensions.theta);
+    ("heartbeat", "E13: quiescent coordination via heartbeats (footnote 10)", Extensions.heartbeat);
+    ("sampled", "E14: exact vs sampled knowledge ablation", Extensions.sampled);
+    ("kb", "E15: knowledge-based programs (FHMV97)", Extensions.kb_programs);
+    ("ck", "E16: the knowledge hierarchy / common knowledge", Extensions.common_knowledge);
+    ("perf", "P1-P4: performance and ablations", Perf.run);
+  ]
+
+let run_all () =
+  List.iter (fun (_, _, f) -> f ()) experiments
+
+open Cmdliner
+
+let cmd_of (name, doc, f) =
+  Cmd.v (Cmd.info name ~doc) Term.(const f $ const ())
+
+let default = Term.(const run_all $ const ())
+
+let () =
+  let info =
+    Cmd.info "udc-bench"
+      ~doc:
+        "Reproduce every table and result of Halpern & Ricciardi, 'A \
+         Knowledge-Theoretic Analysis of Uniform Distributed Coordination \
+         and Failure Detectors' (PODC 1999). With no subcommand, runs \
+         everything."
+  in
+  exit (Cmd.eval (Cmd.group ~default info (List.map cmd_of experiments)))

@@ -1,0 +1,236 @@
+(* P1-P4: performance characteristics and ablations (not from the paper —
+   standard for a protocol library release). Shape expectations: message
+   complexity grows ~quadratically in n for flooding protocols; latency
+   grows with loss rate and detection lag; correctness is invariant under
+   the fairness-bound ablation. *)
+
+let mean l =
+  match l with
+  | [] -> nan
+  | _ -> List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)
+
+let run_one ~n ~loss ~t ~oracle ~k ~lag:_ proto seed =
+  let prng = Prng.create seed in
+  let cfg = Sim.config ~n ~seed in
+  let cfg =
+    {
+      cfg with
+      Sim.loss_rate = loss;
+      oracle;
+      max_consecutive_drops = k;
+      fault_plan = Fault_plan.random prng ~n ~t ~max_tick:20;
+      init_plan = Init_plan.one ~owner:0 ~at:1;
+      max_ticks = 6000;
+    }
+  in
+  Sim.execute cfg (Util.uniform proto cfg)
+
+let alpha0 = Action_id.make ~owner:0 ~tag:0
+
+let message_complexity () =
+  Util.header "P2: message complexity vs n (sends per coordinated action)";
+  Format.printf "    %-4s %-14s %-14s %-14s %-14s@." "n" "nudc" "reliable"
+    "ack+perfect" "majority";
+  List.iter
+    (fun n ->
+      let sends proto oracle loss =
+        mean
+          (List.map
+             (fun seed ->
+               let r = run_one ~n ~loss ~t:0 ~oracle ~k:8 ~lag:0 proto seed in
+               float_of_int (Stats.of_run r.Sim.run).Stats.sends)
+             (Util.seeds 10))
+      in
+      Format.printf "    %-4d %-14.0f %-14.0f %-14.0f %-14.0f@." n
+        (sends (module Core.Nudc.P) Oracle.none 0.2)
+        (sends (module Core.Reliable_udc.P) Oracle.none 0.0)
+        (sends (module Core.Ack_udc.P) (Detector.Oracles.perfect ()) 0.2)
+        (sends (Core.Majority_udc.make ~t:((n - 1) / 2)) Oracle.none 0.2))
+    [ 3; 5; 7; 9; 12 ];
+  Format.printf
+    "    (expected shape: superlinear growth; the reliable protocol's \
+     one-shot n(n-1) flood is the floor)@."
+
+(* footnote 11 ablation: stopping retransmission after performing (sound
+   under strong accuracy) vs the baseline. *)
+let quiet_ablation () =
+  Util.header "P2b (ablation, footnote 11): stop retransmitting after do";
+  Format.printf "    %-8s %-16s %-16s@." "n" "baseline sends" "quiet sends";
+  List.iter
+    (fun n ->
+      let sends proto =
+        mean
+          (List.map
+             (fun seed ->
+               let r =
+                 run_one ~n ~loss:0.3 ~t:1
+                   ~oracle:(Detector.Oracles.perfect ~lag:1 ())
+                   ~k:8 ~lag:0 proto seed
+               in
+               float_of_int (Stats.of_run r.Sim.run).Stats.sends)
+             (Util.seeds 10))
+      in
+      Format.printf "    %-8d %-16.0f %-16.0f@." n
+        (sends (module Core.Ack_udc.P))
+        (sends (module Core.Ack_udc.Quiet)))
+    [ 4; 6; 8 ];
+  Format.printf
+    "    (expected: the quiet variant never sends more; correctness is \
+     covered by the test suite)@."
+
+let latency_vs_loss () =
+  Util.header "P3: latency to uniformity vs loss rate (n=6, ack+perfect)";
+  Format.printf "    %-8s %-16s %-12s@." "loss" "latency (ticks)" "sends";
+  List.iter
+    (fun loss ->
+      let ls, ss =
+        List.split
+          (List.filter_map
+             (fun seed ->
+               let r =
+                 run_one ~n:6 ~loss ~t:2
+                   ~oracle:(Detector.Oracles.perfect ())
+                   ~k:8 ~lag:0
+                   (module Core.Ack_udc.P)
+                   seed
+               in
+               match Stats.uniformity_latency r.Sim.run alpha0 with
+               | Some l ->
+                   Some
+                     ( float_of_int l,
+                       float_of_int (Stats.of_run r.Sim.run).Stats.sends )
+               | None -> None)
+             (Util.seeds 12))
+      in
+      Format.printf "    %-8.2f %-16.1f %-12.0f@." loss (mean ls) (mean ss))
+    [ 0.0; 0.2; 0.4; 0.6; 0.8 ];
+  Format.printf
+    "    (expected shape: latency and retransmissions grow with loss; \
+     correctness never degrades)@."
+
+let fairness_ablation () =
+  Util.header
+    "P3b (ablation): bounded-unfairness knob k = max consecutive drops";
+  Format.printf "    %-6s %-16s %-10s@." "k" "latency (ticks)" "udc ok";
+  List.iter
+    (fun k ->
+      let ok = ref 0 in
+      let ls =
+        List.filter_map
+          (fun seed ->
+            let r =
+              run_one ~n:6 ~loss:0.5 ~t:2
+                ~oracle:(Detector.Oracles.perfect ())
+                ~k ~lag:0
+                (module Core.Ack_udc.P)
+                seed
+            in
+            if Result.is_ok (Core.Spec.udc r.Sim.run) then incr ok;
+            Option.map float_of_int
+              (Stats.uniformity_latency r.Sim.run alpha0))
+          (Util.seeds 12)
+      in
+      Format.printf "    %-6d %-16.1f %d/12@." k (mean ls) !ok)
+    [ 1; 4; 16; 64 ];
+  Format.printf
+    "    (expected: correctness invariant in k; only latency moves)@."
+
+let lag_sensitivity () =
+  Util.header "P4: failure-detector lag sensitivity (n=6, 2 crashes)";
+  Format.printf "    %-6s %-16s@." "lag" "latency (ticks)";
+  List.iter
+    (fun lag ->
+      let ls =
+        List.filter_map
+          (fun seed ->
+            let r =
+              run_one ~n:6 ~loss:0.3 ~t:2
+                ~oracle:(Detector.Oracles.perfect ~lag ())
+                ~k:8 ~lag
+                (module Core.Ack_udc.P)
+                seed
+            in
+            Option.map float_of_int (Stats.uniformity_latency r.Sim.run alpha0))
+          (Util.seeds 12)
+      in
+      Format.printf "    %-6d %-16.1f@." lag (mean ls))
+    [ 0; 4; 16; 48 ];
+  Format.printf "    (expected: latency grows roughly linearly with lag)@."
+
+(* P1: Bechamel micro-benchmarks of the heavy machinery. *)
+let bechamel () =
+  Util.header "P1: Bechamel micro-benchmarks";
+  let open Bechamel in
+  let sim_bench =
+    Test.make ~name:"sim:ack-udc n=6 loss=0.3"
+      (Staged.stage (fun () ->
+           ignore
+             (run_one ~n:6 ~loss:0.3 ~t:2
+                ~oracle:(Detector.Oracles.perfect ())
+                ~k:8 ~lag:0
+                (module Core.Ack_udc.P)
+                7L)))
+  in
+  let enum_bench =
+    Test.make ~name:"enumerate:n=3 depth=6"
+      (Staged.stage (fun () ->
+           let cfg = Enumerate.config ~n:3 ~depth:6 in
+           let cfg =
+             {
+               cfg with
+               Enumerate.max_crashes = 1;
+               init_plan = Init_plan.one ~owner:0 ~at:1;
+               oracle_mode = Enumerate.Perfect_reports;
+             }
+           in
+           ignore (Enumerate.runs cfg (module Core.Nudc.P))))
+  in
+  let knowledge_bench =
+    let cfg = Enumerate.config ~n:3 ~depth:6 in
+    let cfg =
+      {
+        cfg with
+        Enumerate.max_crashes = 1;
+        init_plan = Init_plan.one ~owner:0 ~at:1;
+        oracle_mode = Enumerate.Perfect_reports;
+      }
+    in
+    let runs = (Enumerate.runs cfg (module Core.Nudc.P)).Enumerate.runs in
+    let sys = Epistemic.System.of_runs runs in
+    Test.make ~name:"knowledge:K_p crash table"
+      (Staged.stage (fun () ->
+           let env = Epistemic.Checker.make sys in
+           ignore
+             (Epistemic.Checker.knows_crashed env 1 ~run:0
+                ~tick:(Epistemic.System.horizon sys 0))))
+  in
+  let benchmark test =
+    let instances = Toolkit.Instance.[ monotonic_clock ] in
+    let cfg =
+      Benchmark.cfg ~limit:500 ~quota:(Time.second 1.0) ~kde:None ()
+    in
+    let raw = Benchmark.all cfg instances test in
+    let results =
+      Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:false
+                     ~predictors:[| Measure.run |])
+        (Toolkit.Instance.monotonic_clock) raw
+    in
+    Hashtbl.iter
+      (fun name result ->
+        match Analyze.OLS.estimates result with
+        | Some [ est ] ->
+            Format.printf "    %-32s %12.0f ns/run@." name est
+        | _ -> Format.printf "    %-32s (no estimate)@." name)
+      results
+  in
+  List.iter
+    (fun t -> benchmark (Test.make_grouped ~name:"udc" [ t ]))
+    [ sim_bench; enum_bench; knowledge_bench ]
+
+let run () =
+  bechamel ();
+  message_complexity ();
+  quiet_ablation ();
+  latency_vs_loss ();
+  fairness_ablation ();
+  lag_sensitivity ()

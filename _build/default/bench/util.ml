@@ -1,0 +1,56 @@
+(* Shared machinery for the experiment harness. *)
+
+let seeds count = List.init count (fun i -> Int64.of_int ((i * 104729) + 31))
+
+type verdict = { ok : int; violated : int; first_error : string option }
+
+let pp_verdict ppf v =
+  match v.first_error with
+  | None -> Format.fprintf ppf "%d/%d ok" v.ok (v.ok + v.violated)
+  | Some e ->
+      Format.fprintf ppf "%d/%d ok; e.g. %s" v.ok (v.ok + v.violated) e
+
+(* Run [property] over an ensemble of seeded executions. *)
+let ensemble ~runs ~mk_config ~protocol ~property =
+  List.fold_left
+    (fun acc seed ->
+      let cfg = mk_config seed in
+      let result = Sim.execute cfg (protocol cfg) in
+      match property result.Sim.run with
+      | Ok () -> { acc with ok = acc.ok + 1 }
+      | Error e ->
+          {
+            acc with
+            violated = acc.violated + 1;
+            first_error =
+              (match acc.first_error with None -> Some e | some -> some);
+          })
+    { ok = 0; violated = 0; first_error = None }
+    (seeds runs)
+
+let uniform proto cfg p = Protocol.make proto ~n:cfg.Sim.n ~me:p
+
+(* A standard UDC workload configuration. *)
+let udc_config ~n ~t ~loss ~oracle seed =
+  let prng = Prng.create seed in
+  let cfg = Sim.config ~n ~seed in
+  {
+    cfg with
+    Sim.loss_rate = loss;
+    oracle;
+    fault_plan = Fault_plan.random prng ~n ~t ~max_tick:25;
+    init_plan = Init_plan.staggered ~n ~actions_per_process:1 ~spacing:3;
+    max_ticks = 4000;
+  }
+
+let consensus_config ~n ~t ~loss ~oracle seed =
+  let cfg = udc_config ~n ~t ~loss ~oracle seed in
+  { cfg with Sim.init_plan = Init_plan.empty; goal = Sim.All_alive_decided }
+
+let header title =
+  Format.printf "@.=== %s ===@." title
+
+let row fmt = Format.printf fmt
+
+let paper_vs_measured ~claim ~measured =
+  Format.printf "  paper:    %s@.  measured: %s@." claim measured

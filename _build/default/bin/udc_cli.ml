@@ -1,0 +1,212 @@
+(* Command-line driver: run seeded simulations of any protocol/detector
+   combination, check the run against the paper's specifications, or
+   enumerate a bounded system and report its size.
+
+     dune exec bin/udc_cli.exe -- simulate --protocol ack --oracle strong \
+       --n 5 --loss 0.4 --crashes 2 --verbose
+     dune exec bin/udc_cli.exe -- enumerate --n 3 --depth 7 --crashes 1 *)
+
+open Cmdliner
+
+let protocol_conv =
+  let parse = function
+    | "nudc" -> Ok `Nudc
+    | "reliable" -> Ok `Reliable
+    | "ack" -> Ok `Ack
+    | "theta" -> Ok `Theta
+    | "heartbeat" -> Ok `Heartbeat
+    | s when String.length s > 9 && String.sub s 0 9 = "majority:" ->
+        Ok (`Majority (int_of_string (String.sub s 9 (String.length s - 9))))
+    | s when String.length s > 4 && String.sub s 0 4 = "gen:" ->
+        Ok (`Gen (int_of_string (String.sub s 4 (String.length s - 4))))
+    | s -> Error (`Msg ("unknown protocol: " ^ s))
+  in
+  let print ppf = function
+    | `Nudc -> Format.pp_print_string ppf "nudc"
+    | `Reliable -> Format.pp_print_string ppf "reliable"
+    | `Ack -> Format.pp_print_string ppf "ack"
+    | `Theta -> Format.pp_print_string ppf "theta"
+    | `Heartbeat -> Format.pp_print_string ppf "heartbeat"
+    | `Majority t -> Format.fprintf ppf "majority:%d" t
+    | `Gen t -> Format.fprintf ppf "gen:%d" t
+  in
+  Arg.conv (parse, print)
+
+let oracle_conv =
+  let parse = function
+    | "none" -> Ok `None
+    | "perfect" -> Ok `Perfect
+    | "strong" -> Ok `Strong
+    | "weak" -> Ok `Weak
+    | "impermanent" -> Ok `Impermanent
+    | "theta" -> Ok `Theta
+    | "gen" -> Ok `Gen
+    | s -> Error (`Msg ("unknown oracle: " ^ s))
+  in
+  let print ppf v =
+    Format.pp_print_string ppf
+      (match v with
+      | `None -> "none"
+      | `Perfect -> "perfect"
+      | `Strong -> "strong"
+      | `Weak -> "weak"
+      | `Impermanent -> "impermanent"
+      | `Theta -> "theta"
+      | `Gen -> "gen")
+  in
+  Arg.conv (parse, print)
+
+let resolve_protocol = function
+  | `Nudc -> (module Core.Nudc.P : Protocol.S)
+  | `Reliable -> (module Core.Reliable_udc.P)
+  | `Ack -> (module Core.Ack_udc.P)
+  | `Theta -> (module Core.Theta_udc.P)
+  | `Heartbeat -> (module Core.Heartbeat_nudc.P)
+  | `Majority t -> Core.Majority_udc.make ~t
+  | `Gen t -> Core.Generalized_udc.make ~t
+
+let resolve_oracle ~seed = function
+  | `None -> Oracle.none
+  | `Perfect -> Detector.Oracles.perfect ~lag:1 ()
+  | `Strong -> Detector.Oracles.strong ~seed ()
+  | `Weak -> Detector.Oracles.weak ()
+  | `Impermanent -> Detector.Oracles.impermanent_strong ()
+  | `Theta -> Detector.Theta.rotating ()
+  | `Gen -> Detector.Oracles.gen_exact ()
+
+(* flags *)
+let n_arg = Arg.(value & opt int 5 & info [ "n" ] ~doc:"Number of processes.")
+let seed_arg = Arg.(value & opt int64 42L & info [ "seed" ] ~doc:"PRNG seed.")
+
+let loss_arg =
+  Arg.(value & opt float 0.3 & info [ "loss" ] ~doc:"Channel loss rate.")
+
+let crashes_arg =
+  Arg.(value & opt int 1 & info [ "crashes" ] ~doc:"Number of crashes.")
+
+let actions_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "actions" ] ~doc:"Coordination actions per process.")
+
+let verbose_arg =
+  Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print the full run.")
+
+let diagram_arg =
+  Arg.(
+    value & flag
+    & info [ "diagram"; "d" ] ~doc:"Print a space-time diagram of the run.")
+
+let protocol_arg =
+  Arg.(
+    value
+    & opt protocol_conv `Ack
+    & info [ "protocol"; "p" ]
+        ~doc:
+          "Protocol: nudc | reliable | ack | theta | heartbeat | \
+           majority:T | gen:T.")
+
+let oracle_arg =
+  Arg.(
+    value
+    & opt oracle_conv `Perfect
+    & info [ "oracle"; "o" ]
+        ~doc:
+          "Failure detector: none | perfect | strong | weak | impermanent \
+           | theta | gen.")
+
+let simulate n seed loss crashes actions proto oracle verbose diagram =
+  let prng = Prng.create seed in
+  let cfg = Sim.config ~n ~seed in
+  let cfg =
+    {
+      cfg with
+      Sim.loss_rate = loss;
+      oracle = resolve_oracle ~seed oracle;
+      fault_plan = Fault_plan.random prng ~n ~t:crashes ~max_tick:20;
+      init_plan = Init_plan.staggered ~n ~actions_per_process:actions ~spacing:3;
+      max_ticks = 6000;
+    }
+  in
+  let result = Sim.execute_uniform cfg (resolve_protocol proto) in
+  let run = result.Sim.run in
+  if verbose then Format.printf "%a@." Run.pp run;
+  if diagram then Format.printf "%a@." Trace.pp run;
+  Format.printf "stopped: %a@." Sim.pp_stop_reason result.Sim.reason;
+  Format.printf "faulty:  %a@." Pid.Set.pp (Run.faulty run);
+  Format.printf "stats:   %a@." Stats.pp (Stats.of_run run);
+  let verdict name = function
+    | Ok () -> Format.printf "%-22s satisfied@." name
+    | Error e -> Format.printf "%-22s VIOLATED: %s@." name e
+  in
+  verdict "well-formed (R1-R5):"
+    (Run.check_well_formed run
+       ~max_consecutive_drops:cfg.Sim.max_consecutive_drops);
+  verdict "UDC (DC1-DC3):" (Core.Spec.udc run);
+  verdict "nUDC (DC1,DC2',DC3):" (Core.Spec.nudc run)
+
+let enumerate n depth crashes =
+  let cfg = Enumerate.config ~n ~depth in
+  let cfg =
+    {
+      cfg with
+      Enumerate.max_crashes = crashes;
+      init_plan = Init_plan.one ~owner:0 ~at:1;
+      oracle_mode = Enumerate.Perfect_reports;
+      max_nodes = 20_000_000;
+    }
+  in
+  let out =
+    Enumerate.runs cfg (Core.Fip.make ~trust_reports:true (module Core.Ack_udc.P))
+  in
+  let sys = Epistemic.System.of_runs out.Enumerate.runs in
+  Format.printf "runs: %d (exhaustive: %b), points: %d@."
+    (Epistemic.System.run_count sys)
+    out.Enumerate.exhaustive
+    (Epistemic.System.point_count sys);
+  let udc_clean =
+    List.length
+      (List.filter (fun r -> Result.is_ok (Core.Spec.udc r)) out.Enumerate.runs)
+  in
+  Format.printf "UDC-clean runs: %d@." udc_clean
+
+let scenarios n seed =
+  List.iter
+    (fun s ->
+      Format.printf "@.%s: %s@." s.Core.Adversary.name
+        s.Core.Adversary.description;
+      match Core.Adversary.verify s with
+      | Ok () -> Format.printf "  -> expected violation exhibited@."
+      | Error e -> Format.printf "  -> UNEXPECTED: %s@." e)
+    (Core.Adversary.all ~n ~seed)
+
+let depth_arg =
+  Arg.(value & opt int 7 & info [ "depth" ] ~doc:"Enumeration horizon.")
+
+let simulate_cmd =
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Run one seeded simulation and check it.")
+    Term.(
+      const simulate $ n_arg $ seed_arg $ loss_arg $ crashes_arg $ actions_arg
+      $ protocol_arg $ oracle_arg $ verbose_arg $ diagram_arg)
+
+let enumerate_cmd =
+  Cmd.v
+    (Cmd.info "enumerate"
+       ~doc:"Exhaustively enumerate a bounded system and summarise it.")
+    Term.(const enumerate $ n_arg $ depth_arg $ crashes_arg)
+
+let scenarios_cmd =
+  Cmd.v
+    (Cmd.info "scenarios"
+       ~doc:"Run the adversarial lower-bound scenarios and verify them.")
+    Term.(const scenarios $ n_arg $ seed_arg)
+
+let () =
+  let info =
+    Cmd.info "udc"
+      ~doc:
+        "Uniform Distributed Coordination workbench (Halpern-Ricciardi, \
+         PODC 1999)."
+  in
+  exit (Cmd.eval (Cmd.group info [ simulate_cmd; enumerate_cmd; scenarios_cmd ]))

@@ -1,0 +1,1 @@
+examples/commutative_bank.ml: Action_id Array Core Detector Event Fault_plan Format History Init_plan List Option Pid Printf Run Sim String

@@ -1,0 +1,1 @@
+examples/commutative_bank.mli:

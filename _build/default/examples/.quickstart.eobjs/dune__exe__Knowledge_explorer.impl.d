@@ -1,0 +1,1 @@
+examples/knowledge_explorer.ml: Action_id Core Detector Enumerate Epistemic Format Init_plan Pid Printf Run

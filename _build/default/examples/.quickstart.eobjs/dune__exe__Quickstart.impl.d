@@ -1,0 +1,1 @@
+examples/quickstart.ml: Action_id Core Detector Fault_plan Format Init_plan List Pid Run Sim Stats

@@ -1,0 +1,1 @@
+examples/resource_allocator.ml: Action_id Core Detector Fault_plan Format Init_plan List Option Pid Printf Run Sim

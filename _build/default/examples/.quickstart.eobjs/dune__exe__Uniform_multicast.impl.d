@@ -1,0 +1,1 @@
+examples/uniform_multicast.ml: Action_id Core Detector Event Fault_plan Format History Init_plan List Option Pid Run Sim

@@ -1,0 +1,1 @@
+examples/uniform_multicast.mli:

@@ -1,0 +1,78 @@
+(* Uniform Reliable Broadcast as a special case of UDC (Section 1 and
+   footnote 9 of the paper: URB and UDC are isomorphic — broadcast/deliver
+   correspond to init/do; this is the Schiper-Sandoz multicast that needed
+   the virtual-synchrony simulation of perfect failure detection).
+
+     dune exec examples/uniform_multicast.exe *)
+
+(* A tiny broadcast facade over the UDC core. *)
+module Urb = struct
+  type t = { payloads : string Action_id.Map.t; counter : int Pid.Map.t }
+
+  let empty = { payloads = Action_id.Map.empty; counter = Pid.Map.empty }
+
+  (* [broadcast t ~sender ~at payload] returns the init-plan entry that
+     broadcasts [payload] from [sender] at tick [at]. *)
+  let broadcast t ~sender ~at payload =
+    let seq = Option.value ~default:0 (Pid.Map.find_opt sender t.counter) in
+    let action = Action_id.make ~owner:sender ~tag:seq in
+    let t =
+      {
+        payloads = Action_id.Map.add action payload t.payloads;
+        counter = Pid.Map.add sender (seq + 1) t.counter;
+      }
+    in
+    (t, { Init_plan.action; at })
+
+  (* Deliveries of a process = its do events, in order. *)
+  let delivered t run p =
+    List.filter_map
+      (fun (e, tick) ->
+        match e with
+        | Event.Do a -> (
+            match Action_id.Map.find_opt a t.payloads with
+            | Some payload -> Some (tick, payload)
+            | None -> None)
+        | _ -> None)
+      (History.timed_events (Run.history run p))
+end
+
+let () =
+  let n = 4 in
+  let urb = Urb.empty in
+  let urb, m1 = Urb.broadcast urb ~sender:0 ~at:1 "config: epoch=42" in
+  let urb, m2 = Urb.broadcast urb ~sender:2 ~at:5 "member-join: node-9" in
+  let urb, m3 = Urb.broadcast urb ~sender:0 ~at:9 "config: epoch=43" in
+  let cfg = Sim.config ~n ~seed:5L in
+  let cfg =
+    {
+      cfg with
+      Sim.loss_rate = 0.4;
+      oracle = Detector.Oracles.perfect ~lag:1 ();
+      init_plan = Init_plan.of_entries [ m1; m2; m3 ];
+      (* the broadcaster of m2 crashes right after delivering it itself:
+         uniformity obliges everyone else anyway *)
+      fault_plan =
+        Fault_plan.of_entries
+          [ { victim = 2; trigger = Fault_plan.After_did (2, m2.Init_plan.action) } ];
+      max_ticks = 3000;
+    }
+  in
+  let result = Sim.execute_uniform cfg (module Core.Ack_udc.P) in
+  let run = result.Sim.run in
+  Format.printf "=== uniform reliable multicast over fair-lossy links ===@.";
+  List.iter
+    (fun p ->
+      Format.printf "@.%a%s delivered:@." Pid.pp p
+        (if Option.is_some (Run.crash_tick run p) then " (crashed)" else "");
+      List.iter
+        (fun (tick, payload) -> Format.printf "   tick %3d: %s@." tick payload)
+        (Urb.delivered urb run p))
+    (Pid.all n);
+  Format.printf "@.";
+  match Core.Spec.udc run with
+  | Ok () ->
+      Format.printf
+        "uniform delivery holds: every message delivered anywhere was \
+         delivered by every correct process.@."
+  | Error e -> Format.printf "uniformity VIOLATED: %s@." e

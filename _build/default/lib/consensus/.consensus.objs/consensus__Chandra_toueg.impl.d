@@ -1,0 +1,1 @@
+lib/consensus/chandra_toueg.ml: Action_id Array Int List Map Message Option Outbox Pid Printf Protocol Report

@@ -1,0 +1,1 @@
+lib/consensus/chandra_toueg.mli: Protocol

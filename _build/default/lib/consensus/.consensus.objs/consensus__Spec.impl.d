@@ -1,0 +1,1 @@
+lib/consensus/spec.ml: Action_id Array Event Format History List Option Pid Run

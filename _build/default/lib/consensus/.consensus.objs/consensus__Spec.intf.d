@@ -1,0 +1,1 @@
+lib/consensus/spec.mli: Pid Run

@@ -1,0 +1,392 @@
+(* Shared helper: the decision is recorded as performing action a{me}.v. *)
+let decide_action me v = Action_id.make ~owner:me ~tag:v
+
+module IMap = Map.Make (Int)
+
+let prop_key r dst = Printf.sprintf "prop:%d:%s" r (Pid.to_string dst)
+
+let make_s ~proposals =
+  let module P : Protocol.S = struct
+    type state = {
+      me : Pid.t;
+      n : int;
+      round : int; (* 1-based; > n means ready to decide *)
+      est : int;
+      decided : int option;
+      performed_decide : bool;
+      received : int IMap.t; (* round -> coordinator estimate *)
+      suspected_ever : Pid.Set.t;
+      broadcast_started : bool; (* for our own coordinator round *)
+      out : Outbox.t;
+    }
+
+    let name = "ct-consensus-S"
+
+    let create ~n ~me =
+      {
+        me;
+        n;
+        round = 1;
+        est = proposals.(me);
+        decided = None;
+        performed_decide = false;
+        received = IMap.empty;
+        suspected_ever = Pid.Set.empty;
+        broadcast_started = false;
+        out = Outbox.empty;
+      }
+
+    let on_init t _ = t
+
+    let on_recv t ~src msg =
+      match msg with
+      | Message.Cons_propose { round; value } ->
+          {
+            t with
+            received = IMap.add round value t.received;
+            out =
+              Outbox.push t.out ~dst:src (Message.Cons_ack { round; ok = true });
+          }
+      | Message.Cons_ack { round; ok = true } ->
+          { t with out = Outbox.cancel t.out ~key:(prop_key round src) }
+      | _ -> t
+
+    let on_suspect t r =
+      match r with
+      | Report.Std _ | Report.Correct_set _ ->
+          {
+            t with
+            suspected_ever =
+              Pid.Set.union t.suspected_ever (Report.suspects_in ~n:t.n r);
+          }
+      | Report.Gen _ -> t
+
+    let coordinator round = round - 1
+
+    let step t ~now =
+      if t.round > t.n then
+        if t.performed_decide then
+          match Outbox.next t.out ~now with
+          | Some (out, (dst, msg)) ->
+              ({ t with out }, Protocol.Send_to (dst, msg))
+          | None -> (t, Protocol.No_op)
+        else
+          ( { t with decided = Some t.est; performed_decide = true },
+            Protocol.Perform (decide_action t.me t.est) )
+      else
+        let c = coordinator t.round in
+        if Pid.equal c t.me then
+          if not t.broadcast_started then
+            (* install the recurring round broadcast, adopt own estimate,
+               and move on; the broadcast keeps going until acked *)
+            let out =
+              List.fold_left
+                (fun out dst ->
+                  if Pid.equal dst t.me then out
+                  else
+                    Outbox.set_recurring out ~key:(prop_key t.round dst) ~dst
+                      (Message.Cons_propose { round = t.round; value = t.est }))
+                t.out (Pid.all t.n)
+            in
+            ({ t with out; round = t.round + 1; broadcast_started = false },
+             Protocol.No_op)
+          else (t, Protocol.No_op)
+        else
+          match IMap.find_opt t.round t.received with
+          | Some v -> ({ t with est = v; round = t.round + 1 }, Protocol.No_op)
+          | None ->
+              if Pid.Set.mem c t.suspected_ever then
+                ({ t with round = t.round + 1 }, Protocol.No_op)
+              else (
+                match Outbox.next t.out ~now with
+                | Some (out, (dst, msg)) ->
+                    ({ t with out }, Protocol.Send_to (dst, msg))
+                | None -> (t, Protocol.No_op))
+
+    let quiescent t = t.performed_decide && Outbox.is_empty t.out
+
+    let performed t =
+      match t.decided with
+      | Some v when t.performed_decide ->
+          Action_id.Set.singleton (decide_action t.me v)
+      | _ -> Action_id.Set.empty
+  end in
+  (module P : Protocol.S)
+
+let est_key r = Printf.sprintf "est:%d" r
+let dec_key dst = "decide:" ^ Pid.to_string dst
+
+let make_ds ~proposals =
+  let module P : Protocol.S = struct
+    type coord_phase =
+      | Gathering (* waiting for a majority of estimates *)
+      | Proposed (* proposal out, waiting for a majority of (n)acks *)
+      | Coord_done
+
+    type state = {
+      me : Pid.t;
+      n : int;
+      round : int; (* 0-based; coordinator = round mod n *)
+      est : int;
+      ts : int;
+      decided : int option;
+      performed_decide : bool;
+      suspects_now : Pid.Set.t;
+      (* estimates are buffered per round the moment they arrive: a
+         coordinator may receive them before it enters its own round, and
+         the ack we send stops the sender from ever retransmitting *)
+      est_buffer : (int * int) Pid.Map.t IMap.t; (* round -> sender -> (v,ts) *)
+      (* coordinator-side, for the round we currently coordinate *)
+      phase : coord_phase;
+      acks : bool Pid.Map.t;
+      coord_round : int;
+      (* participant-side *)
+      answered : bool; (* already acked/nacked the current round *)
+      out : Outbox.t;
+    }
+
+    let name = "ct-consensus-DS"
+    let majority n = (n / 2) + 1
+    let coordinator t = t.round mod t.n
+
+    let send_estimates t =
+      let c = t.round mod t.n in
+      if Pid.equal c t.me then t
+      else
+        {
+          t with
+          out =
+            Outbox.set_recurring t.out ~key:(est_key t.round) ~dst:c
+              (Message.Cons_estimate
+                 { round = t.round; value = t.est; ts = t.ts });
+        }
+
+    let buffer_est t ~round ~sender vts =
+      let per_round =
+        Option.value ~default:Pid.Map.empty (IMap.find_opt round t.est_buffer)
+      in
+      {
+        t with
+        est_buffer =
+          IMap.add round (Pid.Map.add sender vts per_round) t.est_buffer;
+      }
+
+    let enter_round t round =
+      (* the round-[t.round] estimate is NOT cancelled here: a lagging
+         coordinator still needs it to gather its majority; it is cancelled
+         when that coordinator acknowledges it *)
+      let t =
+        {
+          t with
+          round;
+          answered = false;
+          phase = (if round mod t.n = t.me then Gathering else Coord_done);
+        }
+      in
+      if round mod t.n = t.me then
+        (* the coordinator counts its own estimate *)
+        let t = buffer_est t ~round ~sender:t.me (t.est, t.ts) in
+        { t with acks = Pid.Map.empty; coord_round = round }
+      else t
+
+    let create ~n ~me =
+      let t =
+        {
+          me;
+          n;
+          round = -1;
+          est = proposals.(me);
+          ts = -1;
+          decided = None;
+          performed_decide = false;
+          suspects_now = Pid.Set.empty;
+          phase = Coord_done;
+          est_buffer = IMap.empty;
+          acks = Pid.Map.empty;
+          coord_round = -1;
+          answered = false;
+          out = Outbox.empty;
+        }
+      in
+      send_estimates (enter_round t 0)
+
+    let on_init t _ = t
+
+    let start_decide t v =
+      if t.decided <> None then t
+      else
+        let out =
+          List.fold_left
+            (fun out dst ->
+              if Pid.equal dst t.me then out
+              else
+                Outbox.set_recurring out ~key:(dec_key dst) ~dst
+                  (Message.Cons_decide { value = v }))
+            t.out (Pid.all t.n)
+        in
+        { t with decided = Some v; out }
+
+    let on_recv t ~src msg =
+      if t.decided <> None then
+        match msg with
+        | Message.Cons_estimate _ | Message.Cons_propose _ ->
+            (* stragglers: answer with the decision *)
+            {
+              t with
+              out =
+                Outbox.push t.out ~dst:src
+                  (Message.Cons_decide { value = Option.get t.decided });
+            }
+        | _ -> t
+      else
+        match msg with
+        | Message.Cons_estimate { round; value; ts } ->
+            (* always acknowledge so the sender stops resending, and buffer
+               for the round's Gathering phase, past or future *)
+            let t =
+              {
+                t with
+                out =
+                  Outbox.push t.out ~dst:src
+                    (Message.Cons_ack { round; ok = true });
+              }
+            in
+            buffer_est t ~round ~sender:src (value, ts)
+        | Message.Cons_propose { round; value } ->
+            if round = t.round && not t.answered then
+              let t =
+                {
+                  t with
+                  est = value;
+                  ts = round;
+                  answered = true;
+                  out =
+                    Outbox.push t.out ~dst:src
+                      (Message.Cons_ack { round; ok = true });
+                }
+              in
+              send_estimates (enter_round t (round + 1))
+            else if round > t.round then (
+              (* jump forward to the proposer's round and adopt *)
+              let t = enter_round t round in
+              let t =
+                {
+                  t with
+                  est = value;
+                  ts = round;
+                  answered = true;
+                  out =
+                    Outbox.push t.out ~dst:src
+                      (Message.Cons_ack { round; ok = true });
+                }
+              in
+              send_estimates (enter_round t (round + 1)))
+            else
+              (* stale proposal: nack so the old coordinator stops
+                 resending without mistaking this for an adoption *)
+              {
+                t with
+                out =
+                  Outbox.push t.out ~dst:src
+                    (Message.Cons_ack { round; ok = false });
+              }
+        | Message.Cons_ack { round; ok } ->
+            let t =
+              if round = t.coord_round && t.phase = Proposed then
+                { t with acks = Pid.Map.add src ok t.acks }
+              else t
+            in
+            let out = Outbox.cancel t.out ~key:(prop_key round src) in
+            let out = Outbox.cancel out ~key:(est_key round) in
+            { t with out }
+        | Message.Cons_decide { value } -> start_decide t value
+        | _ -> t
+
+    let on_suspect t r =
+      match r with
+      | Report.Std _ | Report.Correct_set _ ->
+          { t with suspects_now = Report.suspects_in ~n:t.n r }
+      | Report.Gen _ -> t
+
+    let step t ~now =
+      match t.decided with
+      | Some v when not t.performed_decide ->
+          ({ t with performed_decide = true }, Protocol.Perform (decide_action t.me v))
+      | Some _ -> (
+          match Outbox.next t.out ~now with
+          | Some (out, (dst, msg)) -> ({ t with out }, Protocol.Send_to (dst, msg))
+          | None -> (t, Protocol.No_op))
+      | None -> (
+          let c = coordinator t in
+          (* coordinator state machine *)
+          let gathered =
+            Option.value ~default:Pid.Map.empty
+              (IMap.find_opt t.coord_round t.est_buffer)
+          in
+          if Pid.equal c t.me && t.phase = Gathering
+             && Pid.Map.cardinal gathered >= majority t.n
+          then begin
+            (* adopt the newest estimate and propose it *)
+            let v, _ =
+              Pid.Map.fold
+                (fun _ (v, ts) (bv, bts) -> if ts > bts then (v, ts) else (bv, bts))
+                gathered (t.est, t.ts)
+            in
+            let out =
+              List.fold_left
+                (fun out dst ->
+                  if Pid.equal dst t.me then out
+                  else
+                    Outbox.set_recurring out ~key:(prop_key t.round dst) ~dst
+                      (Message.Cons_propose { round = t.round; value = v }))
+                t.out (Pid.all t.n)
+            in
+            ( {
+                t with
+                est = v;
+                ts = t.round;
+                phase = Proposed;
+                acks = Pid.Map.singleton t.me true;
+                out;
+              },
+              Protocol.No_op )
+          end
+          else if Pid.equal c t.me && t.phase = Proposed
+                  && Pid.Map.cardinal t.acks >= majority t.n
+          then
+            let all_ok = Pid.Map.for_all (fun _ ok -> ok) t.acks in
+            if all_ok then (start_decide t t.est, Protocol.No_op)
+            else
+              let t = send_estimates (enter_round t (t.round + 1)) in
+              (t, Protocol.No_op)
+          else if
+            (* participant: nack and move on when the coordinator is
+               currently suspected *)
+            (not (Pid.equal c t.me))
+            && (not t.answered)
+            && Pid.Set.mem c t.suspects_now
+          then
+            let t =
+              {
+                t with
+                answered = true;
+                out =
+                  Outbox.push t.out ~dst:c
+                    (Message.Cons_ack { round = t.round; ok = false });
+              }
+            in
+            (send_estimates (enter_round t (t.round + 1)), Protocol.No_op)
+          else
+            match Outbox.next t.out ~now with
+            | Some (out, (dst, msg)) -> ({ t with out }, Protocol.Send_to (dst, msg))
+            | None -> (t, Protocol.No_op))
+
+    let quiescent t = t.performed_decide && Outbox.is_empty t.out
+
+    let performed t =
+      match t.decided with
+      | Some v when t.performed_decide ->
+          Action_id.Set.singleton (decide_action t.me v)
+      | _ -> Action_id.Set.empty
+  end in
+  (module P : Protocol.S)

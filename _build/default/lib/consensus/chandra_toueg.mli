@@ -1,0 +1,23 @@
+(** Chandra-Toueg consensus algorithms — the baselines for the consensus
+    rows of Table 1.
+
+    Decisions are recorded as [do] events: a process deciding value [v]
+    performs the action [a{p}.v], so run checkers read decisions off
+    histories ({!Spec}). Proposals are supplied per process.
+
+    [make_s] is the rotating-coordinator algorithm for {e strong} (S-class)
+    failure detectors, tolerating any number of failures: in round [r] the
+    coordinator [p_{r-1}] broadcasts its estimate (repeatedly, with
+    acknowledgments — the fair-lossy adaptation); every process waits until
+    it receives the round's estimate or its detector has (ever) suspected
+    the coordinator; after [n] rounds it decides its estimate. Weak
+    accuracy supplies a never-suspected correct coordinator round in which
+    all estimates converge.
+
+    [make_ds] is the majority-based algorithm for {e eventually-strong}
+    (◇S-class) detectors, requiring [t < n/2]: unbounded rounds of
+    (estimates to coordinator → coordinator proposal with the newest
+    estimate → acks/nacks → decide broadcast on a unanimous majority). *)
+
+val make_s : proposals:int array -> (module Protocol.S)
+val make_ds : proposals:int array -> (module Protocol.S)

@@ -1,0 +1,45 @@
+let errorf fmt = Format.kasprintf (fun s -> Error s) fmt
+
+let decision run p =
+  List.find_map
+    (fun (e, _) ->
+      match e with Event.Do a -> Some (Action_id.tag a) | _ -> None)
+    (History.timed_events (Run.history run p))
+
+let decisions run =
+  List.filter_map
+    (fun p -> Option.map (fun v -> (p, v)) (decision run p))
+    (Pid.all (Run.n run))
+
+let agreement run =
+  match decisions run with
+  | [] -> Ok ()
+  | (p0, v0) :: rest -> (
+      match List.find_opt (fun (_, v) -> v <> v0) rest with
+      | None -> Ok ()
+      | Some (p, v) ->
+          errorf "agreement: %a decided %d but %a decided %d" Pid.pp p0 v0
+            Pid.pp p v)
+
+let validity ~proposals run =
+  let proposed = Array.to_list proposals in
+  match
+    List.find_opt (fun (_, v) -> not (List.mem v proposed)) (decisions run)
+  with
+  | None -> Ok ()
+  | Some (p, v) ->
+      errorf "validity: %a decided %d, which nobody proposed" Pid.pp p v
+
+let termination run =
+  match
+    List.find_opt
+      (fun p -> decision run p = None)
+      (Pid.Set.elements (Run.correct run))
+  with
+  | None -> Ok ()
+  | Some p -> errorf "termination: correct %a never decided" Pid.pp p
+
+let consensus ~proposals run =
+  let ( >>= ) r f = match r with Error _ as e -> e | Ok () -> f () in
+  agreement run >>= fun () ->
+  validity ~proposals run >>= fun () -> termination run

@@ -1,0 +1,20 @@
+(** Consensus correctness conditions, checked on runs.
+
+    A decision by [p] is the first [do] event in [p]'s history; its value
+    is the action tag (see {!Chandra_toueg}). *)
+
+(** Value decided by [p], if any. *)
+val decision : Run.t -> Pid.t -> int option
+
+(** Uniform agreement: no two processes (correct or not) decide
+    differently. *)
+val agreement : Run.t -> (unit, string) result
+
+(** Validity: every decided value is some process's proposal. *)
+val validity : proposals:int array -> Run.t -> (unit, string) result
+
+(** Termination: every correct process decides (by the horizon). *)
+val termination : Run.t -> (unit, string) result
+
+(** Agreement ∧ validity ∧ termination. *)
+val consensus : proposals:int array -> Run.t -> (unit, string) result

@@ -1,0 +1,1 @@
+lib/core/ack_udc.mli: Protocol

@@ -1,0 +1,1 @@
+lib/core/adversary.ml: Ack_udc Action_id Detector Dist Fault_plan Format Init_plan List Majority_udc Pid Printf Protocol Sim Spec

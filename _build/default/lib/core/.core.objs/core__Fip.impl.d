@@ -1,0 +1,1 @@
+lib/core/fip.ml: Fact Message Pid Protocol Report

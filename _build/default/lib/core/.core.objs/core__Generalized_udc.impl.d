@@ -1,0 +1,1 @@
+lib/core/generalized_udc.ml: Action_id Fact List Message Option Outbox Pid Printf Protocol Report

@@ -1,0 +1,1 @@
+lib/core/generalized_udc.mli: Protocol

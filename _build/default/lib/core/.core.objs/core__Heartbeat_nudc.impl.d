@@ -1,0 +1,1 @@
+lib/core/heartbeat_nudc.ml: Action_id Event Fact History List Message Option Outbox Pid Protocol Run

@@ -1,0 +1,1 @@
+lib/core/heartbeat_nudc.mli: Protocol Run

@@ -1,0 +1,1 @@
+lib/core/kb_program.ml: Action_id Array Enumerate Epistemic Event Fact Format Hashtbl History Init_plan List Message Outbox Pid Protocol Run String

@@ -1,0 +1,1 @@
+lib/core/kb_program.mli: Action_id Epistemic Event Pid Protocol

@@ -1,0 +1,1 @@
+lib/core/majority_udc.mli: Protocol

@@ -1,0 +1,1 @@
+lib/core/nudc.ml: Action_id Fact List Message Outbox Pid Printf Protocol

@@ -1,0 +1,1 @@
+lib/core/reliable_udc.ml: Action_id Fact List Message Pid Protocol

@@ -1,0 +1,1 @@
+lib/core/reliable_udc.mli: Protocol

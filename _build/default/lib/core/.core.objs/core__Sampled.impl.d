@@ -1,0 +1,1 @@
+lib/core/sampled.ml: Detector Epistemic Event Format History Int64 List Pid Report Run Sim Simulate_fd

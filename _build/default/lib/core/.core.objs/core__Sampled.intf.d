@@ -1,0 +1,1 @@
+lib/core/sampled.mli: Epistemic Format Protocol Sim

@@ -1,0 +1,1 @@
+lib/core/simulate_fd.ml: Array Epistemic Event History List Pid Report Run

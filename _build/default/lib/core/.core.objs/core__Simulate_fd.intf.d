@@ -1,0 +1,1 @@
+lib/core/simulate_fd.mli: Epistemic Pid Run

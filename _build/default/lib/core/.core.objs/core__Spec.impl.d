@@ -1,0 +1,1 @@
+lib/core/spec.ml: Action_id Epistemic Event Format Formula Hashtbl History List Option Pid Run

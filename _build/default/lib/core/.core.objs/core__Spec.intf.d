@@ -1,0 +1,1 @@
+lib/core/spec.mli: Action_id Epistemic Run

@@ -1,0 +1,1 @@
+lib/core/theta_udc.ml: Action_id Fact List Message Option Outbox Pid Printf Protocol Report

@@ -1,0 +1,1 @@
+lib/core/theta_udc.mli: Protocol

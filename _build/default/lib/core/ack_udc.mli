@@ -1,0 +1,30 @@
+(** The UDC protocol of Proposition 3.1: strong failure detectors, fair
+    (possibly lossy) channels, any number of failures.
+
+    In the UDC(alpha) state a process repeatedly sends alpha-messages to
+    every process from which it lacks an acknowledgment, and it performs
+    alpha once every process has either acknowledged or been reported
+    faulty by the failure detector {e at some time} ("says or has said" —
+    impermanent suspicions suffice, which is why Corollary 3.2 extends the
+    result to impermanent-weak detectors via the conversions). Receivers
+    acknowledge every alpha-message and enter the UDC(alpha) state
+    themselves.
+
+    Weak accuracy is what makes this uniform: the never-suspected correct
+    process q* must have acknowledged before anyone performs, so q* itself
+    is in the UDC(alpha) state and relays alpha to every correct process.
+    Feed it a detector that violates weak accuracy (e.g. {!Oracles.lying})
+    and UDC breaks — the optimality half of the unreliable-channel row of
+    Table 1. *)
+
+module P : Protocol.S
+
+(** The footnote-11 variant: with a {e strongly accurate} detector, a
+    process may stop retransmitting an action's requests once it has
+    performed the action — accuracy means every discharged-by-suspicion
+    process really crashed, so no correct process is being abandoned. The
+    never-suspected correct process q* of the weak-accuracy argument has
+    necessarily acknowledged, is itself in the UDC state, and keeps
+    relaying. Unsafe under merely weak accuracy. Message savings are
+    measured by the perf benches. *)
+module Quiet : Protocol.S

@@ -1,0 +1,61 @@
+let make ?(trust_reports = false) (module Inner : Protocol.S) =
+  let module P : Protocol.S = struct
+    type state = { inner : Inner.state; me : Pid.t; facts : Fact.Set.t }
+
+    let name = Inner.name ^ "+fip"
+    let create ~n ~me = { inner = Inner.create ~n ~me; me; facts = Fact.Set.empty }
+
+    let on_init t alpha =
+      {
+        t with
+        inner = Inner.on_init t.inner alpha;
+        facts = Fact.Set.add (Fact.Inited alpha) t.facts;
+      }
+
+    let on_recv t ~src msg =
+      let facts =
+        match msg with
+        | Message.Coord_request (alpha, fs) | Message.Coord_ack (alpha, fs) ->
+            (* a coordination message also witnesses the initiation: by DC3
+               no one relays an action its owner has not initiated *)
+            Fact.Set.add (Fact.Inited alpha) (Fact.Set.union t.facts fs)
+        | _ -> t.facts
+      in
+      { t with inner = Inner.on_recv t.inner ~src msg; facts }
+
+    let on_suspect t r =
+      let facts =
+        match r with
+        | Report.Std s when trust_reports ->
+            Pid.Set.fold
+              (fun q acc -> Fact.Set.add (Fact.Crashed q) acc)
+              s t.facts
+        | _ -> t.facts
+      in
+      { t with inner = Inner.on_suspect t.inner r; facts }
+
+    let step t ~now =
+      let inner, act = Inner.step t.inner ~now in
+      match act with
+      | Protocol.No_op -> ({ t with inner }, Protocol.No_op)
+      | Protocol.Perform alpha ->
+          ( {
+              t with
+              inner;
+              facts = Fact.Set.add (Fact.Did (t.me, alpha)) t.facts;
+            },
+            Protocol.Perform alpha )
+      | Protocol.Send_to (dst, msg) ->
+          let msg =
+            match msg with
+            | Message.Coord_request (alpha, _) ->
+                Message.Coord_request (alpha, t.facts)
+            | Message.Coord_ack (alpha, _) -> Message.Coord_ack (alpha, t.facts)
+            | other -> other
+          in
+          ({ t with inner }, Protocol.Send_to (dst, msg))
+
+    let quiescent t = Inner.quiescent t.inner
+    let performed t = Inner.performed t.inner
+  end in
+  (module P : Protocol.S)

@@ -1,0 +1,16 @@
+(** Full-information piggybacking (the FIP discussion around condition A4).
+
+    Condition A4 holds of systems whose processes tell each other as much
+    as they can. [make] wraps any coordination protocol so that every
+    coordination message carries the sender's current set of stable facts
+    (initiations, performances, and — when [trust_reports] is set —
+    crashes learned from an accurate failure detector), and received facts
+    are merged. The wrapper changes what histories contain, hence what
+    processes {e know}: this is the information diffusion that makes the
+    knowledge extraction of Theorems 3.6/4.3 productive. *)
+
+(** [make ?trust_reports proto] wraps [proto]. [trust_reports] (default
+    false) additionally converts standard failure-detector reports into
+    [Crashed] facts; only sound in contexts whose detectors satisfy strong
+    accuracy (e.g. enumerated systems with perfect report points). *)
+val make : ?trust_reports:bool -> (module Protocol.S) -> (module Protocol.S)

@@ -1,0 +1,14 @@
+(** The UDC protocol of Proposition 4.1: at most [t] failures, t-useful
+    generalized failure detectors, fair-lossy channels.
+
+    A process in the UDC(alpha) state repeatedly sends alpha-messages and
+    performs alpha at the first moment there is a reported pair [(S, k)]
+    such that it holds acknowledgments from all of [Proc - S] and
+    [n - |S| > min(t, n-1) - k]. The arithmetic guarantees that if any
+    correct process exists, [Proc - S] contains one (the report says at
+    least [k] of the faulty processes are inside [S]), and that process,
+    being in the UDC(alpha) state, relays alpha to all correct processes.
+
+    [make ~t] instantiates the protocol for the failure bound [t]. *)
+
+val make : t:int -> (module Protocol.S)

@@ -1,0 +1,14 @@
+(** UDC without failure detectors for [t < n/2] (Corollary 4.2, the
+    Gopal-Toueg result).
+
+    [make ~t] waits for acknowledgments from [n - t] processes (counting
+    itself) before performing. This is the Proposition 4.1 protocol run
+    with the paper's trivial t-useful detector — the one that cycles
+    through all size-[t] subsets reporting [(S, 0)] — with the detector
+    inlined: holding [n - t] acknowledgments is exactly having all of
+    [Proc - S] acknowledge for some size-[t] set [S], and [(S, 0)] is
+    t-useful precisely when [n - t > t], i.e. [t < n/2]. Instantiating it
+    with [t >= n/2] is how the lower-bound benches exhibit uniformity
+    violations. *)
+
+val make : t:int -> (module Protocol.S)

@@ -1,0 +1,71 @@
+module P : Protocol.S = struct
+  type state = {
+    me : Pid.t;
+    n : int;
+    active : Action_id.Set.t;
+    performed : Action_id.Set.t;
+    to_perform : Action_id.t list; (* FIFO of pending performs *)
+    out : Outbox.t;
+  }
+
+  let name = "nudc-flood"
+
+  let create ~n ~me =
+    {
+      me;
+      n;
+      active = Action_id.Set.empty;
+      performed = Action_id.Set.empty;
+      to_perform = [];
+      out = Outbox.empty;
+    }
+
+  let enter t alpha =
+    if Action_id.Set.mem alpha t.active then t
+    else
+      let out =
+        List.fold_left
+          (fun out dst ->
+            if Pid.equal dst t.me then out
+            else
+              Outbox.set_recurring out
+                ~key:
+                  (Printf.sprintf "req:%s:%s" (Action_id.to_string alpha)
+                     (Pid.to_string dst))
+                ~dst
+                (Message.Coord_request (alpha, Fact.Set.empty)))
+          t.out (Pid.all t.n)
+      in
+      {
+        t with
+        active = Action_id.Set.add alpha t.active;
+        to_perform = t.to_perform @ [ alpha ];
+        out;
+      }
+
+  let on_init t alpha = enter t alpha
+
+  let on_recv t ~src:_ msg =
+    match msg with
+    | Message.Coord_request (alpha, _) -> enter t alpha
+    | _ -> t
+
+  let on_suspect t _ = t
+
+  let step t ~now =
+    match t.to_perform with
+    | alpha :: rest ->
+        ( {
+            t with
+            to_perform = rest;
+            performed = Action_id.Set.add alpha t.performed;
+          },
+          Protocol.Perform alpha )
+    | [] -> (
+        match Outbox.next t.out ~now with
+        | Some (out, (dst, msg)) -> ({ t with out }, Protocol.Send_to (dst, msg))
+        | None -> (t, Protocol.No_op))
+
+  let quiescent t = t.to_perform = [] && Outbox.is_empty t.out
+  let performed t = t.performed
+end

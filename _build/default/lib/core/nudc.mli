@@ -1,0 +1,12 @@
+(** The nUDC protocol of Proposition 2.3.
+
+    Whenever a process initiates (or hears about) an action, it enters the
+    nUDC(alpha) state: it performs alpha and repeatedly sends an
+    alpha-message to all other processes, forever (fair channels then
+    deliver to every correct process; footnote 10 of the paper notes no
+    terminating protocol exists). Requires no failure detector and
+    tolerates any number of failures — but achieves only the
+    {e non-uniform} guarantee DC2': a performer that crashes before any of
+    its messages get through obliges no one. *)
+
+module P : Protocol.S

@@ -1,0 +1,62 @@
+module P : Protocol.S = struct
+  (* Per-action phase: recipients still owed an alpha-message; the action
+     is performed once that list is empty. Phases complete in FIFO order,
+     preserving the paper's "send to all, then perform". *)
+  type phase = { action : Action_id.t; awaiting : Pid.t list }
+
+  type state = {
+    me : Pid.t;
+    n : int;
+    entered : Action_id.Set.t;
+    performed : Action_id.Set.t;
+    phases : phase list;
+  }
+
+  let name = "reliable-udc"
+
+  let create ~n ~me =
+    {
+      me;
+      n;
+      entered = Action_id.Set.empty;
+      performed = Action_id.Set.empty;
+      phases = [];
+    }
+
+  let enter t alpha =
+    if Action_id.Set.mem alpha t.entered then t
+    else
+      let peers = List.filter (fun q -> not (Pid.equal q t.me)) (Pid.all t.n) in
+      {
+        t with
+        entered = Action_id.Set.add alpha t.entered;
+        phases = t.phases @ [ { action = alpha; awaiting = peers } ];
+      }
+
+  let on_init t alpha = enter t alpha
+
+  let on_recv t ~src:_ msg =
+    match msg with
+    | Message.Coord_request (alpha, _) -> enter t alpha
+    | _ -> t
+
+  let on_suspect t _ = t
+
+  let step t ~now:_ =
+    match t.phases with
+    | [] -> (t, Protocol.No_op)
+    | { action; awaiting = [] } :: rest ->
+        ( {
+            t with
+            phases = rest;
+            performed = Action_id.Set.add action t.performed;
+          },
+          Protocol.Perform action )
+    | { action; awaiting = dst :: others } :: rest ->
+        ( { t with phases = { action; awaiting = others } :: rest },
+          Protocol.Send_to (dst, Message.Coord_request (action, Fact.Set.empty))
+        )
+
+  let quiescent t = t.phases = []
+  let performed t = t.performed
+end

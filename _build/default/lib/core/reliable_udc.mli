@@ -1,0 +1,12 @@
+(** The UDC protocol of Proposition 2.4 (reliable channels, no failure
+    detector, any number of failures).
+
+    On entering the UDC(alpha) state a process first sends an alpha-message
+    to {e every} other process and only then performs alpha; receivers do
+    the same. With reliable channels, any performer has fully relayed alpha
+    before performing, so even if it crashes immediately afterwards every
+    correct process hears about alpha and performs it: uniformity for free.
+    Run it over lossy channels and DC2 breaks — that contrast is exactly
+    the "reliable vs unreliable" row split of Table 1. *)
+
+module P : Protocol.S

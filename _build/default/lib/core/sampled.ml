@@ -1,0 +1,66 @@
+let env ~mk_config ~protocol ~runs =
+  let runs_list =
+    List.init runs (fun i ->
+        let seed = Int64.of_int ((i * 6700417) + 97) in
+        let cfg = mk_config seed in
+        (Sim.execute_uniform cfg protocol).Sim.run)
+  in
+  Epistemic.Checker.make (Epistemic.System.of_runs runs_list)
+
+type overclaim = {
+  reports : int;
+  false_suspicions : int;
+  runs_complete : int;
+  runs_total : int;
+}
+
+let f_overclaim env =
+  let sys = Epistemic.Checker.system env in
+  let reports = ref 0 and false_suspicions = ref 0 in
+  let runs_complete = ref 0 and runs_total = ref 0 in
+  for ri = 0 to Epistemic.System.run_count sys - 1 do
+    incr runs_total;
+    let fr = Simulate_fd.f_run env ~run:ri in
+    (* audit every constructed suspicion against the ground truth *)
+    List.iter
+      (fun p ->
+        List.iter
+          (fun (e, tick) ->
+            match e with
+            | Event.Suspect r ->
+                Pid.Set.iter
+                  (fun q ->
+                    incr reports;
+                    if not (Run.crashed_by fr q tick) then
+                      incr false_suspicions)
+                  (Report.suspects r)
+            | _ -> ())
+          (History.timed_events (Run.history fr p)))
+      (Pid.all (Run.n fr));
+    let complete =
+      Pid.Set.for_all
+        (fun q ->
+          Pid.Set.for_all
+            (fun p ->
+              Pid.Set.mem q
+                (Detector.Spec.suspects_at Detector.Spec.event_timeline fr p
+                   (Run.horizon fr)))
+            (Run.correct fr))
+        (Run.faulty fr)
+    in
+    if complete then incr runs_complete
+  done;
+  {
+    reports = !reports;
+    false_suspicions = !false_suspicions;
+    runs_complete = !runs_complete;
+    runs_total = !runs_total;
+  }
+
+let pp_overclaim ppf o =
+  Format.fprintf ppf
+    "%d suspicion entries, %d false (%.2f%%); completeness %d/%d runs"
+    o.reports o.false_suspicions
+    (if o.reports = 0 then 0.0
+     else 100.0 *. float_of_int o.false_suspicions /. float_of_int o.reports)
+    o.runs_complete o.runs_total

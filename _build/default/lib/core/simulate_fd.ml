@@ -1,0 +1,80 @@
+type schedule = [ `History_length | `Round_robin ]
+
+let subset_of_index ~n l =
+  List.fold_left
+    (fun acc i -> if l land (1 lsl i) <> 0 then Pid.Set.add i acc else acc)
+    Pid.Set.empty (Pid.all n)
+
+(* Shared skeleton of f and f': stretch the original events onto even ticks
+   (dropping failure-detector events), insert a constructed report on each
+   odd tick while the process is alive. [report p m] produces the new
+   failure-detector event content from the knowledge at (r, m). *)
+let transform env ~run:ri ~report =
+  let sys = Epistemic.Checker.system env in
+  let r = Epistemic.System.run sys ri in
+  let n = Run.n r in
+  let horizon = Run.horizon r in
+  let transform_process p =
+    let timed =
+      List.filter
+        (fun (e, _) -> not (Event.is_failure_detector e))
+        (History.timed_events (Run.history r p))
+    in
+    let crash_tick = Run.crash_tick r p in
+    let alive_at m =
+      match crash_tick with None -> true | Some tc -> tc > m
+    in
+    let rec go h m timed =
+      if m > horizon then h
+      else
+        (* odd tick 2m+1: constructed report, while alive at m *)
+        let h =
+          if alive_at m then
+            History.append h (Event.Suspect (report p m)) ~tick:((2 * m) + 1)
+          else h
+        in
+        (* even tick 2m+2: the original event of tick m+1, if any *)
+        let h, timed =
+          match timed with
+          | (e, tick) :: rest when tick = m + 1 ->
+              (History.append h e ~tick:((2 * m) + 2), rest)
+          | _ -> (h, timed)
+        in
+        go h (m + 1) timed
+    in
+    go History.empty 0 timed
+  in
+  Run.make ~n
+    ~horizon:((2 * horizon) + 2)
+    (Array.init n transform_process)
+
+let f_run env ~run =
+  transform env ~run ~report:(fun p m ->
+      Report.std (Epistemic.Checker.knows_crashed env p ~run ~tick:m))
+
+let f_system env =
+  let sys = Epistemic.Checker.system env in
+  List.init (Epistemic.System.run_count sys) (fun ri -> f_run env ~run:ri)
+
+let f'_run ?(schedule = `Round_robin) env ~run:ri =
+  let sys = Epistemic.Checker.system env in
+  let r = Epistemic.System.run sys ri in
+  let n = Run.n r in
+  let two_n = 1 lsl n in
+  let report p m =
+    let l =
+      match schedule with
+      | `Round_robin -> (m + p) mod two_n
+      | `History_length ->
+          History.length (Run.history_at r p (m + 1)) mod two_n
+    in
+    let s = subset_of_index ~n l in
+    let k = Epistemic.Checker.max_known_crashed env p s ~run:ri ~tick:m in
+    Report.gen s k
+  in
+  transform env ~run:ri ~report
+
+let f'_system ?schedule env =
+  let sys = Epistemic.Checker.system env in
+  List.init (Epistemic.System.run_count sys) (fun ri ->
+      f'_run ?schedule env ~run:ri)

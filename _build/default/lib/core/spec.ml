@@ -1,0 +1,123 @@
+let errorf fmt = Format.kasprintf (fun s -> Error s) fmt
+
+let fold_ok f xs =
+  List.fold_left
+    (fun acc x -> match acc with Error _ -> acc | Ok () -> f x)
+    (Ok ()) xs
+
+let performers run alpha =
+  List.filter (fun q -> Run.did run q alpha) (Pid.all (Run.n run))
+
+let dc1 run =
+  fold_ok
+    (fun (alpha, _) ->
+      let p = Action_id.owner alpha in
+      if Run.did run p alpha || Option.is_some (Run.crash_tick run p) then
+        Ok ()
+      else
+        errorf "DC1: %a initiated %a but neither performed it nor crashed"
+          Pid.pp p Action_id.pp alpha)
+    (Run.initiated run)
+
+let obligation ~exempt_faulty_performer run alpha =
+  let performed_by = performers run alpha in
+  let obliging =
+    if exempt_faulty_performer then
+      List.filter
+        (fun q1 -> Option.is_none (Run.crash_tick run q1))
+        performed_by
+    else performed_by
+  in
+  if obliging = [] then Ok ()
+  else
+    fold_ok
+      (fun q2 ->
+        if Run.did run q2 alpha || Option.is_some (Run.crash_tick run q2) then
+          Ok ()
+        else
+          errorf "%s: %a performed %a but correct %a never did"
+            (if exempt_faulty_performer then "DC2'" else "DC2")
+            Pid.pp (List.hd obliging) Action_id.pp alpha Pid.pp q2)
+      (Pid.all (Run.n run))
+
+let all_actions run =
+  (* every action that was initiated or performed anywhere *)
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (a, _) -> Hashtbl.replace tbl (Action_id.to_string a) a)
+    (Run.initiated run);
+  List.iter
+    (fun p ->
+      List.iter
+        (fun (e, _) ->
+          match e with
+          | Event.Do a -> Hashtbl.replace tbl (Action_id.to_string a) a
+          | _ -> ())
+        (History.timed_events (Run.history run p)))
+    (Pid.all (Run.n run));
+  Hashtbl.fold (fun _ a acc -> a :: acc) tbl []
+
+let dc2 run =
+  fold_ok (obligation ~exempt_faulty_performer:false run) (all_actions run)
+
+let dc2' run =
+  fold_ok (obligation ~exempt_faulty_performer:true run) (all_actions run)
+
+let dc3 run =
+  fold_ok
+    (fun alpha ->
+      let init_tick =
+        List.find_map
+          (fun (a, tick) ->
+            if Action_id.equal a alpha then Some tick else None)
+          (Run.initiated run)
+      in
+      fold_ok
+        (fun q ->
+          match Run.do_tick run q alpha with
+          | None -> Ok ()
+          | Some dt -> (
+              match init_tick with
+              | Some it when it <= dt -> Ok ()
+              | Some _ ->
+                  errorf "DC3: %a performed %a before it was initiated"
+                    Pid.pp q Action_id.pp alpha
+              | None ->
+                  errorf "DC3: %a performed uninitiated %a" Pid.pp q
+                    Action_id.pp alpha))
+        (Pid.all (Run.n run)))
+    (all_actions run)
+
+let udc run =
+  let ( >>= ) r f = match r with Error _ as e -> e | Ok () -> f () in
+  dc1 run >>= fun () ->
+  dc2 run >>= fun () -> dc3 run
+
+let nudc run =
+  let ( >>= ) r f = match r with Error _ as e -> e | Ok () -> f () in
+  dc1 run >>= fun () ->
+  dc2' run >>= fun () -> dc3 run
+
+open Epistemic
+
+let dc1_formula alpha =
+  let p = Action_id.owner alpha in
+  Formula.(
+    inited alpha ==> eventually (did p alpha ||| crashed p))
+
+let dc2_formula ~n alpha =
+  Formula.conj
+    (List.concat_map
+       (fun q1 ->
+         List.map
+           (fun q2 ->
+             Formula.(
+               did q1 alpha ==> eventually (did q2 alpha ||| crashed q2)))
+           (Pid.all n))
+       (Pid.all n))
+
+let dc3_formula ~n alpha =
+  Formula.conj
+    (List.map
+       (fun q2 -> Formula.(did q2 alpha ==> inited alpha))
+       (Pid.all n))

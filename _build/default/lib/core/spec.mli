@@ -1,0 +1,40 @@
+(** Uniform Distributed Coordination, as checkable run predicates.
+
+    Section 2.4 of the paper: UDC of an action [alpha ∈ A_p] holds in a
+    system when DC1-DC3 are valid; non-uniform DC (nUDC) replaces DC2 by
+    DC2', which exempts runs in which the performer itself is faulty.
+
+    On finite runs, the eventualities are read at the horizon (runs are
+    executed until the goal holds plus a drain margin, or to the cap; a
+    violation that persists at the cap is the finite witness of a
+    violation — see DESIGN.md). *)
+
+(** DC1: [init_p(alpha) ⇒ ◇(do_p(alpha) ∨ crash(p))] — the initiator
+    performs its own action unless it crashes. *)
+val dc1 : Run.t -> (unit, string) result
+
+(** DC2: [do_q1(alpha) ⇒ ◇(do_q2(alpha) ∨ crash(q2))] for all q1, q2 — if
+    {e anyone} (even a process that later crashes) performs the action,
+    every process performs it or crashes. This is uniformity. *)
+val dc2 : Run.t -> (unit, string) result
+
+(** DC2': like DC2 but also discharged by [crash(q1)] — only performances
+    by correct processes oblige the others. *)
+val dc2' : Run.t -> (unit, string) result
+
+(** DC3: [do_q(alpha) ⇒ init_p(alpha)] — no process performs an action that
+    its owner has not (yet) initiated. *)
+val dc3 : Run.t -> (unit, string) result
+
+(** DC1 ∧ DC2 ∧ DC3. *)
+val udc : Run.t -> (unit, string) result
+
+(** DC1 ∧ DC2' ∧ DC3. *)
+val nudc : Run.t -> (unit, string) result
+
+(** The same properties as validity statements for the model checker, per
+    action: used to check them epistemically on enumerated systems. *)
+val dc1_formula : Action_id.t -> Epistemic.Formula.t
+
+val dc2_formula : n:int -> Action_id.t -> Epistemic.Formula.t
+val dc3_formula : n:int -> Action_id.t -> Epistemic.Formula.t

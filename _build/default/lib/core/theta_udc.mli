@@ -1,0 +1,12 @@
+(** UDC from the ATD99 detector class (Section 5 of the paper).
+
+    The quorum rule: a process performs alpha once every process {e not in
+    its current suspicion set} has acknowledged. Cyclic accuracy puts at
+    least one correct process in that quorum at the moment of performing,
+    and that process — already in the UDC(alpha) state — relays alpha to
+    every correct process; strong completeness unblocks waiting on the
+    crashed. Unlike the Proposition 3.1 protocol, this one never discharges
+    a process on the strength of a {e past} suspicion, which is exactly why
+    it tolerates a detector with no never-suspected process. *)
+
+module P : Protocol.S

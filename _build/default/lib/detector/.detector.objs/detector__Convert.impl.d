@@ -1,0 +1,1 @@
+lib/detector/convert.ml: List Message Outbox Pid Protocol Report

@@ -1,0 +1,1 @@
+lib/detector/convert.mli: Protocol

@@ -1,0 +1,1 @@
+lib/detector/oracles.ml: Array Hashtbl List Option Oracle Pid Printf Prng Report

@@ -1,0 +1,1 @@
+lib/detector/oracles.mli: Oracle Pid

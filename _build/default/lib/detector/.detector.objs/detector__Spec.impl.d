@@ -1,0 +1,1 @@
+lib/detector/spec.ml: Event Format History List Message Pid Report Run

@@ -1,0 +1,1 @@
+lib/detector/spec.mli: Pid Run

@@ -1,0 +1,1 @@
+lib/detector/theta.ml: Format List Oracle Pid Report Run Spec

@@ -1,0 +1,1 @@
+lib/detector/theta.mli: Oracle Run Spec

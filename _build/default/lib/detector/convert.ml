@@ -1,0 +1,186 @@
+module With_gossip (P : Protocol.S) : Protocol.S = struct
+  type state = {
+    inner : P.state;
+    me : Pid.t;
+    n : int;
+    derived : Pid.Set.t;
+    gossip : Outbox.t;
+    gossip_turn : bool;
+  }
+
+  let name = P.name ^ "+gossip"
+
+  let create ~n ~me =
+    {
+      inner = P.create ~n ~me;
+      me;
+      n;
+      derived = Pid.Set.empty;
+      gossip = Outbox.empty;
+      gossip_turn = false;
+    }
+
+  let refresh_gossip t =
+    (* Re-point the recurring broadcast at the current derived set; the old
+       sets stop being resent but stay in flight, which is fine: suspicion
+       sets only grow, so any stale delivery is subsumed. *)
+    List.fold_left
+      (fun g dst ->
+        if Pid.equal dst t.me then g
+        else
+          Outbox.set_recurring g
+            ~key:("gossip:" ^ Pid.to_string dst)
+            ~dst (Message.Gossip t.derived))
+      t.gossip (Pid.all t.n)
+
+  let learn t s =
+    let derived = Pid.Set.union t.derived s in
+    if Pid.Set.equal derived t.derived then t
+    else
+      let t = { t with derived } in
+      let t = { t with gossip = refresh_gossip t } in
+      { t with inner = P.on_suspect t.inner (Report.std derived) }
+
+  let on_init t a = { t with inner = P.on_init t.inner a }
+
+  let on_recv t ~src msg =
+    match msg with
+    | Message.Gossip s -> learn t s
+    | _ -> { t with inner = P.on_recv t.inner ~src msg }
+
+  let on_suspect t r =
+    match r with
+    | Report.Std s -> learn t s
+    | Report.Correct_set _ -> learn t (Report.suspects_in ~n:t.n r)
+    | Report.Gen _ -> { t with inner = P.on_suspect t.inner r }
+
+  let step t ~now =
+    (* Alternate fairly between gossip traffic and the inner protocol so
+       neither starves the other. *)
+    let gossip_step () =
+      match Outbox.next t.gossip ~now with
+      | Some (gossip, (dst, msg)) ->
+          Some ({ t with gossip; gossip_turn = false }, Protocol.Send_to (dst, msg))
+      | None -> None
+    in
+    let inner_step () =
+      let inner, act = P.step t.inner ~now in
+      match act with
+      | Protocol.No_op ->
+          (* an event-free step may still change the inner state (e.g. a
+             consensus coordinator's phase transition) - that progress
+             must not be discarded *)
+          if inner == t.inner then None
+          else Some ({ t with inner; gossip_turn = true }, Protocol.No_op)
+      | act -> Some ({ t with inner; gossip_turn = true }, act)
+    in
+    let first, second = if t.gossip_turn then (gossip_step, inner_step)
+      else (inner_step, gossip_step)
+    in
+    match first () with
+    | Some r -> r
+    | None -> (
+        match second () with
+        | Some r -> r
+        | None -> ({ t with gossip_turn = not t.gossip_turn }, Protocol.No_op))
+
+  let quiescent t = P.quiescent t.inner && Outbox.is_empty t.gossip
+  let performed t = P.performed t.inner
+end
+
+module With_gossip_current (P : Protocol.S) : Protocol.S = struct
+  type state = {
+    inner : P.state;
+    me : Pid.t;
+    n : int;
+    own : Pid.Set.t; (* own detector's latest report *)
+    heard : Pid.Set.t Pid.Map.t; (* peer -> that peer's latest report *)
+    derived : Pid.Set.t; (* what the inner protocol last saw *)
+    gossip : Outbox.t;
+    gossip_turn : bool;
+  }
+
+  let name = P.name ^ "+gossip-current"
+
+  let create ~n ~me =
+    {
+      inner = P.create ~n ~me;
+      me;
+      n;
+      own = Pid.Set.empty;
+      heard = Pid.Map.empty;
+      derived = Pid.Set.empty;
+      gossip = Outbox.empty;
+      gossip_turn = false;
+    }
+
+  let recompute t =
+    let derived =
+      Pid.Map.fold (fun _ s acc -> Pid.Set.union s acc) t.heard t.own
+    in
+    if Pid.Set.equal derived t.derived then t
+    else
+      {
+        t with
+        derived;
+        inner = P.on_suspect t.inner (Report.std derived);
+      }
+
+  let refresh_gossip t =
+    List.fold_left
+      (fun g dst ->
+        if Pid.equal dst t.me then g
+        else
+          Outbox.set_recurring g
+            ~key:("gossip:" ^ Pid.to_string dst)
+            ~dst (Message.Gossip t.own))
+      t.gossip (Pid.all t.n)
+
+  let on_init t a = { t with inner = P.on_init t.inner a }
+
+  let on_recv t ~src msg =
+    match msg with
+    | Message.Gossip s -> recompute { t with heard = Pid.Map.add src s t.heard }
+    | _ -> { t with inner = P.on_recv t.inner ~src msg }
+
+  let on_suspect t r =
+    match r with
+    | Report.Std _ | Report.Correct_set _ ->
+        let t = { t with own = Report.suspects_in ~n:t.n r } in
+        let t = { t with gossip = refresh_gossip t } in
+        recompute t
+    | Report.Gen _ -> { t with inner = P.on_suspect t.inner r }
+
+  let step t ~now =
+    let gossip_step () =
+      match Outbox.next t.gossip ~now with
+      | Some (gossip, (dst, msg)) ->
+          Some
+            ({ t with gossip; gossip_turn = false }, Protocol.Send_to (dst, msg))
+      | None -> None
+    in
+    let inner_step () =
+      let inner, act = P.step t.inner ~now in
+      match act with
+      | Protocol.No_op ->
+          (* an event-free step may still change the inner state (e.g. a
+             consensus coordinator's phase transition) - that progress
+             must not be discarded *)
+          if inner == t.inner then None
+          else Some ({ t with inner; gossip_turn = true }, Protocol.No_op)
+      | act -> Some ({ t with inner; gossip_turn = true }, act)
+    in
+    let first, second =
+      if t.gossip_turn then (gossip_step, inner_step)
+      else (inner_step, gossip_step)
+    in
+    match first () with
+    | Some r -> r
+    | None -> (
+        match second () with
+        | Some r -> r
+        | None -> ({ t with gossip_turn = not t.gossip_turn }, Protocol.No_op))
+
+  let quiescent t = P.quiescent t.inner && Outbox.is_empty t.gossip
+  let performed t = P.performed t.inner
+end

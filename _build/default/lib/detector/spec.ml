@@ -1,0 +1,214 @@
+type timeline = Run.t -> Pid.t -> (int * Pid.Set.t) list
+
+let event_timeline run p =
+  let n = Run.n run in
+  List.filter_map
+    (fun (e, tick) ->
+      match e with
+      | Event.Suspect (Report.Gen _) -> None
+      | Event.Suspect r -> Some (tick, Report.suspects_in ~n r)
+      | _ -> None)
+    (History.timed_events (Run.history run p))
+
+(* Derived detector of the weak-to-strong conversion: own standard reports
+   plus every suspicion heard in Gossip messages, accumulated. *)
+let gossip_timeline run p =
+  let changes, _ =
+    List.fold_left
+      (fun (acc, cur) (e, tick) ->
+        let grow s =
+          let cur' = Pid.Set.union cur s in
+          if Pid.Set.equal cur' cur then (acc, cur) else ((tick, cur') :: acc, cur')
+        in
+        match e with
+        | Event.Suspect (Report.Std s) -> grow s
+        | Event.Recv { msg = Message.Gossip s; _ } -> grow s
+        | _ -> (acc, cur))
+      ([], Pid.Set.empty)
+      (History.timed_events (Run.history run p))
+  in
+  List.rev changes
+
+let suspects_at timeline run p m =
+  List.fold_left
+    (fun acc (tick, s) -> if tick <= m then s else acc)
+    Pid.Set.empty (timeline run p)
+
+let errorf fmt = Format.kasprintf (fun s -> Error s) fmt
+
+let fold_ok f xs =
+  List.fold_left
+    (fun acc x -> match acc with Error _ -> acc | Ok () -> f x)
+    (Ok ()) xs
+
+let strong_accuracy ?(timeline = event_timeline) run =
+  fold_ok
+    (fun p ->
+      fold_ok
+        (fun (tick, s) ->
+          fold_ok
+            (fun q ->
+              if Run.crashed_by run q tick then Ok ()
+              else
+                errorf "strong accuracy: %a suspected %a at %d before crash"
+                  Pid.pp p Pid.pp q tick)
+            (Pid.Set.elements s))
+        (timeline run p))
+    (Pid.all (Run.n run))
+
+let ever_suspected timeline run q =
+  List.exists
+    (fun p ->
+      List.exists (fun (_, s) -> Pid.Set.mem q s) (timeline run p))
+    (Pid.all (Run.n run))
+
+let weak_accuracy ?(timeline = event_timeline) run =
+  let correct = Run.correct run in
+  if Pid.Set.is_empty correct then Ok ()
+  else if
+    Pid.Set.exists (fun q -> not (ever_suspected timeline run q)) correct
+  then Ok ()
+  else errorf "weak accuracy: every correct process was suspected at some point"
+
+let final_suspects timeline run p =
+  suspects_at timeline run p (Run.horizon run)
+
+let strong_completeness ?(timeline = event_timeline) run =
+  let faulty = Run.faulty run and correct = Run.correct run in
+  fold_ok
+    (fun q ->
+      fold_ok
+        (fun p ->
+          if Pid.Set.mem q (final_suspects timeline run p) then Ok ()
+          else
+            errorf
+              "strong completeness: correct %a does not finally suspect \
+               faulty %a"
+              Pid.pp p Pid.pp q)
+        (Pid.Set.elements correct))
+    (Pid.Set.elements faulty)
+
+let weak_completeness ?(timeline = event_timeline) run =
+  let faulty = Run.faulty run and correct = Run.correct run in
+  if Pid.Set.is_empty correct then Ok ()
+  else
+    fold_ok
+      (fun q ->
+        if
+          Pid.Set.exists
+            (fun p -> Pid.Set.mem q (final_suspects timeline run p))
+            correct
+        then Ok ()
+        else
+          errorf "weak completeness: no correct process finally suspects %a"
+            Pid.pp q)
+      (Pid.Set.elements faulty)
+
+let impermanent_strong_completeness ?(timeline = event_timeline) run =
+  let faulty = Run.faulty run and correct = Run.correct run in
+  fold_ok
+    (fun q ->
+      fold_ok
+        (fun p ->
+          if List.exists (fun (_, s) -> Pid.Set.mem q s) (timeline run p) then
+            Ok ()
+          else
+            errorf
+              "impermanent strong completeness: correct %a never suspects \
+               faulty %a"
+              Pid.pp p Pid.pp q)
+        (Pid.Set.elements correct))
+    (Pid.Set.elements faulty)
+
+let impermanent_weak_completeness ?(timeline = event_timeline) run =
+  let faulty = Run.faulty run and correct = Run.correct run in
+  if Pid.Set.is_empty correct then Ok ()
+  else
+    fold_ok
+      (fun q ->
+        if
+          Pid.Set.exists
+            (fun p ->
+              List.exists (fun (_, s) -> Pid.Set.mem q s) (timeline run p))
+            correct
+        then Ok ()
+        else
+          errorf "impermanent weak completeness: no process ever suspects %a"
+            Pid.pp q)
+      (Pid.Set.elements faulty)
+
+let gen_reports run p =
+  List.filter_map
+    (fun (e, tick) ->
+      match e with
+      | Event.Suspect (Report.Gen (s, k)) -> Some (tick, s, k)
+      | _ -> None)
+    (History.timed_events (Run.history run p))
+
+let generalized_strong_accuracy run =
+  fold_ok
+    (fun p ->
+      fold_ok
+        (fun (tick, s, k) ->
+          let crashed_in_s =
+            Pid.Set.cardinal
+              (Pid.Set.filter (fun q -> Run.crashed_by run q tick) s)
+          in
+          if crashed_in_s >= k then Ok ()
+          else
+            errorf
+              "generalized strong accuracy: %a reported (%a,%d) at %d but \
+               only %d crashed"
+              Pid.pp p Pid.Set.pp s k tick crashed_in_s)
+        (gen_reports run p))
+    (Pid.all (Run.n run))
+
+let t_useful_event run ~t (s, k) =
+  let n = Run.n run in
+  Pid.Set.subset (Run.faulty run) s
+  && n - Pid.Set.cardinal s > min t (n - 1) - k
+  && k <= Pid.Set.cardinal s
+
+let generalized_impermanent_strong_completeness run ~t =
+  fold_ok
+    (fun p ->
+      if
+        List.exists (fun (_, s, k) -> t_useful_event run ~t (s, k))
+          (gen_reports run p)
+      then Ok ()
+      else
+        errorf "no %d-useful failure-detector event at correct %a" t Pid.pp p)
+    (Pid.Set.elements (Run.correct run))
+
+let t_useful run ~t =
+  match generalized_strong_accuracy run with
+  | Error _ as e -> e
+  | Ok () -> generalized_impermanent_strong_completeness run ~t
+
+type cls = Perfect | Strong | Weak | Impermanent_strong | Impermanent_weak
+
+let cls_name = function
+  | Perfect -> "perfect"
+  | Strong -> "strong"
+  | Weak -> "weak"
+  | Impermanent_strong -> "impermanent-strong"
+  | Impermanent_weak -> "impermanent-weak"
+
+let satisfies ?(timeline = event_timeline) cls run =
+  let ( &&& ) a b = match a with Error _ -> a | Ok () -> b () in
+  match cls with
+  | Perfect ->
+      strong_accuracy ~timeline run &&& fun () ->
+      strong_completeness ~timeline run
+  | Strong ->
+      weak_accuracy ~timeline run &&& fun () ->
+      strong_completeness ~timeline run
+  | Weak ->
+      weak_accuracy ~timeline run &&& fun () ->
+      weak_completeness ~timeline run
+  | Impermanent_strong ->
+      weak_accuracy ~timeline run &&& fun () ->
+      impermanent_strong_completeness ~timeline run
+  | Impermanent_weak ->
+      weak_accuracy ~timeline run &&& fun () ->
+      impermanent_weak_completeness ~timeline run

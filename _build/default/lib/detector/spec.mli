@@ -1,0 +1,80 @@
+(** Failure-detector properties as checkable predicates on runs.
+
+    These are the definitions of Section 2.2, stated over the suspicion
+    function [Suspects_p(r,m)] (the most recent report at or before [m]).
+    On finite runs, "eventually permanently" is read at the horizon: the
+    final suspicion set must contain the process (runs are executed past
+    quiescence with a drain margin, so the horizon is a faithful stand-in
+    for the limit — see DESIGN.md).
+
+    Properties are parameterised by a {e timeline}: where the suspicion
+    sets come from. [event_timeline] reads standard [suspect] events — the
+    raw failure detector. [gossip_timeline] reads the {e derived} detector
+    of the Chandra-Toueg weak-to-strong conversion (Proposition 2.1): a
+    process's derived suspicions are its own reports plus every suspicion
+    it has heard via [Gossip] messages. *)
+
+type timeline = Run.t -> Pid.t -> (int * Pid.Set.t) list
+(** Ascending [(tick, set)] change points: the suspicion set of the process
+    is [set] from [tick] until the next change point. *)
+
+val event_timeline : timeline
+val gossip_timeline : timeline
+
+(** [suspects_at tl run p m] is [Suspects_p(r, m)] under timeline [tl]. *)
+val suspects_at : timeline -> Run.t -> Pid.t -> int -> Pid.Set.t
+
+(** Strong Accuracy: no process is suspected before it crashes. *)
+val strong_accuracy : ?timeline:timeline -> Run.t -> (unit, string) result
+
+(** Weak Accuracy: if some process is correct, some correct process is
+    never suspected (by anyone, at any time). *)
+val weak_accuracy : ?timeline:timeline -> Run.t -> (unit, string) result
+
+(** Strong Completeness: every faulty process is eventually permanently
+    suspected by every correct process. *)
+val strong_completeness : ?timeline:timeline -> Run.t -> (unit, string) result
+
+(** Weak Completeness: every faulty process is eventually permanently
+    suspected by some correct process. *)
+val weak_completeness : ?timeline:timeline -> Run.t -> (unit, string) result
+
+(** Impermanent Strong Completeness: every faulty process is at some time
+    suspected by every correct process. *)
+val impermanent_strong_completeness :
+  ?timeline:timeline -> Run.t -> (unit, string) result
+
+(** Impermanent Weak Completeness: every faulty process is at some time
+    suspected by some correct process. *)
+val impermanent_weak_completeness :
+  ?timeline:timeline -> Run.t -> (unit, string) result
+
+(** Generalized Strong Accuracy (Section 4): every report [(S,k)] is
+    covered by [k] processes of [S] already crashed when it was emitted. *)
+val generalized_strong_accuracy : Run.t -> (unit, string) result
+
+(** [t_useful_event run ~t ~p (s, k)] per the paper: [F(r)] included in
+    [S], [n - |S| > min(t, n-1) - k], and [k <= |S|]. *)
+val t_useful_event : Run.t -> t:int -> Pid.Set.t * int -> bool
+
+(** Generalized Impermanent Strong Completeness for bound [t]: every
+    correct process at some time gets a t-useful report. *)
+val generalized_impermanent_strong_completeness :
+  Run.t -> t:int -> (unit, string) result
+
+(** A t-useful generalized failure detector: generalized strong accuracy
+    plus generalized impermanent strong completeness. *)
+val t_useful : Run.t -> t:int -> (unit, string) result
+
+(** Named detector classes of the paper, for table-driven checking. *)
+type cls =
+  | Perfect
+  | Strong
+  | Weak
+  | Impermanent_strong
+  | Impermanent_weak
+
+val cls_name : cls -> string
+
+(** Conjunction of the class's accuracy and completeness properties. *)
+val satisfies : ?timeline:timeline -> cls -> Run.t -> (unit, string) result

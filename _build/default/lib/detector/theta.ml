@@ -1,0 +1,53 @@
+let errorf fmt = Format.kasprintf (fun s -> Error s) fmt
+
+let cyclic_accuracy ?(timeline = Spec.event_timeline) run =
+  let correct = Run.correct run in
+  if Pid.Set.is_empty correct then Ok ()
+  else
+    let n = Run.n run in
+    let fail = ref (Ok ()) in
+    (try
+       List.iter
+         (fun p ->
+           List.iter
+             (fun (tick, s) ->
+               if Pid.Set.subset correct s then begin
+                 fail :=
+                   errorf
+                     "cyclic accuracy: at tick %d, %a suspects every correct \
+                      process (%a)"
+                     tick Pid.pp p Pid.Set.pp s;
+                 raise Exit
+               end)
+             (timeline run p))
+         (Pid.all n)
+     with Exit -> ());
+    !fail
+
+let satisfies_theta ?timeline run =
+  match cyclic_accuracy ?timeline run with
+  | Error _ as e -> e
+  | Ok () -> Spec.strong_completeness ?timeline run
+
+let rotating ?(window = 8) () =
+  let poll _p (view : Oracle.view) =
+    let correct = Pid.Set.complement view.Oracle.n view.planned_faulty in
+    match Pid.Set.elements correct with
+    | [] ->
+        if Pid.Set.is_empty view.crashed then None
+        else Some (Report.std view.crashed)
+    | correct_list ->
+        (* spare one planned-correct process, a different one each
+           window, and suspect everybody else *)
+        let spared =
+          List.nth correct_list
+            (view.now / window mod List.length correct_list)
+        in
+        let s =
+          Pid.Set.remove spared
+            (Pid.Set.union view.crashed
+               (Pid.Set.complement view.n (Pid.Set.singleton spared)))
+        in
+        Some (Report.std s)
+  in
+  { Oracle.name = "theta-rotating"; poll }

@@ -1,0 +1,26 @@
+(** The Aguilera-Toueg-Deianov detector class (Section 5 of the paper).
+
+    In response to the paper, ATD99 characterised the weakest failure
+    detector for uniform coordination: strong completeness plus an
+    accuracy weaker than weak accuracy — {e at all times some correct
+    process is not suspected, but it may be a different correct process at
+    different times}. We call the per-process form of that accuracy
+    {e cyclic accuracy}. A detector of this class cannot be used with the
+    Proposition 3.1 protocol (whose "says or has said" discharge needs a
+    single never-suspected process) but suffices for the quorum protocol
+    in {!Core.Theta_udc} — the contrast run by experiment E12. *)
+
+(** Cyclic accuracy: at every point of the run, each process's current
+    suspicion set omits at least one correct process (when one exists). *)
+val cyclic_accuracy :
+  ?timeline:Spec.timeline -> Run.t -> (unit, string) result
+
+(** The ATD99 class: cyclic accuracy + strong completeness. *)
+val satisfies_theta :
+  ?timeline:Spec.timeline -> Run.t -> (unit, string) result
+
+(** An oracle of the class that deliberately has no never-suspected
+    process: it suspects every crashed process, plus — rotating over time —
+    every correct process except one spared per window. [window] is the
+    rotation period. *)
+val rotating : ?window:int -> unit -> Oracle.t

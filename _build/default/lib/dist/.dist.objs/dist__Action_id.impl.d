@@ -1,0 +1,1 @@
+lib/dist/action_id.ml: Format Int Map Pid Set

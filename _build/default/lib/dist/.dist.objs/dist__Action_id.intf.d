@@ -1,0 +1,1 @@
+lib/dist/action_id.mli: Format Map Pid Set

@@ -1,0 +1,1 @@
+lib/dist/channel.ml: Hashtbl List Message Option Pid Prng

@@ -1,0 +1,1 @@
+lib/dist/channel.mli: Message Pid Prng

@@ -1,0 +1,1 @@
+lib/dist/enumerate.ml: Action_id Array Digest Event Hashtbl History Init_plan List Marshal Message Pid Protocol Report Run

@@ -1,0 +1,1 @@
+lib/dist/enumerate.mli: Init_plan Pid Protocol Run

@@ -1,0 +1,1 @@
+lib/dist/event.ml: Action_id Format Int Message Pid Report

@@ -1,0 +1,1 @@
+lib/dist/event.mli: Action_id Format Message Pid Report

@@ -1,0 +1,1 @@
+lib/dist/fact.ml: Action_id Format Pid Set

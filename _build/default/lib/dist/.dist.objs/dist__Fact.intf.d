@@ -1,0 +1,1 @@
+lib/dist/fact.mli: Action_id Format Pid Set

@@ -1,0 +1,1 @@
+lib/dist/fault_plan.ml: Action_id Array Format List Pid Prng

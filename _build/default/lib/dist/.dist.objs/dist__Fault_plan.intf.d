@@ -1,0 +1,1 @@
+lib/dist/fault_plan.mli: Action_id Format Pid Prng

@@ -1,0 +1,1 @@
+lib/dist/history.ml: Event Format Hashtbl List

@@ -1,0 +1,1 @@
+lib/dist/history.mli: Event Format

@@ -1,0 +1,1 @@
+lib/dist/init_plan.ml: Action_id Format Hashtbl Int List Pid

@@ -1,0 +1,1 @@
+lib/dist/init_plan.mli: Action_id Format Pid

@@ -1,0 +1,1 @@
+lib/dist/message.ml: Action_id Fact Format Int Pid Stdlib

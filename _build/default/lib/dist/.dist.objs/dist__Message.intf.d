@@ -1,0 +1,1 @@
+lib/dist/message.mli: Action_id Fact Format Pid

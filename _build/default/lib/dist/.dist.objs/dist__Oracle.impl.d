@@ -1,0 +1,1 @@
+lib/dist/oracle.ml: Pid Report

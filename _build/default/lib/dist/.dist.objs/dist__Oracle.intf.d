@@ -1,0 +1,1 @@
+lib/dist/oracle.mli: Pid Report

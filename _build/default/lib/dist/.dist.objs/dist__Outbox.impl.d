@@ -1,0 +1,1 @@
+lib/dist/outbox.ml: List Message Pid

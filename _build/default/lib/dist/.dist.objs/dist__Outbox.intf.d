@@ -1,0 +1,1 @@
+lib/dist/outbox.mli: Message Pid

@@ -1,0 +1,1 @@
+lib/dist/pid.ml: Format Int List Map Set

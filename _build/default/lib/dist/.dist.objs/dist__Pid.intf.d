@@ -1,0 +1,1 @@
+lib/dist/pid.mli: Format Map Set

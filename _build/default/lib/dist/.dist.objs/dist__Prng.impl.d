@@ -1,0 +1,1 @@
+lib/dist/prng.ml: Array Int64 List

@@ -1,0 +1,1 @@
+lib/dist/prng.mli:

@@ -1,0 +1,1 @@
+lib/dist/protocol.ml: Action_id Message Pid Report

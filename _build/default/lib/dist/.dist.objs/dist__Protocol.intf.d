@@ -1,0 +1,1 @@
+lib/dist/protocol.mli: Action_id Message Pid Report

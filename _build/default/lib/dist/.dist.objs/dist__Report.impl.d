@@ -1,0 +1,1 @@
+lib/dist/report.ml: Format Int Pid

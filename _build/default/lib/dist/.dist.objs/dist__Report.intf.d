@@ -1,0 +1,1 @@
+lib/dist/report.mli: Format Pid

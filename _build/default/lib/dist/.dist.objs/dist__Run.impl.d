@@ -1,0 +1,1 @@
+lib/dist/run.ml: Action_id Array Event Format Hashtbl History List Message Option Pid

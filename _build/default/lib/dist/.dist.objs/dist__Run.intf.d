@@ -1,0 +1,1 @@
+lib/dist/run.mli: Action_id Format History Pid

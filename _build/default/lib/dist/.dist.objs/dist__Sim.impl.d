@@ -1,0 +1,1 @@
+lib/dist/sim.ml: Action_id Array Channel Event Fault_plan Float Format History Init_plan List Oracle Pid Prng Protocol Report Run

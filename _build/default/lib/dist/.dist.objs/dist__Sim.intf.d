@@ -1,0 +1,1 @@
+lib/dist/sim.mli: Fault_plan Format Init_plan Oracle Pid Protocol Run

@@ -1,0 +1,1 @@
+lib/dist/stats.ml: Action_id Event Format History List Option Pid Run

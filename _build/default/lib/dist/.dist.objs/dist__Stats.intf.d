@@ -1,0 +1,1 @@
+lib/dist/stats.mli: Action_id Format Run

@@ -1,0 +1,1 @@
+lib/dist/trace.ml: Event Format Hashtbl History Int List Message Option Pid Printf Run String

@@ -1,0 +1,1 @@
+lib/dist/trace.mli: Format Run

@@ -1,0 +1,26 @@
+type t = { owner : Pid.t; tag : int }
+
+let make ~owner ~tag =
+  assert (tag >= 0);
+  { owner; tag }
+
+let owner t = t.owner
+let tag t = t.tag
+let equal a b = Pid.equal a.owner b.owner && Int.equal a.tag b.tag
+
+let compare a b =
+  match Pid.compare a.owner b.owner with
+  | 0 -> Int.compare a.tag b.tag
+  | c -> c
+
+let pp ppf t = Format.fprintf ppf "a%d.%d" t.owner t.tag
+let to_string t = Format.asprintf "%a" pp t
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)

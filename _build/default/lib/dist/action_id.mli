@@ -1,0 +1,20 @@
+(** Coordination action identifiers.
+
+    The paper assumes each process [p] has a set [A_p] of actions it can
+    initiate, with [A_p] and [A_q] disjoint for [p <> q] ("think of the
+    actions in [A_p] as tagged by [p]"). We realise this by tagging every
+    action with its owner and a per-owner sequence number, so disjointness
+    holds by construction. *)
+
+type t = private { owner : Pid.t; tag : int }
+
+val make : owner:Pid.t -> tag:int -> t
+val owner : t -> Pid.t
+val tag : t -> int
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

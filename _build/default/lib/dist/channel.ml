@@ -1,0 +1,83 @@
+type in_flight = { src : Pid.t; msg : Message.t; sent_at : int }
+
+type t = {
+  prng : Prng.t;
+  mutable loss_rate : float;
+  link_loss : (Pid.t * Pid.t, float) Hashtbl.t;
+  max_consecutive_drops : int;
+  (* per destination, newest first *)
+  flight : (Pid.t, in_flight list) Hashtbl.t;
+  (* (src, dst, fairness key) -> consecutive losses *)
+  drops : (Pid.t * Pid.t * string, int) Hashtbl.t;
+}
+
+let create ?(link_loss = []) ~n ~prng ~loss_rate ~max_consecutive_drops () =
+  ignore n;
+  if loss_rate < 0.0 || loss_rate > 1.0 then
+    invalid_arg "Channel.create: loss_rate";
+  if max_consecutive_drops < 0 then
+    invalid_arg "Channel.create: max_consecutive_drops";
+  let overrides = Hashtbl.create 8 in
+  List.iter (fun (link, rate) -> Hashtbl.replace overrides link rate) link_loss;
+  {
+    prng;
+    loss_rate;
+    link_loss = overrides;
+    max_consecutive_drops;
+    flight = Hashtbl.create 64;
+    drops = Hashtbl.create 64;
+  }
+
+let send t ~now ~src ~dst msg =
+  let key = (src, dst, Message.fairness_key msg) in
+  let rate =
+    Option.value ~default:t.loss_rate (Hashtbl.find_opt t.link_loss (src, dst))
+  in
+  let consecutive = Option.value ~default:0 (Hashtbl.find_opt t.drops key) in
+  let forced_keep = consecutive >= t.max_consecutive_drops in
+  let drop = (not forced_keep) && Prng.bool t.prng rate in
+  if drop then (
+    Hashtbl.replace t.drops key (consecutive + 1);
+    `Dropped)
+  else (
+    Hashtbl.replace t.drops key 0;
+    let prev = Option.value ~default:[] (Hashtbl.find_opt t.flight dst) in
+    Hashtbl.replace t.flight dst ({ src; msg; sent_at = now } :: prev);
+    `Kept)
+
+let deliverable t ~dst =
+  match Hashtbl.find_opt t.flight dst with
+  | None -> []
+  | Some l -> List.rev_map (fun f -> (f.src, f.msg, f.sent_at)) l
+
+let oldest_in_flight t ~dst =
+  match Hashtbl.find_opt t.flight dst with
+  | None | Some [] -> None
+  | Some l ->
+      let oldest =
+        List.fold_left
+          (fun best f ->
+            match best with
+            | None -> Some f
+            | Some b -> if f.sent_at < b.sent_at then Some f else best)
+          None l
+      in
+      Option.map (fun f -> (f.src, f.msg, f.sent_at)) oldest
+
+let deliver t ~src ~dst msg =
+  let l = Option.value ~default:[] (Hashtbl.find_opt t.flight dst) in
+  let rec remove acc = function
+    | [] -> invalid_arg "Channel.deliver: message not in flight"
+    | f :: rest ->
+        if Pid.equal f.src src && Message.equal f.msg msg then
+          List.rev_append acc rest
+        else remove (f :: acc) rest
+  in
+  Hashtbl.replace t.flight dst (remove [] l)
+
+let in_flight_count t =
+  Hashtbl.fold (fun _ l acc -> acc + List.length l) t.flight 0
+
+let drop_all_in_flight t = Hashtbl.reset t.flight
+let drop_in_flight_to t ~dst = Hashtbl.remove t.flight dst
+let set_loss_rate t rate = t.loss_rate <- rate

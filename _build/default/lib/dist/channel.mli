@@ -1,0 +1,50 @@
+(** Fair-lossy channels (the communication model of Section 2.1).
+
+    Channels may lose messages and impose unbounded delay, but never corrupt
+    them, and they are fair: if the same message is sent from [p] to [q]
+    infinitely often and [q] does not crash, it is received infinitely often
+    (R5). The finite surrogate used here bounds {e consecutive} losses per
+    fairness class by [max_consecutive_drops]: after that many losses of a
+    given message content on a given channel, the next send is kept. Setting
+    the bound high and crashing senders early recovers the adversarial
+    prefix freedom the lower-bound constructions need (any finite prefix of
+    sends may be lost under fairness). *)
+
+type t
+
+val create :
+  ?link_loss:((Pid.t * Pid.t) * float) list ->
+  n:int ->
+  prng:Prng.t ->
+  loss_rate:float ->
+  max_consecutive_drops:int ->
+  unit ->
+  t
+(** [link_loss] overrides the loss rate on specific (src, dst) links — the
+    targeted unreliability the lower-bound adversaries use to confine
+    knowledge of an action to a doomed clique. *)
+
+(** [send t ~now ~src ~dst msg] records a send. The channel decides whether
+    the message is kept in flight or lost. *)
+val send : t -> now:int -> src:Pid.t -> dst:Pid.t -> Message.t -> [ `Kept | `Dropped ]
+
+(** Messages currently in flight to [dst], with sender and send tick. *)
+val deliverable : t -> dst:Pid.t -> (Pid.t * Message.t * int) list
+
+(** [oldest_in_flight t ~dst] is the in-flight message to [dst] with the
+    smallest send tick, if any. *)
+val oldest_in_flight : t -> dst:Pid.t -> (Pid.t * Message.t * int) option
+
+(** Remove one in-flight instance (it is being received). Raises if absent. *)
+val deliver : t -> src:Pid.t -> dst:Pid.t -> Message.t -> unit
+
+val in_flight_count : t -> int
+
+(** Adversary move: lose every message currently in flight. Legal under
+    fairness, which only constrains infinite behaviour. *)
+val drop_all_in_flight : t -> unit
+
+(** Adversary move: lose every in-flight message addressed to [dst]. *)
+val drop_in_flight_to : t -> dst:Pid.t -> unit
+
+val set_loss_rate : t -> float -> unit

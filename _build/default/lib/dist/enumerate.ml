@@ -1,0 +1,238 @@
+type oracle_mode = No_oracle | Perfect_reports | Lying_reports of Pid.t
+
+type dedup = Timed | Untimed
+
+type config = {
+  n : int;
+  depth : int;
+  max_crashes : int;
+  init_plan : Init_plan.t;
+  oracle_mode : oracle_mode;
+  max_nodes : int;
+  dedup : dedup;
+}
+
+let config ~n ~depth =
+  {
+    n;
+    depth;
+    max_crashes = 0;
+    init_plan = Init_plan.empty;
+    oracle_mode = No_oracle;
+    max_nodes = 2_000_000;
+    dedup = Timed;
+  }
+
+type outcome = { runs : Run.t list; exhaustive : bool }
+
+type node = {
+  step : int; (* next tick to fill, 1-based *)
+  hists : History.t array;
+  states : Protocol.t array;
+  crashed : Pid.Set.t;
+  inflight : (Pid.t * Pid.t * Message.t) list; (* src, dst, msg *)
+  crashes_left : int;
+  pending_inits : Init_plan.entry list;
+}
+
+(* One candidate move for one process at the current step. *)
+type move =
+  | M_init of Init_plan.entry
+  | M_step
+  | M_deliver of Pid.t * Message.t (* src, msg *)
+  | M_crash
+  | M_suspect of Report.t
+
+let last_suspect h =
+  List.find_map
+    (function Event.Suspect r, _ -> Some r | _ -> None)
+    (List.rev (History.timed_events h))
+
+let moves_for cfg node p =
+  if Pid.Set.mem p node.crashed then []
+  else
+    let crash = if node.crashes_left > 0 then [ M_crash ] else [] in
+    match
+      List.find_opt
+        (fun e ->
+          Pid.equal (Action_id.owner e.Init_plan.action) p
+          && e.Init_plan.at <= node.step)
+        node.pending_inits
+    with
+    | Some e ->
+        (* initiation preempts protocol activity, but crashing stays
+           possible: A1's failure independence means the adversary may
+           crash a process before it ever initiates *)
+        M_init e :: crash
+    | None ->
+        let deliveries =
+          List.filter_map
+            (fun (src, dst, msg) ->
+              if Pid.equal dst p then Some (M_deliver (src, msg)) else None)
+            node.inflight
+        in
+        let suspect =
+          let offer r =
+            let changed =
+              match last_suspect node.hists.(p) with
+              | Some prev -> not (Report.equal prev r)
+              | None -> not (Pid.Set.is_empty (Report.suspects r))
+            in
+            if changed then [ M_suspect r ] else []
+          in
+          match cfg.oracle_mode with
+          | No_oracle -> []
+          | Perfect_reports -> offer (Report.std node.crashed)
+          | Lying_reports victim ->
+              (* accurate reports are always offered; a false suspicion of
+                 the victim may additionally be inserted at any point *)
+              offer (Report.std node.crashed)
+              @ offer (Report.std (Pid.Set.add victim node.crashed))
+        in
+        let step =
+          (* only offer a protocol step if it would produce an event *)
+          let _, act = Protocol.step node.states.(p) ~now:node.step in
+          match act with Protocol.No_op -> [] | _ -> [ M_step ]
+        in
+        step @ deliveries @ suspect @ crash
+
+let apply cfg node p move =
+  ignore cfg;
+  let hists = Array.copy node.hists in
+  let states = Array.copy node.states in
+  let tick = node.step in
+  let append e = hists.(p) <- History.append hists.(p) e ~tick in
+  let node' = { node with hists; states; step = tick + 1 } in
+  match move with
+  | M_init e ->
+      append (Event.Init e.Init_plan.action);
+      states.(p) <- Protocol.on_init states.(p) e.Init_plan.action;
+      {
+        node' with
+        pending_inits =
+          List.filter
+            (fun e' ->
+              not (Action_id.equal e'.Init_plan.action e.Init_plan.action))
+            node.pending_inits;
+      }
+  | M_step -> (
+      let s', act = Protocol.step node.states.(p) ~now:tick in
+      states.(p) <- s';
+      match act with
+      | Protocol.No_op -> node'
+      | Protocol.Perform a ->
+          append (Event.Do a);
+          node'
+      | Protocol.Send_to (dst, msg) ->
+          append (Event.Send { dst; msg });
+          if Pid.Set.mem dst node.crashed then node'
+          else { node' with inflight = node.inflight @ [ (p, dst, msg) ] })
+  | M_deliver (src, msg) ->
+      let rec remove acc = function
+        | [] -> invalid_arg "Enumerate: delivery of absent message"
+        | ((s, d, m) as x) :: rest ->
+            if Pid.equal s src && Pid.equal d p && Message.equal m msg then
+              List.rev_append acc rest
+            else remove (x :: acc) rest
+      in
+      append (Event.Recv { src; msg });
+      states.(p) <- Protocol.on_recv states.(p) ~src msg;
+      { node' with inflight = remove [] node.inflight }
+  | M_crash ->
+      append Event.Crash;
+      {
+        node' with
+        crashed = Pid.Set.add p node.crashed;
+        crashes_left = node.crashes_left - 1;
+        inflight =
+          List.filter (fun (_, dst, _) -> not (Pid.equal dst p)) node.inflight;
+      }
+  | M_suspect r ->
+      append (Event.Suspect r);
+      states.(p) <- Protocol.on_suspect states.(p) r;
+      node'
+
+(* Ticks are excluded from the key: local histories (hence protocol states
+   and knowledge) are tick-insensitive, so nodes that differ only in when
+   events landed generate tick-relabelled, knowledge-equivalent subtrees.
+   Merging them is a partial-order reduction. *)
+let node_key cfg node =
+  let payload =
+    ( (match cfg.dedup with
+      | Untimed -> Array.map (fun h -> List.map (fun e -> (e, 0)) (History.events h)) node.hists
+      | Timed -> Array.map History.timed_events node.hists),
+      node.inflight,
+      node.crashes_left,
+      List.map (fun e -> e.Init_plan.action) node.pending_inits,
+      node.step )
+  in
+  Digest.string (Marshal.to_string payload [])
+
+let run_key hists =
+  Digest.string (Marshal.to_string (Array.map History.timed_events hists) [])
+
+let runs cfg (proto : (module Protocol.S)) =
+  let visited = Hashtbl.create 4096 in
+  let collected = Hashtbl.create 1024 in
+  let out = ref [] in
+  let nodes = ref 0 in
+  let truncated = ref false in
+  let emit hists =
+    let key = run_key hists in
+    if not (Hashtbl.mem collected key) then (
+      Hashtbl.add collected key ();
+      out := Run.make ~n:cfg.n ~horizon:cfg.depth (Array.copy hists) :: !out)
+  in
+  let root =
+    {
+      step = 1;
+      hists = Array.make cfg.n History.empty;
+      states =
+        Array.init cfg.n (fun p -> Protocol.make proto ~n:cfg.n ~me:p);
+      crashed = Pid.Set.empty;
+      inflight = [];
+      crashes_left = cfg.max_crashes;
+      pending_inits = Init_plan.entries cfg.init_plan;
+    }
+  in
+  let rec explore node =
+    if !truncated then ()
+    else if node.step > cfg.depth then emit node.hists
+    else begin
+      incr nodes;
+      if !nodes > cfg.max_nodes then truncated := true
+      else
+        let key = node_key cfg node in
+        if Hashtbl.mem visited key then ()
+        else begin
+          Hashtbl.add visited key ();
+          let all_moves =
+            List.concat_map
+              (fun p -> List.map (fun mv -> (p, mv)) (moves_for cfg node p))
+              (Pid.all cfg.n)
+          in
+          (* Emission policy. A run may stop (idle to the horizon) exactly
+             when no move is *owed*: crashes are never forced, deliveries
+             can be withheld forever (losses), and failure-detector reports
+             can be withheld (their absence only weakens the detector the
+             run exhibits). Protocol steps and pending initiations are
+             owed: correct processes take steps whenever their protocol has
+             something to do, so a run is not admissible while one is
+             available. Interior points of emitted runs are visited by the
+             epistemic engine as (r, m), so proper prefixes need not be
+             emitted separately. *)
+          let owed =
+            List.exists
+              (fun (_, mv) ->
+                match mv with
+                | M_step | M_init _ -> true
+                | M_deliver _ | M_crash | M_suspect _ -> false)
+              all_moves
+          in
+          if not owed then emit node.hists;
+          List.iter (fun (p, mv) -> explore (apply cfg node p mv)) all_moves
+        end
+    end
+  in
+  explore root;
+  { runs = !out; exhaustive = not !truncated }

@@ -1,0 +1,44 @@
+type t =
+  | Send of { dst : Pid.t; msg : Message.t }
+  | Recv of { src : Pid.t; msg : Message.t }
+  | Do of Action_id.t
+  | Init of Action_id.t
+  | Crash
+  | Suspect of Report.t
+
+let rank = function
+  | Send _ -> 0
+  | Recv _ -> 1
+  | Do _ -> 2
+  | Init _ -> 3
+  | Crash -> 4
+  | Suspect _ -> 5
+
+let compare a b =
+  match (a, b) with
+  | Send a', Send b' -> (
+      match Pid.compare a'.dst b'.dst with
+      | 0 -> Message.compare a'.msg b'.msg
+      | c -> c)
+  | Recv a', Recv b' -> (
+      match Pid.compare a'.src b'.src with
+      | 0 -> Message.compare a'.msg b'.msg
+      | c -> c)
+  | Do x, Do y -> Action_id.compare x y
+  | Init x, Init y -> Action_id.compare x y
+  | Crash, Crash -> 0
+  | Suspect x, Suspect y -> Report.compare x y
+  | _ -> Int.compare (rank a) (rank b)
+
+let equal a b = compare a b = 0
+
+let pp ppf = function
+  | Send { dst; msg } -> Format.fprintf ppf "send(%a,%a)" Pid.pp dst Message.pp msg
+  | Recv { src; msg } -> Format.fprintf ppf "recv(%a,%a)" Pid.pp src Message.pp msg
+  | Do a -> Format.fprintf ppf "do(%a)" Action_id.pp a
+  | Init a -> Format.fprintf ppf "init(%a)" Action_id.pp a
+  | Crash -> Format.pp_print_string ppf "crash"
+  | Suspect r -> Report.pp ppf r
+
+let is_crash = function Crash -> true | _ -> false
+let is_failure_detector = function Suspect _ -> true | _ -> false

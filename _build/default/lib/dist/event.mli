@@ -1,0 +1,21 @@
+(** Events recorded in process histories (Section 2.1 of the paper).
+
+    The events at a process are totally ordered and recorded in that
+    process's history: communication events [send_p(q,msg)] and
+    [recv_p(q,msg)], internal events [do_p(alpha)] and [init_p(alpha)], the
+    special [crash_p] event, and failure-detector events [suspect_p(x)]. *)
+
+type t =
+  | Send of { dst : Pid.t; msg : Message.t }
+  | Recv of { src : Pid.t; msg : Message.t }
+  | Do of Action_id.t
+  | Init of Action_id.t
+  | Crash
+  | Suspect of Report.t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+
+val is_crash : t -> bool
+val is_failure_detector : t -> bool

@@ -1,0 +1,42 @@
+type t =
+  | Inited of Action_id.t
+  | Did of Pid.t * Action_id.t
+  | Crashed of Pid.t
+
+let compare a b =
+  match (a, b) with
+  | Inited x, Inited y -> Action_id.compare x y
+  | Inited _, _ -> -1
+  | _, Inited _ -> 1
+  | Did (p, x), Did (q, y) -> (
+      match Pid.compare p q with 0 -> Action_id.compare x y | c -> c)
+  | Did _, _ -> -1
+  | _, Did _ -> 1
+  | Crashed p, Crashed q -> Pid.compare p q
+
+let equal a b = compare a b = 0
+
+let pp ppf = function
+  | Inited a -> Format.fprintf ppf "init(%a)" Action_id.pp a
+  | Did (p, a) -> Format.fprintf ppf "did(%a,%a)" Pid.pp p Action_id.pp a
+  | Crashed p -> Format.fprintf ppf "crashed(%a)" Pid.pp p
+
+module Set = struct
+  include Set.Make (struct
+    type nonrec t = t
+
+    let compare = compare
+  end)
+
+  let pp ppf s =
+    Format.fprintf ppf "{%a}"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ";")
+         pp)
+      (elements s)
+
+  let crashed s =
+    fold
+      (fun f acc -> match f with Crashed p -> Pid.Set.add p acc | _ -> acc)
+      s Pid.Set.empty
+end

@@ -1,0 +1,25 @@
+(** Stable facts exchanged by full-information protocols.
+
+    A fact, once true of a run, remains true (it is {e stable} in the sense
+    of Section 2.3 of the paper). Full-information protocols piggyback the
+    set of stable facts they know on every message; this is the mechanism
+    that makes condition A4 plausible for the systems we generate, and it is
+    what the knowledge extraction of Theorems 3.6 / 4.3 feeds on. *)
+
+type t =
+  | Inited of Action_id.t  (** [init_p(alpha)] occurred, [p = owner alpha] *)
+  | Did of Pid.t * Action_id.t  (** [do_q(alpha)] occurred *)
+  | Crashed of Pid.t  (** [crash_q] occurred *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+
+module Set : sig
+  include Set.S with type elt = t
+
+  val pp : Format.formatter -> t -> unit
+
+  (** Crash facts contained in the set. *)
+  val crashed : t -> Pid.Set.t
+end

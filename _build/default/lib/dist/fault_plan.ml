@@ -1,0 +1,33 @@
+type trigger = At of int | After_did of Pid.t * Action_id.t | After_any_do
+type entry = { victim : Pid.t; trigger : trigger }
+type t = entry list
+
+let empty = []
+let of_entries l = l
+let entries t = t
+
+let planned_faulty t =
+  List.fold_left (fun acc e -> Pid.Set.add e.victim acc) Pid.Set.empty t
+
+let crash_at l = List.map (fun (victim, tick) -> { victim; trigger = At tick }) l
+
+let random prng ~n ~t ~max_tick =
+  if t > n then invalid_arg "Fault_plan.random: t > n";
+  let pids = Array.of_list (Pid.all n) in
+  Prng.shuffle prng pids;
+  List.init t (fun i ->
+      { victim = pids.(i); trigger = At (1 + Prng.int prng max_tick) })
+
+let pp_trigger ppf = function
+  | At m -> Format.fprintf ppf "@%d" m
+  | After_did (p, a) ->
+      Format.fprintf ppf "after %a did %a" Pid.pp p Action_id.pp a
+  | After_any_do -> Format.pp_print_string ppf "after any do"
+
+let pp ppf t =
+  Format.fprintf ppf "[%a]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+       (fun ppf e ->
+         Format.fprintf ppf "%a%a" Pid.pp e.victim pp_trigger e.trigger))
+    t

@@ -1,0 +1,34 @@
+(** Crash fault plans.
+
+    A plan predetermines [F(r)], the set of processes that fail in a run,
+    which is exactly how the Chandra-Toueg oracle formalism fixes failure
+    patterns per run; triggered entries let the adversary crash a witness
+    the moment it performs an action (the move used by the paper's
+    lower-bound constructions). *)
+
+type trigger =
+  | At of int  (** crash at the given tick *)
+  | After_did of Pid.t * Action_id.t
+      (** crash as soon as the named process has performed the action *)
+  | After_any_do
+      (** crash as soon as any process has performed any action *)
+
+type entry = { victim : Pid.t; trigger : trigger }
+type t
+
+val empty : t
+val of_entries : entry list -> t
+val entries : t -> entry list
+
+(** All victims: this is [F(r)] for runs driven by the plan, except that a
+    triggered entry whose trigger never fires leaves its victim correct. *)
+val planned_faulty : t -> Pid.Set.t
+
+(** [crash_at times] crashes each listed process at the given tick. *)
+val crash_at : (Pid.t * int) list -> t
+
+(** [random prng ~n ~t ~max_tick] crashes a uniformly chosen set of exactly
+    [t] processes at uniform ticks in [1, max_tick]. *)
+val random : Prng.t -> n:int -> t:int -> max_tick:int -> t
+
+val pp : Format.formatter -> t -> unit

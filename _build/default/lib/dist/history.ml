@@ -1,0 +1,56 @@
+type t = {
+  rev : (Event.t * int) list; (* newest first *)
+  len : int;
+  crashed : bool;
+  last_tick : int; (* -1 when empty *)
+}
+
+let empty = { rev = []; len = 0; crashed = false; last_tick = -1 }
+
+let append h e ~tick =
+  if h.crashed then invalid_arg "History.append: history ends in crash (R4)";
+  if tick <= h.last_tick then
+    invalid_arg "History.append: more than one event per tick (R2)";
+  {
+    rev = (e, tick) :: h.rev;
+    len = h.len + 1;
+    crashed = Event.is_crash e;
+    last_tick = tick;
+  }
+
+let length h = h.len
+let is_crashed h = h.crashed
+let events h = List.rev_map fst h.rev
+let timed_events h = List.rev h.rev
+
+let prefix_upto h m =
+  let rec drop rev =
+    match rev with
+    | (_, tick) :: rest when tick > m -> drop rest
+    | _ -> rev
+  in
+  let rev = drop h.rev in
+  match rev with
+  | [] -> empty
+  | (e, tick) :: _ ->
+      {
+        rev;
+        len = List.length rev;
+        crashed = Event.is_crash e;
+        last_tick = tick;
+      }
+
+let last h = match h.rev with [] -> None | (e, _) :: _ -> Some e
+
+let equal_events a b =
+  a.len = b.len
+  && List.for_all2 (fun (e, _) (e', _) -> Event.equal e e') a.rev b.rev
+
+let hash_events h = Hashtbl.hash (List.map fst h.rev)
+
+let pp ppf h =
+  Format.fprintf ppf "[%a]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+       (fun ppf (e, tick) -> Format.fprintf ppf "%d:%a" tick Event.pp e))
+    (timed_events h)

@@ -1,0 +1,45 @@
+(** Per-process histories.
+
+    A history for process [p] is the totally ordered sequence of events at
+    [p] (Section 2.1). We additionally record, for simulator bookkeeping,
+    the global tick at which each event was appended; ticks are {e not}
+    part of the history for indistinguishability purposes: two points are
+    indistinguishable to [p], written [(r,m) ~p (r',m')], exactly when the
+    event sequences coincide, regardless of the ticks at which the events
+    landed. *)
+
+type t
+
+val empty : t
+
+(** [append h e ~tick] appends one event. Raises [Invalid_argument] if [h]
+    already ends in [Crash] (R4: a crash is the last event) or if [tick]
+    does not exceed the tick of the last event (R2: at most one event per
+    process per tick). *)
+val append : t -> Event.t -> tick:int -> t
+
+val length : t -> int
+val is_crashed : t -> bool
+
+(** Events in chronological order. *)
+val events : t -> Event.t list
+
+(** Events with their ticks, chronological. *)
+val timed_events : t -> (Event.t * int) list
+
+(** [prefix_upto h m] is the history restricted to events with tick <= [m]
+    — i.e. [p]'s component of the cut [r(m)]. *)
+val prefix_upto : t -> int -> t
+
+(** [last h] is the most recent event, if any. *)
+val last : t -> Event.t option
+
+(** Structural equality of the event sequences (ticks ignored): the
+    indistinguishability test of the paper. *)
+val equal_events : t -> t -> bool
+
+(** A hash of the event sequence (ticks ignored), consistent with
+    [equal_events]; used to index points of a system by local state. *)
+val hash_events : t -> int
+
+val pp : Format.formatter -> t -> unit

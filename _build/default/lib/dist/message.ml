@@ -1,0 +1,69 @@
+type t =
+  | Coord_request of Action_id.t * Fact.Set.t
+  | Coord_ack of Action_id.t * Fact.Set.t
+  | Gossip of Pid.Set.t
+  | Heartbeat of int
+  | Cons_estimate of { round : int; value : int; ts : int }
+  | Cons_propose of { round : int; value : int }
+  | Cons_ack of { round : int; ok : bool }
+  | Cons_decide of { value : int }
+
+let rank = function
+  | Coord_request _ -> 0
+  | Coord_ack _ -> 1
+  | Gossip _ -> 2
+  | Heartbeat _ -> 3
+  | Cons_estimate _ -> 4
+  | Cons_propose _ -> 5
+  | Cons_ack _ -> 6
+  | Cons_decide _ -> 7
+
+let compare a b =
+  match (a, b) with
+  | Coord_request (x, f), Coord_request (y, g) -> (
+      match Action_id.compare x y with 0 -> Fact.Set.compare f g | c -> c)
+  | Coord_ack (x, f), Coord_ack (y, g) -> (
+      match Action_id.compare x y with 0 -> Fact.Set.compare f g | c -> c)
+  | Gossip s, Gossip s' -> Pid.Set.compare s s'
+  | Heartbeat a', Heartbeat b' -> Int.compare a' b'
+  | Cons_estimate a', Cons_estimate b' ->
+      Stdlib.compare (a'.round, a'.value, a'.ts) (b'.round, b'.value, b'.ts)
+  | Cons_propose a', Cons_propose b' ->
+      Stdlib.compare (a'.round, a'.value) (b'.round, b'.value)
+  | Cons_ack a', Cons_ack b' ->
+      Stdlib.compare (a'.round, a'.ok) (b'.round, b'.ok)
+  | Cons_decide a', Cons_decide b' -> Int.compare a'.value b'.value
+  | _ -> Int.compare (rank a) (rank b)
+
+let equal a b = compare a b = 0
+
+let pp ppf = function
+  | Coord_request (a, f) ->
+      if Fact.Set.is_empty f then Format.fprintf ppf "req(%a)" Action_id.pp a
+      else Format.fprintf ppf "req(%a|%a)" Action_id.pp a Fact.Set.pp f
+  | Coord_ack (a, f) ->
+      if Fact.Set.is_empty f then Format.fprintf ppf "ack(%a)" Action_id.pp a
+      else Format.fprintf ppf "ack(%a|%a)" Action_id.pp a Fact.Set.pp f
+  | Gossip s -> Format.fprintf ppf "gossip%a" Pid.Set.pp s
+  | Heartbeat seq -> Format.fprintf ppf "hb(%d)" seq
+  | Cons_estimate { round; value; ts } ->
+      Format.fprintf ppf "est(r%d,v%d,ts%d)" round value ts
+  | Cons_propose { round; value } ->
+      Format.fprintf ppf "prop(r%d,v%d)" round value
+  | Cons_ack { round; ok } -> Format.fprintf ppf "cack(r%d,%b)" round ok
+  | Cons_decide { value } -> Format.fprintf ppf "decide(v%d)" value
+
+(* The fairness class deliberately ignores piggybacked facts: a protocol
+   that retransmits req(alpha) with a growing fact set is still "sending the
+   same message infinitely often" for the purposes of R5, otherwise an
+   adversarial channel could defeat fairness by exploiting ever-changing
+   piggyback payloads. *)
+let fairness_key = function
+  | Coord_request (a, _) -> "req:" ^ Action_id.to_string a
+  | Coord_ack (a, _) -> "ack:" ^ Action_id.to_string a
+  | Gossip _ -> "gossip"
+  | Heartbeat _ -> "hb"
+  | Cons_estimate { round; _ } -> "est:" ^ string_of_int round
+  | Cons_propose { round; _ } -> "prop:" ^ string_of_int round
+  | Cons_ack { round; _ } -> "cack:" ^ string_of_int round
+  | Cons_decide _ -> "decide"

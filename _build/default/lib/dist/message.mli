@@ -1,0 +1,34 @@
+(** Messages exchanged by the protocols in this reproduction.
+
+    The simulator is generic over one closed message vocabulary so that
+    events remain comparable and hashable (the epistemic engine indexes
+    points of a system by local-history equality). Coordination messages may
+    piggyback stable facts (full-information mode); consensus messages
+    implement the Chandra-Toueg baselines. *)
+
+type t =
+  | Coord_request of Action_id.t * Fact.Set.t
+      (** the "alpha-message" of the UDC/nUDC protocols; the fact set is
+          empty unless the protocol runs in full-information mode *)
+  | Coord_ack of Action_id.t * Fact.Set.t
+      (** acknowledgment of an alpha-message *)
+  | Gossip of Pid.Set.t
+      (** suspicion dissemination used by the weak-to-strong failure
+          detector conversion (Proposition 2.1) *)
+  | Heartbeat of int
+      (** "I am alive", with a sequence number — the Aguilera-Chen-Toueg
+          heartbeat mechanism the paper's footnote 10 points to for
+          quiescent coordination *)
+  | Cons_estimate of { round : int; value : int; ts : int }
+  | Cons_propose of { round : int; value : int }
+  | Cons_ack of { round : int; ok : bool }
+  | Cons_decide of { value : int }
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+
+(** [fairness_key m] identifies [m] for channel fairness: R5 is stated per
+    message content, so two sends of the same content fall in the same
+    fairness class. *)
+val fairness_key : t -> string

@@ -1,0 +1,10 @@
+type view = {
+  now : int;
+  n : int;
+  crashed : Pid.Set.t;
+  planned_faulty : Pid.Set.t;
+}
+
+type t = { name : string; poll : Pid.t -> view -> Report.t option }
+
+let none = { name = "none"; poll = (fun _ _ -> None) }

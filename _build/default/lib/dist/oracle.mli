@@ -1,0 +1,25 @@
+(** The failure-detector oracle interface seen by the simulator.
+
+    An oracle is a per-process suspicion source (Section 2.2). The simulator
+    polls it each time a process is scheduled; an oracle that returns a
+    report causes a [suspect_p(x)] event to be appended to [p]'s history.
+    Returning [None] yields the slot to other activity, so well-behaved
+    oracles emit only when their report changes or periodically.
+
+    Oracles see the ground truth ([crashed] so far, and the plan's intended
+    faulty set) because that is how failure patterns are fixed per run in
+    the Chandra-Toueg formalism; {e accuracy} is a property of what the
+    oracle chooses to report, not of what it can see. Implementations live
+    in the [detector] library. *)
+
+type view = {
+  now : int;
+  n : int;
+  crashed : Pid.Set.t;  (** processes that have crashed by [now] *)
+  planned_faulty : Pid.Set.t;  (** the plan's [F(r)] *)
+}
+
+type t = { name : string; poll : Pid.t -> view -> Report.t option }
+
+(** The absent oracle: never reports anything. *)
+val none : t

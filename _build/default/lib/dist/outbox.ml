@@ -1,0 +1,49 @@
+type recurring = { key : string; dst : Pid.t; msg : Message.t; last_sent : int }
+
+type t = {
+  oneshot_front : (Pid.t * Message.t) list;
+  oneshot_back : (Pid.t * Message.t) list; (* reversed *)
+  recurring : recurring list; (* rotation order: head is next *)
+}
+
+let resend_period = 3
+let empty = { oneshot_front = []; oneshot_back = []; recurring = [] }
+let push t ~dst msg = { t with oneshot_back = (dst, msg) :: t.oneshot_back }
+
+let set_recurring t ~key ~dst msg =
+  let without = List.filter (fun r -> r.key <> key) t.recurring in
+  (* a fresh entry is immediately eligible (beware: min_int here would
+     overflow the [now - last_sent] subtraction) *)
+  { t with recurring = without @ [ { key; dst; msg; last_sent = -resend_period } ] }
+
+let cancel t ~key =
+  { t with recurring = List.filter (fun r -> r.key <> key) t.recurring }
+
+let has_recurring t ~key = List.exists (fun r -> r.key = key) t.recurring
+
+let next t ~now =
+  match t.oneshot_front with
+  | x :: rest -> Some ({ t with oneshot_front = rest }, x)
+  | [] -> (
+      match List.rev t.oneshot_back with
+      | x :: rest ->
+          Some ({ t with oneshot_front = rest; oneshot_back = [] }, x)
+      | [] ->
+          (* first eligible recurring entry in rotation order; it moves to
+             the back of the rotation after (re)sending *)
+          let rec find skipped = function
+            | [] -> None
+            | r :: rest ->
+                if now - r.last_sent >= resend_period then
+                  let rotated =
+                    List.rev_append skipped rest @ [ { r with last_sent = now } ]
+                  in
+                  Some ({ t with recurring = rotated }, (r.dst, r.msg))
+                else find (r :: skipped) rest
+          in
+          find [] t.recurring)
+
+let is_empty t =
+  t.oneshot_front = [] && t.oneshot_back = [] && t.recurring = []
+
+let drained t = t.oneshot_front = [] && t.oneshot_back = []

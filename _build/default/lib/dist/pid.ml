@@ -1,0 +1,25 @@
+type t = int
+
+let equal = Int.equal
+let compare = Int.compare
+let hash p = p
+let pp ppf p = Format.fprintf ppf "p%d" p
+let to_string p = "p" ^ string_of_int p
+let all n = List.init n (fun i -> i)
+
+module Set = struct
+  include Set.Make (Int)
+
+  let pp ppf s =
+    Format.fprintf ppf "{%a}"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+         pp)
+      (elements s)
+
+  let to_string s = Format.asprintf "%a" pp s
+  let full n = of_list (List.init n (fun i -> i))
+  let complement n s = diff (full n) s
+end
+
+module Map = Map.Make (Int)

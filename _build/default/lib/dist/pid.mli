@@ -1,0 +1,30 @@
+(** Process identifiers.
+
+    The paper fixes a finite set [Proc = {p1, ..., pn}] of processes. We
+    represent them as integers [0 .. n-1]. *)
+
+type t = int
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** [all n] is the full process set [{0, ..., n-1}]. *)
+val all : int -> t list
+
+module Set : sig
+  include Set.S with type elt = t
+
+  val pp : Format.formatter -> t -> unit
+  val to_string : t -> string
+
+  (** [full n] is the set [{0, ..., n-1}]. *)
+  val full : int -> t
+
+  (** [complement n s] is [full n] minus [s]. *)
+  val complement : int -> t -> t
+end
+
+module Map : Map.S with type key = t

@@ -1,0 +1,34 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    All randomness in the simulator flows through an explicit [Prng.t] so
+    that every run is exactly reproducible from its seed, and independent
+    subsystems (channel, scheduler, oracle) can be given split streams that
+    do not interfere with one another. *)
+
+type t
+
+val create : int64 -> t
+
+(** [split t] returns a fresh generator whose stream is independent of the
+    subsequent outputs of [t]. *)
+val split : t -> t
+
+val copy : t -> t
+
+(** [next_int64 t] advances the state and returns 64 uniform bits. *)
+val next_int64 : t -> int64
+
+(** [int t bound] is uniform in [0, bound). Requires [bound > 0]. *)
+val int : t -> int -> int
+
+(** [float t] is uniform in [0, 1). *)
+val float : t -> float
+
+(** [bool t p] is true with probability [p]. *)
+val bool : t -> float -> bool
+
+(** [shuffle t a] permutes [a] in place (Fisher-Yates). *)
+val shuffle : t -> 'a array -> unit
+
+(** [pick t l] is a uniformly chosen element of [l]. Requires [l <> []]. *)
+val pick : t -> 'a list -> 'a

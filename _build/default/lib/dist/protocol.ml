@@ -1,0 +1,41 @@
+type step_action =
+  | Send_to of Pid.t * Message.t
+  | Perform of Action_id.t
+  | No_op
+
+module type S = sig
+  type state
+
+  val name : string
+  val create : n:int -> me:Pid.t -> state
+  val on_init : state -> Action_id.t -> state
+  val on_recv : state -> src:Pid.t -> Message.t -> state
+  val on_suspect : state -> Report.t -> state
+  val step : state -> now:int -> state * step_action
+  val quiescent : state -> bool
+  val performed : state -> Action_id.Set.t
+end
+
+type t = Packed : (module S with type state = 's) * 's -> t
+
+let make (module M : S) ~n ~me =
+  Packed ((module M : S with type state = M.state), M.create ~n ~me)
+
+let name (Packed ((module M), _)) = M.name
+let on_init (Packed (m, s)) a = let (module M) = m in Packed (m, M.on_init s a)
+
+let on_recv (Packed (m, s)) ~src msg =
+  let (module M) = m in
+  Packed (m, M.on_recv s ~src msg)
+
+let on_suspect (Packed (m, s)) r =
+  let (module M) = m in
+  Packed (m, M.on_suspect s r)
+
+let step (Packed (m, s)) ~now =
+  let (module M) = m in
+  let s', act = M.step s ~now in
+  (Packed (m, s'), act)
+
+let quiescent (Packed ((module M), s)) = M.quiescent s
+let performed (Packed ((module M), s)) = M.performed s

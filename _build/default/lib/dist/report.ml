@@ -1,0 +1,34 @@
+type t = Std of Pid.Set.t | Gen of Pid.Set.t * int | Correct_set of Pid.Set.t
+
+let std s = Std s
+let correct_set c = Correct_set c
+
+let gen s k =
+  if k < 0 || k > Pid.Set.cardinal s then invalid_arg "Report.gen: bad k";
+  Gen (s, k)
+
+let rank = function Std _ -> 0 | Gen _ -> 1 | Correct_set _ -> 2
+
+let compare a b =
+  match (a, b) with
+  | Std s, Std s' -> Pid.Set.compare s s'
+  | Gen (s, k), Gen (s', k') -> (
+      match Int.compare k k' with 0 -> Pid.Set.compare s s' | c -> c)
+  | Correct_set c, Correct_set c' -> Pid.Set.compare c c'
+  | _ -> Int.compare (rank a) (rank b)
+
+let equal a b = compare a b = 0
+
+let pp ppf = function
+  | Std s -> Format.fprintf ppf "suspect%a" Pid.Set.pp s
+  | Gen (s, k) -> Format.fprintf ppf "suspect(%a,>=%d)" Pid.Set.pp s k
+  | Correct_set c -> Format.fprintf ppf "correct%a" Pid.Set.pp c
+
+let suspects = function
+  | Std s -> s
+  | Gen (s, k) -> if k = Pid.Set.cardinal s then s else Pid.Set.empty
+  | Correct_set _ -> Pid.Set.empty
+
+let suspects_in ~n = function
+  | Correct_set c -> Pid.Set.complement n c
+  | r -> suspects r

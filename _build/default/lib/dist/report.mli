@@ -1,0 +1,39 @@
+(** Failure-detector reports.
+
+    A {e standard} report (Section 2.2) has the form "the processes in [S]
+    are faulty". A {e generalized} report (Section 4) has the form "at least
+    [k] processes in [S] are faulty" without naming them. Standard reports
+    embed into generalized ones as [(S, |S|)]. *)
+
+type t =
+  | Std of Pid.Set.t  (** suspect exactly the processes in [S] *)
+  | Gen of Pid.Set.t * int  (** at least [k] processes in [S] are faulty *)
+  | Correct_set of Pid.Set.t
+      (** a {e g-standard} report (Section 2.2): "the processes in [C] are
+          correct", i.e. [g] maps it to the suspicion set [Proc - C]. The
+          paper notes all its results carry over to such detectors; the
+          [g] interpretation lives in {!suspects_in}. *)
+
+val std : Pid.Set.t -> t
+
+(** The g-standard constructor: report that exactly [c] are correct. *)
+val correct_set : Pid.Set.t -> t
+
+(** [gen s k] requires [0 <= k <= |s|]. *)
+val gen : Pid.Set.t -> int -> t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+
+(** [suspects r] is the suspicion set a standard report denotes: [S] for
+    [Std S], and [S] when [Gen (S, k)] has [k = |S|] (the only case in which
+    a generalized report names its suspects), otherwise [Pid.Set.empty].
+    [Correct_set] reports need the system size; use {!suspects_in}.
+    This is the function [Suspects_p] of the paper specialised to the
+    reports we use. *)
+val suspects : t -> Pid.Set.t
+
+(** Like {!suspects}, with the [g]-interpretation of g-standard reports:
+    [Correct_set c] denotes the suspicion set [Proc - c]. *)
+val suspects_in : n:int -> t -> Pid.Set.t

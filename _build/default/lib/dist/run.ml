@@ -1,0 +1,236 @@
+type t = { n : int; horizon : int; histories : History.t array }
+
+let make ~n ~horizon histories =
+  if Array.length histories <> n then invalid_arg "Run.make: wrong arity";
+  { n; horizon; histories }
+
+let n t = t.n
+let horizon t = t.horizon
+let history t p = t.histories.(p)
+let history_at t p m = History.prefix_upto t.histories.(p) m
+
+let faulty t =
+  let rec collect p acc =
+    if p >= t.n then acc
+    else
+      let acc =
+        if History.is_crashed t.histories.(p) then Pid.Set.add p acc else acc
+      in
+      collect (p + 1) acc
+  in
+  collect 0 Pid.Set.empty
+
+let correct t = Pid.Set.complement t.n (faulty t)
+
+let crash_tick t p =
+  List.find_map
+    (fun (e, tick) -> if Event.is_crash e then Some tick else None)
+    (History.timed_events t.histories.(p))
+
+let crashed_by t p m =
+  match crash_tick t p with None -> false | Some tick -> tick <= m
+
+let initiated t =
+  let per_process p =
+    List.filter_map
+      (fun (e, tick) ->
+        match e with Event.Init a -> Some (a, tick) | _ -> None)
+      (History.timed_events t.histories.(p))
+  in
+  List.concat_map per_process (Pid.all t.n)
+
+let do_tick t p alpha =
+  List.find_map
+    (fun (e, tick) ->
+      match e with
+      | Event.Do a when Action_id.equal a alpha -> Some tick
+      | _ -> None)
+    (History.timed_events t.histories.(p))
+
+let did t p alpha = Option.is_some (do_tick t p alpha)
+
+let change_ticks t p = List.map snd (History.timed_events t.histories.(p))
+
+let errorf fmt = Format.kasprintf (fun s -> Error s) fmt
+
+let check_r2 t =
+  let check_one p =
+    let rec go last = function
+      | [] -> Ok ()
+      | (_, tick) :: rest ->
+          if tick <= last then errorf "R2 violated at %a: tick %d" Pid.pp p tick
+          else if tick > t.horizon then
+            errorf "R2 violated at %a: tick %d beyond horizon" Pid.pp p tick
+          else go tick rest
+    in
+    go 0 (History.timed_events t.histories.(p))
+  in
+  List.fold_left
+    (fun acc p -> match acc with Error _ -> acc | Ok () -> check_one p)
+    (Ok ()) (Pid.all t.n)
+
+(* R3 with multiplicity: along each channel (p,q) and message content, the
+   number of receives by any tick must not exceed the number of sends by
+   that tick. Scanning receives in tick order against a running send count
+   implements exactly that. *)
+let check_r3 t =
+  let sends = Hashtbl.create 64 in
+  (* (src,dst,msg) -> tick list, ascending *)
+  List.iter
+    (fun p ->
+      List.iter
+        (fun (e, tick) ->
+          match e with
+          | Event.Send { dst; msg } ->
+              let key = (p, dst, msg) in
+              let prev = Option.value ~default:[] (Hashtbl.find_opt sends key) in
+              Hashtbl.replace sends key (tick :: prev)
+          | _ -> ())
+        (History.timed_events t.histories.(p)))
+    (Pid.all t.n);
+  Hashtbl.iter (fun k v -> Hashtbl.replace sends k (List.rev v)) sends;
+  let check_receiver q =
+    let consumed = Hashtbl.create 16 in
+    let rec go = function
+      | [] -> Ok ()
+      | (e, tick) :: rest -> (
+          match e with
+          | Event.Recv { src; msg } ->
+              let key = (src, q, msg) in
+              let already =
+                Option.value ~default:0 (Hashtbl.find_opt consumed key)
+              in
+              let available =
+                match Hashtbl.find_opt sends key with
+                | None -> 0
+                | Some ticks ->
+                    List.length (List.filter (fun s -> s <= tick) ticks)
+              in
+              if already >= available then
+                errorf "R3 violated: %a receives %a from %a with no send"
+                  Pid.pp q Message.pp msg Pid.pp src
+              else (
+                Hashtbl.replace consumed key (already + 1);
+                go rest)
+          | _ -> go rest)
+    in
+    go (History.timed_events t.histories.(q))
+  in
+  List.fold_left
+    (fun acc q -> match acc with Error _ -> acc | Ok () -> check_receiver q)
+    (Ok ()) (Pid.all t.n)
+
+let check_r4 t =
+  let check_one p =
+    let rec go = function
+      | [] -> Ok ()
+      | [ _ ] -> Ok ()
+      | (e, _) :: rest ->
+          if Event.is_crash e then
+            errorf "R4 violated at %a: crash is not last" Pid.pp p
+          else go rest
+    in
+    go (History.timed_events t.histories.(p))
+  in
+  List.fold_left
+    (fun acc p -> match acc with Error _ -> acc | Ok () -> check_one p)
+    (Ok ()) (Pid.all t.n)
+
+let check_r5 t ~max_consecutive_drops =
+  let recvs = Hashtbl.create 64 in
+  (* (src,dst,fairness_key) -> recv count *)
+  List.iter
+    (fun q ->
+      List.iter
+        (fun (e, _) ->
+          match e with
+          | Event.Recv { src; msg } ->
+              let key = (src, q, Message.fairness_key msg) in
+              let prev = Option.value ~default:0 (Hashtbl.find_opt recvs key) in
+              Hashtbl.replace recvs key (prev + 1)
+          | _ -> ())
+        (History.timed_events t.histories.(q)))
+    (Pid.all t.n);
+  let fail = ref (Ok ()) in
+  List.iter
+    (fun p ->
+      List.iter
+        (fun q ->
+          if not (Pid.equal p q) then
+            match crash_tick t q with
+            | Some _ -> () (* fairness only constrains correct receivers *)
+            | None ->
+                let per_key = Hashtbl.create 8 in
+                List.iter
+                  (fun (e, _) ->
+                    match e with
+                    | Event.Send { dst; msg } when Pid.equal dst q ->
+                        let k = Message.fairness_key msg in
+                        let prev =
+                          Option.value ~default:0 (Hashtbl.find_opt per_key k)
+                        in
+                        Hashtbl.replace per_key k (prev + 1)
+                    | _ -> ())
+                  (History.timed_events t.histories.(p));
+                Hashtbl.iter
+                  (fun k sent ->
+                    if sent > max_consecutive_drops then
+                      let received =
+                        Option.value ~default:0
+                          (Hashtbl.find_opt recvs (p, q, k))
+                      in
+                      if received = 0 then
+                        match !fail with
+                        | Error _ -> ()
+                        | Ok () ->
+                            fail :=
+                              errorf
+                                "R5 violated: %a sent %s to %a %d times, \
+                                 never received"
+                                Pid.pp p k Pid.pp q sent)
+                  per_key)
+        (Pid.all t.n))
+    (Pid.all t.n);
+  !fail
+
+let check_init_once t =
+  let seen = Hashtbl.create 16 in
+  let fail = ref (Ok ()) in
+  List.iter
+    (fun p ->
+      List.iter
+        (fun (e, _) ->
+          match e with
+          | Event.Init a ->
+              if not (Pid.equal (Action_id.owner a) p) then (
+                match !fail with
+                | Error _ -> ()
+                | Ok () ->
+                    fail :=
+                      errorf "init(%a) appears at non-owner %a" Action_id.pp a
+                        Pid.pp p)
+              else if Hashtbl.mem seen a then (
+                match !fail with
+                | Error _ -> ()
+                | Ok () ->
+                    fail := errorf "init(%a) appears twice" Action_id.pp a)
+              else Hashtbl.add seen a ()
+          | _ -> ())
+        (History.timed_events t.histories.(p)))
+    (Pid.all t.n);
+  !fail
+
+let check_well_formed t ~max_consecutive_drops =
+  let ( >>= ) r f = match r with Error _ as e -> e | Ok () -> f () in
+  check_r2 t >>= fun () ->
+  check_r3 t >>= fun () ->
+  check_r4 t >>= fun () ->
+  check_r5 t ~max_consecutive_drops >>= fun () -> check_init_once t
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>run(n=%d, horizon=%d)@," t.n t.horizon;
+  List.iter
+    (fun p ->
+      Format.fprintf ppf "  %a: %a@," Pid.pp p History.pp t.histories.(p))
+    (Pid.all t.n);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,72 @@
+(** Runs: functions from time to cuts (Section 2.1).
+
+    A cut is a tuple of finite process histories; a run maps each tick
+    [0..horizon] to a cut. We store each process's full history with ticks
+    and recover any cut as a prefix. The [check_*] functions verify the
+    paper's run conditions R1-R5 (R5 in the finite bounded-unfairness
+    surrogate documented in DESIGN.md) plus the init-at-most-once
+    requirement of Section 2.4. *)
+
+type t
+
+(** [make ~n ~horizon histories] requires one history per pid. *)
+val make : n:int -> horizon:int -> History.t array -> t
+
+val n : t -> int
+val horizon : t -> int
+
+(** Full history of [p]. *)
+val history : t -> Pid.t -> History.t
+
+(** [p]'s component of the cut at tick [m], i.e. [r_p(m)]. *)
+val history_at : t -> Pid.t -> int -> History.t
+
+(** [F(r)]: the set of processes whose history contains [crash]. *)
+val faulty : t -> Pid.Set.t
+
+val correct : t -> Pid.Set.t
+
+(** Tick at which [p] crashed, if it did. *)
+val crash_tick : t -> Pid.t -> int option
+
+(** Whether [p] has crashed by tick [m] (inclusive). *)
+val crashed_by : t -> Pid.t -> int -> bool
+
+(** Actions initiated in the run, with owner and tick. *)
+val initiated : t -> (Action_id.t * int) list
+
+(** [did r p alpha] holds if [do_p(alpha)] appears in [r]. *)
+val did : t -> Pid.t -> Action_id.t -> bool
+
+(** Tick of [do_p(alpha)], if it occurred. *)
+val do_tick : t -> Pid.t -> Action_id.t -> int option
+
+(** The ticks at which [p]'s history grows, ascending. Between consecutive
+    change points [p]'s local state, hence its knowledge, is constant. *)
+val change_ticks : t -> Pid.t -> int list
+
+(** R2: within each history, ticks are strictly increasing and bounded by
+    the horizon. (R1, the empty cut at time 0, holds by construction since
+    ticks start at 1.) *)
+val check_r2 : t -> (unit, string) result
+
+(** R3: every receive is covered by at least as many earlier-or-same-tick
+    sends of the same message along the same channel. *)
+val check_r3 : t -> (unit, string) result
+
+(** R4: a crash, if present, is the last event of its history. *)
+val check_r4 : t -> (unit, string) result
+
+(** R5 (finite surrogate): for every channel (p,q) with [q] correct and
+    every fairness class sent more than [max_consecutive_drops] times while
+    [q] had not crashed, at least one receive occurred. *)
+val check_r5 : t -> max_consecutive_drops:int -> (unit, string) result
+
+(** Section 2.4: [init_p(alpha)] appears only in the history of
+    [Action_id.owner alpha], at most once. *)
+val check_init_once : t -> (unit, string) result
+
+(** All of the above. *)
+val check_well_formed : t -> max_consecutive_drops:int -> (unit, string) result
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,290 @@
+type stop_reason = Goal_reached | Quiescent | Max_ticks
+type goal = All_alive_performed | All_alive_decided | Run_to_max
+
+type config = {
+  n : int;
+  seed : int64;
+  loss_rate : float;
+  link_loss : ((Pid.t * Pid.t) * float) list;
+  max_consecutive_drops : int;
+  max_delay : int;
+  fault_plan : Fault_plan.t;
+  init_plan : Init_plan.t;
+  oracle : Oracle.t;
+  max_ticks : int;
+  drain_margin : int;
+  goal : goal;
+  blackout_after_do : bool;
+}
+
+let config ~n ~seed =
+  {
+    n;
+    seed;
+    loss_rate = 0.0;
+    link_loss = [];
+    max_consecutive_drops = 8;
+    max_delay = 6;
+    fault_plan = Fault_plan.empty;
+    init_plan = Init_plan.empty;
+    oracle = Oracle.none;
+    max_ticks = 2000;
+    drain_margin = 12;
+    goal = All_alive_performed;
+    blackout_after_do = false;
+  }
+
+type result = {
+  run : Run.t;
+  reason : stop_reason;
+  final_states : Protocol.t array;
+}
+
+let pp_stop_reason ppf = function
+  | Goal_reached -> Format.pp_print_string ppf "goal reached"
+  | Quiescent -> Format.pp_print_string ppf "quiescent"
+  | Max_ticks -> Format.pp_print_string ppf "max ticks"
+
+type machine = {
+  cfg : config;
+  prng : Prng.t;
+  channel : Channel.t;
+  hists : History.t array;
+  states : Protocol.t array;
+  crashed : bool array;
+  mutable pending_inits : Init_plan.entry list;
+  mutable pending_faults : Fault_plan.entry list;
+  mutable any_do : bool;
+  mutable blackout_done : bool;
+  done_actions : Action_id.Set.t array; (* per pid, for After_did triggers *)
+  mutable now : int;
+}
+
+let append m p e =
+  m.hists.(p) <- History.append m.hists.(p) e ~tick:m.now
+
+let crash_process m p =
+  append m p Event.Crash;
+  m.crashed.(p) <- true;
+  Channel.drop_in_flight_to m.channel ~dst:p;
+  (* a crashed owner will never initiate its planned actions *)
+  m.pending_inits <-
+    List.filter
+      (fun e -> not (Pid.equal (Action_id.owner e.Init_plan.action) p))
+      m.pending_inits
+
+let fault_due m p =
+  let fires entry =
+    Pid.equal entry.Fault_plan.victim p
+    &&
+    match entry.trigger with
+    | Fault_plan.At tick -> m.now >= tick
+    | Fault_plan.After_did (q, a) -> Action_id.Set.mem a m.done_actions.(q)
+    | Fault_plan.After_any_do -> m.any_do
+  in
+  if List.exists fires m.pending_faults then (
+    (* a process crashes once: all of its entries are consumed *)
+    m.pending_faults <-
+      List.filter
+        (fun e -> not (Pid.equal e.Fault_plan.victim p))
+        m.pending_faults;
+    true)
+  else false
+
+let pending_init m p =
+  List.find_opt
+    (fun e ->
+      Pid.equal (Action_id.owner e.Init_plan.action) p && e.Init_plan.at <= m.now)
+    m.pending_inits
+
+let consume_init m entry =
+  m.pending_inits <-
+    List.filter
+      (fun e -> not (Action_id.equal e.Init_plan.action entry.Init_plan.action))
+      m.pending_inits
+
+let crashed_set m =
+  Array.to_list m.crashed
+  |> List.mapi (fun p c -> (p, c))
+  |> List.filter_map (fun (p, c) -> if c then Some p else None)
+  |> Pid.Set.of_list
+
+let oracle_view m =
+  {
+    Oracle.now = m.now;
+    n = m.cfg.n;
+    crashed = crashed_set m;
+    planned_faulty = Fault_plan.planned_faulty m.cfg.fault_plan;
+  }
+
+let last_suspect_report h =
+  List.find_map
+    (function Event.Suspect r, _ -> Some r | _ -> None)
+    (List.rev (History.timed_events h))
+
+let deliver_message m p (src, msg, _sent_at) =
+  Channel.deliver m.channel ~src ~dst:p msg;
+  append m p (Event.Recv { src; msg });
+  m.states.(p) <- Protocol.on_recv m.states.(p) ~src msg
+
+let protocol_step m p =
+  let state', act = Protocol.step m.states.(p) ~now:m.now in
+  m.states.(p) <- state';
+  match act with
+  | Protocol.No_op -> ()
+  | Protocol.Perform a ->
+      append m p (Event.Do a);
+      m.done_actions.(p) <- Action_id.Set.add a m.done_actions.(p);
+      m.any_do <- true
+  | Protocol.Send_to (dst, msg) ->
+      append m p (Event.Send { dst; msg });
+      if not m.crashed.(dst) then
+        ignore (Channel.send m.channel ~now:m.now ~src:p ~dst msg)
+
+(* One scheduling slot for process p. Priorities: crash, then initiation,
+   then a changed failure-detector report, then forced (overdue) delivery,
+   then a coin flip between delivering a message and a protocol step. *)
+let schedule_process m p =
+  if m.crashed.(p) then ()
+  else if fault_due m p then crash_process m p
+  else
+    match pending_init m p with
+    | Some entry ->
+        consume_init m entry;
+        append m p (Event.Init entry.Init_plan.action);
+        m.states.(p) <- Protocol.on_init m.states.(p) entry.Init_plan.action
+    | None -> (
+        let report =
+          match m.cfg.oracle.Oracle.poll p (oracle_view m) with
+          | None -> None
+          | Some r -> (
+              match last_suspect_report m.hists.(p) with
+              | Some prev when Report.equal prev r -> None
+              | _ -> Some r)
+        in
+        match report with
+        | Some r ->
+            append m p (Event.Suspect r);
+            m.states.(p) <- Protocol.on_suspect m.states.(p) r
+        | None -> (
+            (* Delivery competes with protocol steps for the slot. The
+               delivery probability grows with the backlog (a process
+               drains a long input queue before generating more traffic)
+               but is capped below 1 so steps never starve; an overdue
+               message (older than max_delay) is served first, so every
+               kept message is eventually received. *)
+            let deliverable = Channel.deliverable m.channel ~dst:p in
+            match deliverable with
+            | [] -> protocol_step m p
+            | _ :: _ ->
+                let backlog = List.length deliverable in
+                let p_deliver =
+                  Float.min 0.9 (0.5 +. (0.08 *. float_of_int backlog))
+                in
+                if Prng.bool m.prng p_deliver then
+                  let overdue =
+                    match Channel.oldest_in_flight m.channel ~dst:p with
+                    | Some (_, _, sent_at) as x
+                      when m.now - sent_at >= m.cfg.max_delay ->
+                        x
+                    | _ -> None
+                  in
+                  match overdue with
+                  | Some delivery -> deliver_message m p delivery
+                  | None -> deliver_message m p (Prng.pick m.prng deliverable)
+                else protocol_step m p))
+
+let goal_holds m =
+  m.pending_inits = []
+  &&
+  match m.cfg.goal with
+  | Run_to_max -> false
+  | All_alive_decided ->
+      List.for_all
+        (fun p ->
+          m.crashed.(p)
+          || not (Action_id.Set.is_empty (Protocol.performed m.states.(p))))
+        (Pid.all m.cfg.n)
+  | All_alive_performed ->
+      let initiated =
+        Array.to_list m.hists
+        |> List.concat_map (fun h ->
+               List.filter_map
+                 (function Event.Init a, _ -> Some a | _ -> None)
+                 (History.timed_events h))
+      in
+      List.for_all
+        (fun a ->
+          List.for_all
+            (fun p ->
+              m.crashed.(p) || Action_id.Set.mem a (Protocol.performed m.states.(p)))
+            (Pid.all m.cfg.n))
+        initiated
+
+let system_quiescent m =
+  m.pending_inits = []
+  && Channel.in_flight_count m.channel = 0
+  && List.for_all
+       (fun p -> m.crashed.(p) || Protocol.quiescent m.states.(p))
+       (Pid.all m.cfg.n)
+  && (* no pending fault whose trigger can still fire *)
+  List.for_all
+    (fun e ->
+      match e.Fault_plan.trigger with
+      | Fault_plan.At _ -> false (* will fire; keep running *)
+      | Fault_plan.After_did (q, a) -> not (Action_id.Set.mem a m.done_actions.(q))
+      | Fault_plan.After_any_do -> not m.any_do)
+    m.pending_faults
+
+let execute cfg make_process =
+  let prng = Prng.create cfg.seed in
+  let channel_prng = Prng.split prng in
+  let m =
+    {
+      cfg;
+      prng;
+      channel =
+        Channel.create ~link_loss:cfg.link_loss ~n:cfg.n ~prng:channel_prng
+          ~loss_rate:cfg.loss_rate
+          ~max_consecutive_drops:cfg.max_consecutive_drops ();
+      hists = Array.make cfg.n History.empty;
+      states = Array.init cfg.n make_process;
+      crashed = Array.make cfg.n false;
+      pending_inits = Init_plan.entries cfg.init_plan;
+      pending_faults = Fault_plan.entries cfg.fault_plan;
+      any_do = false;
+      blackout_done = false;
+      done_actions = Array.make cfg.n Action_id.Set.empty;
+      now = 0;
+    }
+  in
+  let order = Array.of_list (Pid.all cfg.n) in
+  let reason = ref Max_ticks in
+  let drained = ref 0 in
+  (try
+     for tick = 1 to cfg.max_ticks do
+       m.now <- tick;
+       Prng.shuffle m.prng order;
+       Array.iter (fun p -> schedule_process m p) order;
+       if cfg.blackout_after_do && m.any_do && not m.blackout_done then (
+         Channel.drop_all_in_flight m.channel;
+         m.blackout_done <- true);
+       if goal_holds m then (
+         incr drained;
+         if !drained > cfg.drain_margin then (
+           reason := Goal_reached;
+           raise Exit))
+       else drained := 0;
+       if system_quiescent m then (
+         reason := Quiescent;
+         raise Exit)
+     done
+   with Exit -> ());
+  {
+    run = Run.make ~n:cfg.n ~horizon:m.now (Array.copy m.hists);
+    reason = !reason;
+    final_states = m.states;
+  }
+
+let execute_uniform cfg proto =
+  execute cfg (fun p -> Protocol.make proto ~n:cfg.n ~me:p)

@@ -1,0 +1,68 @@
+(** The discrete-event simulator.
+
+    Each tick, every non-crashed process gets at most one event (R2): a
+    planned crash, a planned initiation, a failure-detector report, a
+    message receipt, or a protocol step. All nondeterminism is drawn from
+    the seeded PRNG, so a run is a pure function of its configuration.
+
+    Termination: runs stop when the configured goal holds and has drained,
+    when the whole system is quiescent (no process will ever emit another
+    event), or at [max_ticks] — the cap is how violating executions
+    surface, since the paper's protocols never terminate on their own
+    (footnote 10). *)
+
+type stop_reason = Goal_reached | Quiescent | Max_ticks
+
+type goal =
+  | All_alive_performed
+      (** every initiated action has been performed by every process not
+          crashed at evaluation time — the UDC/nUDC success condition *)
+  | All_alive_decided
+      (** every process not crashed has performed at least one action —
+          the consensus success condition (decisions are recorded as
+          [do] events) *)
+  | Run_to_max  (** never stop early (except on quiescence) *)
+
+type config = {
+  n : int;
+  seed : int64;
+  loss_rate : float;
+  link_loss : ((Pid.t * Pid.t) * float) list;
+      (** per-link loss-rate overrides (adversarial targeting) *)
+  max_consecutive_drops : int;
+  max_delay : int;
+      (** in-flight messages older than this are force-delivered: the
+          finite surrogate for "no upper bound on delay, but every kept
+          message is eventually received" *)
+  fault_plan : Fault_plan.t;
+  init_plan : Init_plan.t;
+  oracle : Oracle.t;
+  max_ticks : int;
+  drain_margin : int;
+      (** extra ticks after the goal holds, letting acknowledgments and
+          failure-detector reports land before the run is cut *)
+  goal : goal;
+  blackout_after_do : bool;
+      (** adversary move: the instant the first [do] event occurs, every
+          in-flight message is lost (legal: fairness only constrains
+          infinite behaviour) *)
+}
+
+(** Sensible defaults: no losses, no faults, no oracle, goal
+    [All_alive_performed]. *)
+val config : n:int -> seed:int64 -> config
+
+type result = {
+  run : Run.t;
+  reason : stop_reason;
+  final_states : Protocol.t array;
+}
+
+(** [execute cfg make_process] runs the system where process [p] executes
+    [make_process p]. *)
+val execute : config -> (Pid.t -> Protocol.t) -> result
+
+(** All processes run the same protocol. *)
+val execute_uniform : config -> (module Protocol.S) -> result
+
+val pp_stop_reason : Format.formatter -> stop_reason -> unit

@@ -1,0 +1,71 @@
+type t = {
+  sends : int;
+  recvs : int;
+  dos : int;
+  inits : int;
+  crashes : int;
+  suspects : int;
+  horizon : int;
+  delivery_ratio : float;
+}
+
+let of_run run =
+  let sends = ref 0
+  and recvs = ref 0
+  and dos = ref 0
+  and inits = ref 0
+  and crashes = ref 0
+  and suspects = ref 0 in
+  List.iter
+    (fun p ->
+      List.iter
+        (fun (e, _) ->
+          match e with
+          | Event.Send _ -> incr sends
+          | Event.Recv _ -> incr recvs
+          | Event.Do _ -> incr dos
+          | Event.Init _ -> incr inits
+          | Event.Crash -> incr crashes
+          | Event.Suspect _ -> incr suspects)
+        (History.timed_events (Run.history run p)))
+    (Pid.all (Run.n run));
+  {
+    sends = !sends;
+    recvs = !recvs;
+    dos = !dos;
+    inits = !inits;
+    crashes = !crashes;
+    suspects = !suspects;
+    horizon = Run.horizon run;
+    delivery_ratio =
+      (if !sends = 0 then 1.0 else float_of_int !recvs /. float_of_int !sends);
+  }
+
+let uniformity_latency run alpha =
+  let init_tick =
+    List.find_map
+      (fun (a, tick) -> if Action_id.equal a alpha then Some tick else None)
+      (Run.initiated run)
+  in
+  match init_tick with
+  | None -> None
+  | Some t0 ->
+      let alive =
+        List.filter
+          (fun p -> not (Run.crashed_by run p (Run.horizon run)))
+          (Pid.all (Run.n run))
+      in
+      let ticks = List.map (fun p -> Run.do_tick run p alpha) alive in
+      if List.exists Option.is_none ticks then None
+      else
+        let latest =
+          List.fold_left (fun acc t -> max acc (Option.get t)) t0 ticks
+        in
+        Some (latest - t0)
+
+let pp ppf t =
+  Format.fprintf ppf
+    "sends=%d recvs=%d dos=%d inits=%d crashes=%d suspects=%d horizon=%d \
+     delivery=%.2f"
+    t.sends t.recvs t.dos t.inits t.crashes t.suspects t.horizon
+    t.delivery_ratio

@@ -1,0 +1,21 @@
+(** Run statistics, used by the benchmark harness. *)
+
+type t = {
+  sends : int;
+  recvs : int;
+  dos : int;
+  inits : int;
+  crashes : int;
+  suspects : int;
+  horizon : int;
+  delivery_ratio : float;  (** recvs / sends, 1.0 when no sends *)
+}
+
+val of_run : Run.t -> t
+
+(** Latency to uniformity for one action: ticks from its [init] to the last
+    [do] of that action by a process alive at the horizon. [None] if some
+    alive process never performed it. *)
+val uniformity_latency : Run.t -> Action_id.t -> int option
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,103 @@
+(* Pair each receive with the earliest unmatched send of the same
+   (src, dst, content): the same FIFO discipline as the R3 checker. *)
+let match_messages run =
+  let n = Run.n run in
+  let sends = Hashtbl.create 64 in
+  (* (src,dst,msg) -> (tick, id option ref) list, chronological *)
+  let counter = ref 0 in
+  List.iter
+    (fun p ->
+      List.iter
+        (fun (e, tick) ->
+          match e with
+          | Event.Send { dst; msg } ->
+              let key = (p, dst, Format.asprintf "%a" Message.pp msg) in
+              let prev = Option.value ~default:[] (Hashtbl.find_opt sends key) in
+              Hashtbl.replace sends key (prev @ [ (tick, ref None) ])
+          | _ -> ())
+        (History.timed_events (Run.history run p)))
+    (Pid.all n);
+  (* send side lookup: (p, tick) -> id; recv side: (q, tick) -> id *)
+  let send_ids = Hashtbl.create 64 and recv_ids = Hashtbl.create 64 in
+  List.iter
+    (fun q ->
+      List.iter
+        (fun (e, tick) ->
+          match e with
+          | Event.Recv { src; msg } -> (
+              let key = (src, q, Format.asprintf "%a" Message.pp msg) in
+              match Hashtbl.find_opt sends key with
+              | None -> ()
+              | Some entries -> (
+                  match
+                    List.find_opt
+                      (fun (st, id) -> !id = None && st <= tick)
+                      entries
+                  with
+                  | None -> ()
+                  | Some (st, id) ->
+                      incr counter;
+                      id := Some !counter;
+                      Hashtbl.replace send_ids (src, st) !counter;
+                      Hashtbl.replace recv_ids (q, tick) !counter))
+          | _ -> ())
+        (History.timed_events (Run.history run q)))
+    (Pid.all n);
+  (send_ids, recv_ids)
+
+let cell_width = 24
+
+let pp ppf run =
+  let n = Run.n run in
+  let send_ids, recv_ids = match_messages run in
+  let describe p (e, tick) =
+    match e with
+    | Event.Send { dst; msg } -> (
+        let txt = Format.asprintf "%a" Message.pp msg in
+        match Hashtbl.find_opt send_ids (p, tick) with
+        | Some id -> Printf.sprintf "%s #%d ->%s" txt id (Pid.to_string dst)
+        | None -> Printf.sprintf "%s ->%s (lost)" txt (Pid.to_string dst))
+    | Event.Recv { src; msg } -> (
+        let txt = Format.asprintf "%a" Message.pp msg in
+        match Hashtbl.find_opt recv_ids (p, tick) with
+        | Some id -> Printf.sprintf "%s #%d <-%s" txt id (Pid.to_string src)
+        | None -> Printf.sprintf "%s <-%s" txt (Pid.to_string src))
+    | e -> Format.asprintf "%a" Event.pp e
+  in
+  let clip s =
+    if String.length s <= cell_width then s
+    else String.sub s 0 (cell_width - 1) ^ "~"
+  in
+  (* events per (tick, pid) *)
+  let cells = Hashtbl.create 64 in
+  let ticks = ref [] in
+  List.iter
+    (fun p ->
+      List.iter
+        (fun ((_, tick) as te) ->
+          Hashtbl.replace cells (tick, p) (describe p te);
+          ticks := tick :: !ticks)
+        (History.timed_events (Run.history run p)))
+    (Pid.all n);
+  let ticks = List.sort_uniq Int.compare !ticks in
+  Format.fprintf ppf "%6s" "tick";
+  List.iter
+    (fun p -> Format.fprintf ppf " | %-*s" cell_width (Pid.to_string p))
+    (Pid.all n);
+  Format.pp_print_newline ppf ();
+  Format.fprintf ppf "%s" (String.make (6 + (n * (cell_width + 3))) '-');
+  Format.pp_print_newline ppf ();
+  List.iter
+    (fun tick ->
+      Format.fprintf ppf "%6d" tick;
+      List.iter
+        (fun p ->
+          let cell =
+            Option.value ~default:"" (Hashtbl.find_opt cells (tick, p))
+          in
+          Format.fprintf ppf " | %-*s" cell_width (clip cell))
+        (Pid.all n);
+      Format.pp_print_newline ppf ())
+    ticks
+
+let to_string run = Format.asprintf "%a" pp run

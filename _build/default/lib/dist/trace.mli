@@ -1,0 +1,9 @@
+(** Human-readable space-time rendering of runs.
+
+    One column per process, time downward; matched send/receive pairs are
+    tagged with a shared message number ([#k]), unmatched sends are marked
+    lost (either dropped by the channel or still in flight at the
+    horizon). Only ticks carrying events are printed. *)
+
+val pp : Format.formatter -> Run.t -> unit
+val to_string : Run.t -> string

@@ -1,0 +1,1 @@
+lib/epistemic/checker.ml: Action_id Array Event Formula Hashtbl History Int List Message Option Pid Report Run System

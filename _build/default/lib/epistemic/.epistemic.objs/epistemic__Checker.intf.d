@@ -1,0 +1,1 @@
+lib/epistemic/checker.mli: Formula Pid System

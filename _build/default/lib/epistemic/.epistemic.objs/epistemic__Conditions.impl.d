@@ -1,0 +1,1 @@
+lib/epistemic/conditions.ml: Action_id Checker Event Format Formula Hashtbl History List Pid Run System

@@ -1,0 +1,1 @@
+lib/epistemic/conditions.mli: Action_id Checker System

@@ -1,0 +1,1 @@
+lib/epistemic/formula.ml: Action_id Format List Message Pid

@@ -1,0 +1,1 @@
+lib/epistemic/formula.mli: Action_id Format Message Pid

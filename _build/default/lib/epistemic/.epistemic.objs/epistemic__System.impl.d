@@ -1,0 +1,1 @@
+lib/epistemic/system.ml: Array Event Format Hashtbl History List Option Pid Run

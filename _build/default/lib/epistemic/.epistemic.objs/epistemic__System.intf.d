@@ -1,0 +1,1 @@
+lib/epistemic/system.mli: Pid Run

@@ -1,0 +1,229 @@
+type env = {
+  sys : System.t;
+  memo : (Formula.t, bool array array) Hashtbl.t;
+      (* formula -> per run, per tick truth table *)
+}
+
+let make sys = { sys; memo = Hashtbl.create 64 }
+let system env = env.sys
+
+(* A truth table shaped like the system: one bool per point. *)
+let blank env value =
+  Array.init (System.run_count env.sys) (fun ri ->
+      Array.make (System.horizon env.sys ri + 1) value)
+
+(* Table of a stable primitive that becomes true at [tick_of run] (None:
+   never). *)
+let from_tick env tick_of =
+  Array.init (System.run_count env.sys) (fun ri ->
+      let h = System.horizon env.sys ri in
+      match tick_of (System.run env.sys ri) with
+      | None -> Array.make (h + 1) false
+      | Some t0 -> Array.init (h + 1) (fun m -> m >= t0))
+
+let first_event_tick run p pred =
+  List.find_map
+    (fun (e, tick) -> if pred e then Some tick else None)
+    (History.timed_events (Run.history run p))
+
+let prim_table env (p : Formula.prim) =
+  match p with
+  | Formula.Sent (src, dst, msg) ->
+      from_tick env (fun run ->
+          first_event_tick run src (function
+            | Event.Send { dst = d; msg = m } ->
+                Pid.equal d dst && Message.equal m msg
+            | _ -> false))
+  | Formula.Received (dst, src, msg) ->
+      from_tick env (fun run ->
+          first_event_tick run dst (function
+            | Event.Recv { src = s; msg = m } ->
+                Pid.equal s src && Message.equal m msg
+            | _ -> false))
+  | Formula.Crashed q -> from_tick env (fun run -> Run.crash_tick run q)
+  | Formula.Did (q, a) -> from_tick env (fun run -> Run.do_tick run q a)
+  | Formula.Inited a ->
+      from_tick env (fun run ->
+          first_event_tick run (Action_id.owner a) (function
+            | Event.Init a' -> Action_id.equal a a'
+            | _ -> false))
+  | Formula.Suspects (watcher, q) ->
+      Array.init (System.run_count env.sys) (fun ri ->
+          let run = System.run env.sys ri in
+          let h = Run.horizon run in
+          let table = Array.make (h + 1) false in
+          let current = ref false in
+          let changes =
+            List.filter_map
+              (fun (e, tick) ->
+                match e with
+                | Event.Suspect r ->
+                    Some (tick, Report.suspects_in ~n:(Run.n run) r)
+                | _ -> None)
+              (History.timed_events (Run.history run watcher))
+          in
+          let rec fill m changes =
+            if m > h then ()
+            else begin
+              (match changes with
+              | (tick, s) :: _ when tick = m -> current := Pid.Set.mem q s
+              | _ -> ());
+              table.(m) <- !current;
+              let changes =
+                match changes with
+                | (tick, _) :: rest when tick = m -> rest
+                | _ -> changes
+              in
+              fill (m + 1) changes
+            end
+          in
+          fill 0 changes;
+          table)
+  | Formula.At_least_crashed (s, k) ->
+      from_tick env (fun run ->
+          let ticks =
+            List.sort Int.compare
+              (List.filter_map (fun q -> Run.crash_tick run q)
+                 (Pid.Set.elements s))
+          in
+          if k <= 0 then Some 0 else List.nth_opt ticks (k - 1))
+
+let pointwise2 env f ta tb =
+  Array.init (System.run_count env.sys) (fun ri ->
+      Array.init (System.horizon env.sys ri + 1) (fun m ->
+          f ta.(ri).(m) tb.(ri).(m)))
+
+let rec table env (f : Formula.t) =
+  match Hashtbl.find_opt env.memo f with
+  | Some t -> t
+  | None ->
+      let t = compute env f in
+      Hashtbl.add env.memo f t;
+      t
+
+and compute env = function
+  | Formula.True -> blank env true
+  | Formula.False -> blank env false
+  | Formula.Prim p -> prim_table env p
+  | Formula.Not f ->
+      let tf = table env f in
+      Array.map (Array.map not) tf
+  | Formula.And (a, b) -> pointwise2 env ( && ) (table env a) (table env b)
+  | Formula.Or (a, b) -> pointwise2 env ( || ) (table env a) (table env b)
+  | Formula.Implies (a, b) ->
+      pointwise2 env (fun x y -> (not x) || y) (table env a) (table env b)
+  | Formula.Always f ->
+      let tf = table env f in
+      Array.map
+        (fun row ->
+          let out = Array.copy row in
+          for m = Array.length row - 2 downto 0 do
+            out.(m) <- row.(m) && out.(m + 1)
+          done;
+          out)
+        tf
+  | Formula.Eventually f ->
+      let tf = table env f in
+      Array.map
+        (fun row ->
+          let out = Array.copy row in
+          for m = Array.length row - 2 downto 0 do
+            out.(m) <- row.(m) || out.(m + 1)
+          done;
+          out)
+        tf
+  | Formula.K (p, f) ->
+      let tf = table env f in
+      let out = blank env false in
+      let per_class = Array.make (System.class_count env.sys p) true in
+      System.iter_points env.sys (fun ~run ~tick ->
+          if not tf.(run).(tick) then
+            per_class.(System.class_id env.sys p ~run ~tick) <- false);
+      System.iter_points env.sys (fun ~run ~tick ->
+          out.(run).(tick) <- per_class.(System.class_id env.sys p ~run ~tick));
+      out
+  | Formula.Ck (g, f) ->
+      (* greatest fixpoint of X = E_G (f ∧ X), iterated from all-true;
+         X only ever shrinks, so this terminates in at most #points
+         rounds (in practice a handful) *)
+      let tf = table env f in
+      let members = Pid.Set.elements g in
+      let x = blank env true in
+      let changed = ref true in
+      while !changed do
+        changed := false;
+        let next = blank env true in
+        List.iter
+          (fun p ->
+            let per_class = Array.make (System.class_count env.sys p) true in
+            System.iter_points env.sys (fun ~run ~tick ->
+                if not (tf.(run).(tick) && x.(run).(tick)) then
+                  per_class.(System.class_id env.sys p ~run ~tick) <- false);
+            System.iter_points env.sys (fun ~run ~tick ->
+                if not per_class.(System.class_id env.sys p ~run ~tick) then
+                  next.(run).(tick) <- false))
+          members;
+        System.iter_points env.sys (fun ~run ~tick ->
+            if x.(run).(tick) && not next.(run).(tick) then begin
+              x.(run).(tick) <- false;
+              changed := true
+            end)
+      done;
+      x
+  | Formula.Dk (s, f) ->
+      let tf = table env f in
+      let members = Pid.Set.elements s in
+      let key ~run ~tick =
+        List.map (fun p -> System.class_id env.sys p ~run ~tick) members
+      in
+      let per_class : (int list, bool) Hashtbl.t = Hashtbl.create 256 in
+      System.iter_points env.sys (fun ~run ~tick ->
+          let k = key ~run ~tick in
+          let prev = Option.value ~default:true (Hashtbl.find_opt per_class k) in
+          Hashtbl.replace per_class k (prev && tf.(run).(tick)));
+      let out = blank env false in
+      System.iter_points env.sys (fun ~run ~tick ->
+          out.(run).(tick) <- Hashtbl.find per_class (key ~run ~tick));
+      out
+
+let holds env f ~run ~tick = (table env f).(run).(tick)
+
+let counterexample env f =
+  let t = table env f in
+  let found = ref None in
+  (try
+     System.iter_points env.sys (fun ~run ~tick ->
+         if not t.(run).(tick) then begin
+           found := Some (run, tick);
+           raise Exit
+         end)
+   with Exit -> ());
+  !found
+
+let valid env f = Option.is_none (counterexample env f)
+
+let knows_crashed env p ~run ~tick =
+  List.fold_left
+    (fun acc q ->
+      if holds env (Formula.K (p, Formula.crashed q)) ~run ~tick then
+        Pid.Set.add q acc
+      else acc)
+    Pid.Set.empty
+    (Pid.all (System.n env.sys))
+
+let max_known_crashed env p s ~run ~tick =
+  let rec down k =
+    if k <= 0 then 0
+    else if
+      holds env
+        (Formula.K (p, Formula.Prim (Formula.At_least_crashed (s, k))))
+        ~run ~tick
+    then k
+    else down (k - 1)
+  in
+  down (Pid.Set.cardinal s)
+
+let local_to env f p =
+  valid env (Formula.Or (Formula.K (p, f), Formula.K (p, Formula.Not f)))
+
+let stable env f = valid env (Formula.Implies (f, Formula.Always f))

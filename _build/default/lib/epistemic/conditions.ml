@@ -1,0 +1,285 @@
+let errorf fmt = Format.kasprintf (fun s -> Error s) fmt
+
+let rec subsets_up_to n t =
+  if t < 0 then []
+  else if t = 0 then [ [] ]
+  else
+    let smaller = subsets_up_to n (t - 1) in
+    let exactly_t =
+      let rec choose lo k =
+        if k = 0 then [ [] ]
+        else
+          List.concat_map
+            (fun x -> List.map (fun s -> x :: s) (choose (x + 1) (k - 1)))
+            (List.filter (fun x -> x >= lo) (Pid.all n))
+      in
+      choose 0 t
+    in
+    smaller @ List.filter (fun s -> List.length s = t) exactly_t
+
+let a5 sys ~t =
+  let n = System.n sys in
+  let missing =
+    List.find_opt
+      (fun s -> System.runs_with_faulty sys (Pid.Set.of_list s) = [])
+      (subsets_up_to n t)
+  in
+  match missing with
+  | None -> Ok ()
+  | Some s ->
+      errorf "A5_%d: no run with faulty set %a" t Pid.Set.pp
+        (Pid.Set.of_list s)
+
+(* Coordinate-wise, tick-insensitive extension: every process's events at
+   the point are a prefix of its events in the candidate run. *)
+let rec is_prefix xs ys =
+  match (xs, ys) with
+  | [], _ -> true
+  | _, [] -> false
+  | x :: xs', y :: ys' -> Event.equal x y && is_prefix xs' ys'
+
+let events_at run p m = History.events (Run.history_at run p m)
+
+let extends candidate (run, m) =
+  let n = Run.n run in
+  List.for_all
+    (fun p ->
+      is_prefix (events_at run p m)
+        (History.events (Run.history candidate p)))
+    (Pid.all n)
+
+let sample_ticks ?samples horizon =
+  match samples with
+  | None -> List.init (horizon + 1) (fun i -> i)
+  | Some k when k >= horizon + 1 -> List.init (horizon + 1) (fun i -> i)
+  | Some k -> List.init k (fun i -> i * horizon / (max 1 (k - 1)))
+
+let a1 ?samples ?(margin = 1) sys =
+  let faulty_sets =
+    let tbl = Hashtbl.create 8 in
+    for ri = 0 to System.run_count sys - 1 do
+      let f = Run.faulty (System.run sys ri) in
+      Hashtbl.replace tbl (Pid.Set.elements f) f
+    done;
+    Hashtbl.fold (fun _ f acc -> f :: acc) tbl []
+  in
+  let check_point s ri m =
+    let run = System.run sys ri in
+    let crashed_outside =
+      List.exists
+        (fun p -> (not (Pid.Set.mem p s)) && Run.crashed_by run p m)
+        (Pid.all (System.n sys))
+    in
+    if crashed_outside then Ok ()
+    else
+      let witness = ref false in
+      (try
+         for cj = 0 to System.run_count sys - 1 do
+           let cand = System.run sys cj in
+           if Pid.Set.equal (Run.faulty cand) s && extends cand (run, m) then begin
+             witness := true;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      if !witness then Ok ()
+      else
+        errorf "A1: no extension of (run %d, %d) with faulty set %a" ri m
+          Pid.Set.pp s
+  in
+  let result = ref (Ok ()) in
+  (try
+     List.iter
+       (fun s ->
+         for ri = 0 to System.run_count sys - 1 do
+           List.iter
+             (fun m ->
+               match check_point s ri m with
+               | Ok () -> ()
+               | Error _ as e ->
+                   result := e;
+                   raise Exit)
+             (List.filter
+                (fun m -> m <= System.horizon sys ri - margin)
+                (sample_ticks ?samples (System.horizon sys ri)))
+         done)
+       faulty_sets
+   with Exit -> ());
+  !result
+
+let initiated_actions sys =
+  let tbl = Hashtbl.create 8 in
+  for ri = 0 to System.run_count sys - 1 do
+    List.iter
+      (fun (a, _) -> Hashtbl.replace tbl (Action_id.to_string a) a)
+      (Run.initiated (System.run sys ri))
+  done;
+  Hashtbl.fold (fun _ a acc -> a :: acc) tbl []
+
+let a3 env =
+  let sys = Checker.system env in
+  let actions = initiated_actions sys in
+  let n = System.n sys in
+  let result = ref (Ok ()) in
+  (try
+     List.iter
+       (fun a ->
+         List.iter
+           (fun q ->
+             let f = Formula.K (q, Formula.inited a) in
+             for ri = 0 to System.run_count sys - 1 do
+               match Run.crash_tick (System.run sys ri) q with
+               | None -> ()
+               | Some tc ->
+                   if tc >= 1 then
+                     let before = Checker.holds env f ~run:ri ~tick:(tc - 1) in
+                     let after = Checker.holds env f ~run:ri ~tick:tc in
+                     if before <> after then begin
+                       result :=
+                         errorf
+                           "A3: K_%a init(%a) changed by %a's own crash (run \
+                            %d, tick %d)"
+                           Pid.pp q Action_id.pp a Pid.pp q ri tc;
+                       raise Exit
+                     end
+             done)
+           (Pid.all n))
+       actions
+   with Exit -> ());
+  !result
+
+let full_events run p = History.events (Run.history run p)
+
+let a2_relaxed ?samples sys =
+  let n = System.n sys in
+  let indist_correct f r1 r2 m =
+    List.for_all
+      (fun q ->
+        Pid.Set.mem q f
+        || List.equal Event.equal (events_at r1 q m) (events_at r2 q m))
+      (Pid.all n)
+  in
+  let good_extension f (r1, m) (r2, _) =
+    (* find runs e1 extending (r1,m) and e2 extending (r2,m), all of f
+       crashed in both, correct processes' full histories equal *)
+    let candidates pt =
+      List.filter_map
+        (fun ri ->
+          let c = System.run sys ri in
+          if Pid.Set.subset f (Run.faulty c) && extends c pt then Some c
+          else None)
+        (List.init (System.run_count sys) (fun i -> i))
+    in
+    let c1 = candidates (r1, m) and c2 = candidates (r2, m) in
+    List.exists
+      (fun e1 ->
+        List.exists
+          (fun e2 ->
+            List.for_all
+              (fun q ->
+                Pid.Set.mem q f
+                || List.equal Event.equal (full_events e1 q) (full_events e2 q))
+              (Pid.all n))
+          c2)
+      c1
+  in
+  let result = ref (Ok ()) in
+  (try
+     for i = 0 to System.run_count sys - 1 do
+       for j = i to System.run_count sys - 1 do
+         let r1 = System.run sys i and r2 = System.run sys j in
+         let f = Run.faulty r1 in
+         if (not (Pid.Set.is_empty f)) && Pid.Set.equal f (Run.faulty r2) then
+           List.iter
+             (fun m ->
+               if
+                 m <= System.horizon sys j
+                 && indist_correct f r1 r2 m
+                 && not (good_extension f (r1, m) (r2, m))
+               then begin
+                 result :=
+                   errorf
+                     "A2: no indistinguishable crash-all extension of runs \
+                      %d/%d at %d"
+                     i j m;
+                 raise Exit
+               end)
+             (sample_ticks ?samples (System.horizon sys i))
+       done
+     done
+   with Exit -> ());
+  !result
+
+let a4_instance ?samples env alpha =
+  let sys = Checker.system env in
+  let n = System.n sys in
+  let phi = Formula.inited alpha in
+  let witness_for (ri, m) s =
+    let run = System.run sys ri in
+    let ok = ref false in
+    (try
+       for cj = 0 to System.run_count sys - 1 do
+         let cand = System.run sys cj in
+         for m' = 0 to System.horizon sys cj do
+           let agrees_on_s =
+             Pid.Set.for_all
+               (fun q ->
+                 List.equal Event.equal (events_at cand q m') (events_at run q m))
+               s
+           in
+           let prefix_elsewhere =
+             List.for_all
+               (fun q ->
+                 Pid.Set.mem q s
+                 ||
+                 let hq = events_at cand q m' in
+                 let target = events_at run q m in
+                 is_prefix hq target
+                 ||
+                 (* prefix followed by a crash, allowed when q crashes in
+                    the original run by time m *)
+                 Run.crashed_by run q m
+                 &&
+                 match List.rev hq with
+                 | Event.Crash :: rest_rev ->
+                     is_prefix (List.rev rest_rev) target
+                 | _ -> false)
+               (Pid.all n)
+           in
+           if
+             agrees_on_s && prefix_elsewhere
+             && not (Checker.holds env phi ~run:cj ~tick:m')
+           then begin
+             ok := true;
+             raise Exit
+           end
+         done
+       done
+     with Exit -> ());
+    !ok
+  in
+  let result = ref (Ok ()) in
+  (try
+     for ri = 0 to System.run_count sys - 1 do
+       List.iter
+         (fun m ->
+           let s =
+             List.fold_left
+               (fun acc q ->
+                 if
+                   not
+                     (Checker.holds env (Formula.K (q, phi)) ~run:ri ~tick:m)
+                 then Pid.Set.add q acc
+                 else acc)
+               Pid.Set.empty (Pid.all n)
+           in
+           if (not (Pid.Set.is_empty s)) && not (witness_for (ri, m) s) then begin
+             result :=
+               errorf "A4: no witness point for (run %d, %d), S=%a" ri m
+                 Pid.Set.pp s;
+             raise Exit
+           end)
+         (sample_ticks ?samples (System.horizon sys ri))
+     done
+   with Exit -> ());
+  !result

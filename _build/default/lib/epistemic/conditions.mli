@@ -1,0 +1,42 @@
+(** Checkers for the paper's system conditions A1-A5 (Section 3).
+
+    A1-A4 are stated over idealised (infinite) contexts; on the bounded
+    systems we generate they can be checked as {e diagnostics}: the
+    quantified extensions must be found among the runs the system actually
+    contains, so a [Ok ()] verdict confirms the condition within the bounded
+    horizon, while a failure pinpoints where the generated context deviates
+    from the ideal one. A5 is exact. Indistinguishability is event-wise
+    (tick-insensitive), matching the epistemic layer. *)
+
+(** A5_t: every subset of processes of size at most [t] is exactly the
+    faulty set of some run. *)
+val a5 : System.t -> t:int -> (unit, string) result
+
+(** A1 (failure independence, diagnostic): for every faulty set [S]
+    realised in the system and every point [(r,m)] at which no process
+    outside [S] has crashed, some run extends [(r,m)] with faulty set
+    exactly [S]. [samples] bounds the number of points examined per faulty
+    set (default: all); [margin] (default 1) excludes the last ticks, where
+    a bounded horizon leaves no room for the extension to add crashes. *)
+val a1 : ?samples:int -> ?margin:int -> System.t -> (unit, string) result
+
+(** A3: [K_q init_p(alpha)] is insensitive to failure by [q] — appending
+    [crash_q] to [q]'s history never changes whether [q] knows the
+    initiation. Checked for every action initiated in the system. *)
+val a3 : Checker.env -> (unit, string) result
+
+(** A2 (relaxed, diagnostic): for pairs of runs with the same faulty set
+    that the correct processes cannot distinguish at time [m], there are
+    extensions in which all faulty processes have crashed and the correct
+    processes still cannot distinguish the runs at any later time. The
+    paper's "by time m+1" is relaxed to "eventually" because one event per
+    tick cannot crash several processes in one step. *)
+val a2_relaxed : ?samples:int -> System.t -> (unit, string) result
+
+(** A4 instance (diagnostic): for the stable, [p]-local,
+    failure-insensitive formula [init_p(alpha)] and every point at which
+    the set [S] of processes ignorant of it is nonempty, some point
+    [(r',m)] of the system agrees with [(r,m)] on [S]'s histories, has
+    prefix-or-crash histories elsewhere, and satisfies [¬init_p(alpha)]. *)
+val a4_instance :
+  ?samples:int -> Checker.env -> Action_id.t -> (unit, string) result

@@ -1,0 +1,72 @@
+type prim =
+  | Sent of Pid.t * Pid.t * Message.t
+  | Received of Pid.t * Pid.t * Message.t
+  | Crashed of Pid.t
+  | Did of Pid.t * Action_id.t
+  | Inited of Action_id.t
+  | Suspects of Pid.t * Pid.t
+  | At_least_crashed of Pid.Set.t * int
+
+type t =
+  | True
+  | False
+  | Prim of prim
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Implies of t * t
+  | Always of t
+  | Eventually of t
+  | K of Pid.t * t
+  | Dk of Pid.Set.t * t
+  | Ck of Pid.Set.t * t
+
+let pp_prim ppf = function
+  | Sent (p, q, msg) ->
+      Format.fprintf ppf "sent_%a(%a,%a)" Pid.pp p Pid.pp q Message.pp msg
+  | Received (q, p, msg) ->
+      Format.fprintf ppf "recv_%a(%a,%a)" Pid.pp q Pid.pp p Message.pp msg
+  | Crashed p -> Format.fprintf ppf "crash(%a)" Pid.pp p
+  | Did (p, a) -> Format.fprintf ppf "do_%a(%a)" Pid.pp p Action_id.pp a
+  | Inited a ->
+      Format.fprintf ppf "init_%a(%a)" Pid.pp (Action_id.owner a) Action_id.pp a
+  | Suspects (p, q) -> Format.fprintf ppf "%a∈Suspects_%a" Pid.pp q Pid.pp p
+  | At_least_crashed (s, k) ->
+      Format.fprintf ppf "crashed≥%d(%a)" k Pid.Set.pp s
+
+let rec pp ppf = function
+  | True -> Format.pp_print_string ppf "true"
+  | False -> Format.pp_print_string ppf "false"
+  | Prim p -> pp_prim ppf p
+  | Not f -> Format.fprintf ppf "¬%a" pp_atomic f
+  | And (a, b) -> Format.fprintf ppf "(%a ∧ %a)" pp a pp b
+  | Or (a, b) -> Format.fprintf ppf "(%a ∨ %a)" pp a pp b
+  | Implies (a, b) -> Format.fprintf ppf "(%a ⇒ %a)" pp a pp b
+  | Always f -> Format.fprintf ppf "□%a" pp_atomic f
+  | Eventually f -> Format.fprintf ppf "◇%a" pp_atomic f
+  | K (p, f) -> Format.fprintf ppf "K_%a%a" Pid.pp p pp_atomic f
+  | Dk (s, f) -> Format.fprintf ppf "D_%a%a" Pid.Set.pp s pp_atomic f
+  | Ck (s, f) -> Format.fprintf ppf "C_%a%a" Pid.Set.pp s pp_atomic f
+
+and pp_atomic ppf f =
+  match f with
+  | True | False | Prim _ | Not _ | Always _ | Eventually _ | K _ | Dk _
+  | Ck _ ->
+      pp ppf f
+  | And _ | Or _ | Implies _ -> Format.fprintf ppf "(%a)" pp f
+
+let to_string f = Format.asprintf "%a" pp f
+let crashed p = Prim (Crashed p)
+let inited a = Prim (Inited a)
+let did p a = Prim (Did (p, a))
+let knows p f = K (p, f)
+let always f = Always f
+let eventually f = Eventually f
+let neg f = Not f
+let ( &&& ) a b = And (a, b)
+let ( ||| ) a b = Or (a, b)
+let ( ==> ) a b = Implies (a, b)
+let conj = function [] -> True | x :: rest -> List.fold_left ( &&& ) x rest
+let disj = function [] -> False | x :: rest -> List.fold_left ( ||| ) x rest
+
+let everyone g f = conj (List.map (fun p -> K (p, f)) (Pid.Set.elements g))

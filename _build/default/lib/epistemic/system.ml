@@ -1,0 +1,122 @@
+type t = {
+  runs : Run.t array;
+  n : int;
+  class_ids : int array array array; (* [p].[run].[tick] *)
+  class_members : (int * int) list array array; (* [p].[class] -> points *)
+}
+
+(* Canonical, injective key for an event: [Event.pp] prints set-valued
+   payloads in sorted element order, so structurally different but equal
+   sets map to the same key (structural equality on [Set.t] values would
+   not). *)
+let event_key e = Format.asprintf "%a" Event.pp e
+
+let of_runs run_list =
+  let runs = Array.of_list run_list in
+  if Array.length runs = 0 then invalid_arg "System.of_runs: empty system";
+  let n = Run.n runs.(0) in
+  Array.iter
+    (fun r -> if Run.n r <> n then invalid_arg "System.of_runs: mixed arity")
+    runs;
+  let event_ids = Hashtbl.create 256 in
+  let intern_event e =
+    let key = event_key e in
+    match Hashtbl.find_opt event_ids key with
+    | Some id -> id
+    | None ->
+        let id = Hashtbl.length event_ids in
+        Hashtbl.add event_ids key id;
+        id
+  in
+  let class_ids = Array.init n (fun _ -> Array.make (Array.length runs) [||]) in
+  let members : (int, (int * int) list) Hashtbl.t array =
+    Array.init n (fun _ -> Hashtbl.create 256)
+  in
+  let counts = Array.make n 0 in
+  (* Per-process trie over event sequences: extending class [c] with event
+     [e] yields a unique class id, so ids are exact (no hashing of whole
+     histories involved). *)
+  let tries : (int * int, int) Hashtbl.t array =
+    Array.init n (fun _ -> Hashtbl.create 256)
+  in
+  let fresh p =
+    let id = counts.(p) in
+    counts.(p) <- id + 1;
+    id
+  in
+  for p = 0 to n - 1 do
+    ignore (fresh p) (* class 0 = empty history *)
+  done;
+  Array.iteri
+    (fun ri run ->
+      let horizon = Run.horizon run in
+      for p = 0 to n - 1 do
+        let ids = Array.make (horizon + 1) 0 in
+        let timed = History.timed_events (Run.history run p) in
+        let cls = ref 0 in
+        let rec fill tick events =
+          if tick > horizon then ()
+          else begin
+            (match events with
+            | (e, etick) :: _ when etick = tick ->
+                let eid = intern_event e in
+                let key = (!cls, eid) in
+                let next =
+                  match Hashtbl.find_opt tries.(p) key with
+                  | Some c -> c
+                  | None ->
+                      let c = fresh p in
+                      Hashtbl.add tries.(p) key c;
+                      c
+                in
+                cls := next
+            | _ -> ());
+            ids.(tick) <- !cls;
+            let prev =
+              Option.value ~default:[] (Hashtbl.find_opt members.(p) !cls)
+            in
+            Hashtbl.replace members.(p) !cls ((ri, tick) :: prev);
+            let events =
+              match events with
+              | (_, etick) :: rest when etick = tick -> rest
+              | _ -> events
+            in
+            fill (tick + 1) events
+          end
+        in
+        fill 0 timed;
+        class_ids.(p).(ri) <- ids
+      done)
+    runs;
+  let class_members =
+    Array.init n (fun p ->
+        Array.init counts.(p) (fun c ->
+            Option.value ~default:[] (Hashtbl.find_opt members.(p) c)))
+  in
+  { runs; n; class_ids; class_members }
+
+let run_count t = Array.length t.runs
+let run t i = t.runs.(i)
+let n t = t.n
+let horizon t i = Run.horizon t.runs.(i)
+let class_id t p ~run ~tick = t.class_ids.(p).(run).(tick)
+let class_count t p = Array.length t.class_members.(p)
+let class_points t p c = t.class_members.(p).(c)
+
+let iter_points t f =
+  Array.iteri
+    (fun ri r ->
+      for tick = 0 to Run.horizon r do
+        f ~run:ri ~tick
+      done)
+    t.runs
+
+let point_count t =
+  Array.fold_left (fun acc r -> acc + Run.horizon r + 1) 0 t.runs
+
+let runs_with_faulty t s =
+  let out = ref [] in
+  Array.iteri
+    (fun ri r -> if Pid.Set.equal (Run.faulty r) s then out := ri :: !out)
+    t.runs;
+  List.rev !out

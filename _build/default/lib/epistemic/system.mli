@@ -1,0 +1,38 @@
+(** Systems of runs and the indistinguishability machinery.
+
+    A system is a set of runs (Section 2.1). The points of a system are all
+    pairs [(r, m)] with [0 <= m <= horizon r]. Two points are
+    indistinguishable to [p] when [p]'s history (as an event sequence —
+    ticks do not matter) is the same at both. This module partitions all
+    points into per-process indistinguishability classes so that the model
+    checker can evaluate [K_p] by class. *)
+
+type t
+
+val of_runs : Run.t list -> t
+val run_count : t -> int
+val run : t -> int -> Run.t
+val n : t -> int
+
+(** Horizon of a given run. *)
+val horizon : t -> int -> int
+
+(** [class_id t p ~run ~tick] is the indistinguishability class of the
+    point for process [p]: equal ids iff equal local histories. *)
+val class_id : t -> Pid.t -> run:int -> tick:int -> int
+
+(** Number of classes for [p]. *)
+val class_count : t -> Pid.t -> int
+
+(** All points in a class, as [(run, tick)] pairs. *)
+val class_points : t -> Pid.t -> int -> (int * int) list
+
+(** Iterate over every point of the system. *)
+val iter_points : t -> (run:int -> tick:int -> unit) -> unit
+
+(** Total number of points. *)
+val point_count : t -> int
+
+(** [find_run t run] returns the index of a run with the given faulty set,
+    if any — convenience for condition checks. *)
+val runs_with_faulty : t -> Pid.Set.t -> int list

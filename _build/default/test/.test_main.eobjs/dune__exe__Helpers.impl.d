@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Fault_plan Init_plan Int64 List Option Oracle Run Sim

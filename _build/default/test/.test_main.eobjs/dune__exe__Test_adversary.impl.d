@@ -1,0 +1,1 @@
+test/test_adversary.ml: Action_id Alcotest Core Fault_plan Helpers Init_plan List Pid Sim

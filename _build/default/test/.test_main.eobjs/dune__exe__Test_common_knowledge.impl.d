@@ -1,0 +1,1 @@
+test/test_common_knowledge.ml: Action_id Alcotest Core Enumerate Epistemic Init_plan Lazy Pid

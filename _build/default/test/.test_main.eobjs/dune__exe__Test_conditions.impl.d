@@ -1,0 +1,1 @@
+test/test_conditions.ml: Action_id Alcotest Core Enumerate Epistemic Init_plan Lazy

@@ -1,0 +1,1 @@
+test/test_consensus.ml: Alcotest Array Consensus Core Detector Fault_plan Helpers List Oracle Result Sim

@@ -1,0 +1,1 @@
+test/test_detector.ml: Alcotest Core Detector Fault_plan Helpers List Oracle Pid Report Result Sim

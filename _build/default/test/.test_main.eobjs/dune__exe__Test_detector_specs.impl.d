@@ -1,0 +1,1 @@
+test/test_detector_specs.ml: Alcotest Array Core Detector Event Fault_plan History Init_plan Int64 List Option Pid Printf Report Run Sim Stats

@@ -1,0 +1,1 @@
+test/test_dist.ml: Action_id Alcotest Array Channel Core Detector Event Fact Fault_plan Gen History Init_plan List Message Outbox Pid Prng QCheck QCheck_alcotest Result Run Sim

@@ -1,0 +1,1 @@
+test/test_edges.ml: Action_id Alcotest Core Fault_plan Init_plan List Option Pid Printf Prng Protocol QCheck QCheck_alcotest Run Sim

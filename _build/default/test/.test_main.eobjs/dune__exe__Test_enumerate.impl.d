@@ -1,0 +1,1 @@
+test/test_enumerate.ml: Action_id Alcotest Array Core Detector Enumerate Event Fact Format Hashtbl History Init_plan List Message Option Pid Printf Result Run String Trace

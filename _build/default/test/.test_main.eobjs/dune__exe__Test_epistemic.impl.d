@@ -1,0 +1,1 @@
+test/test_epistemic.ml: Action_id Alcotest Checker Core Enumerate Epistemic Fact Formula Init_plan Lazy List Message Pid Printf Run System

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Action_id Alcotest Array Core Detector Enumerate Epistemic Fault_plan Helpers Init_plan List Pid Printf Result Run Sim

@@ -1,0 +1,1 @@
+test/test_kb.ml: Action_id Alcotest Core Enumerate Epistemic Init_plan List Pid Result Run

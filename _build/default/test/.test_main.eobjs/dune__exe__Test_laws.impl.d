@@ -1,0 +1,1 @@
+test/test_laws.ml: Action_id Core Detector Epistemic Event Fact Fault_plan Format Gen Init_plan Int64 List Message Pid Prng QCheck QCheck_alcotest Report Sim Stdlib Test

@@ -1,0 +1,1 @@
+test/test_protocols.ml: Action_id Alcotest Core Detector Fault_plan Helpers Init_plan List Pid Result Sim

@@ -1,0 +1,1 @@
+test/test_specs.ml: Action_id Alcotest Array Core Detector Epistemic Event Fault_plan History Init_plan Int64 List Option Prng Result Run Sim Stats

@@ -1,0 +1,1 @@
+test/test_theorems.ml: Action_id Alcotest Core Detector Enumerate Epistemic Helpers Init_plan Lazy List Pid Printf Result Run

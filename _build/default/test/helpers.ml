@@ -1,0 +1,33 @@
+(* Shared test utilities. *)
+
+let check_ok what = function
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "%s: %s" what e
+
+let check_err what = function
+  | Ok () -> Alcotest.failf "%s: expected a violation, got none" what
+  | Error _ -> ()
+
+(* A standard UDC workload: every process initiates one action, staggered. *)
+let workload n = Init_plan.staggered ~n ~actions_per_process:1 ~spacing:3
+
+let run_udc ?(loss = 0.0) ?(oracle = Oracle.none) ?(faults = Fault_plan.empty)
+    ?(max_ticks = 3000) ?init_plan ~n ~seed proto =
+  let cfg = Sim.config ~n ~seed in
+  let cfg =
+    {
+      cfg with
+      Sim.loss_rate = loss;
+      oracle;
+      fault_plan = faults;
+      init_plan = Option.value ~default:(workload n) init_plan;
+      max_ticks;
+    }
+  in
+  Sim.execute_uniform cfg proto
+
+(* Check a run respects the model conditions, then a property. *)
+let well_formed ?(k = 8) run =
+  check_ok "well-formed" (Run.check_well_formed run ~max_consecutive_drops:k)
+
+let seeds count = List.init count (fun i -> Int64.of_int ((i * 7919) + 13))

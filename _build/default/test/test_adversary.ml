@@ -1,0 +1,90 @@
+(* The lower-bound executions: weaker-than-required failure detection
+   admits runs violating UDC (the † entries of Table 1 and the necessity
+   direction of Theorems 3.6/4.3). *)
+
+open Helpers
+
+let run_scenario s = check_ok s.Core.Adversary.name (Core.Adversary.verify s)
+
+let solo_performer () =
+  run_scenario (Core.Adversary.solo_performer ~n:4 ~seed:42L)
+
+let confined_clique () =
+  run_scenario (Core.Adversary.confined_clique ~n:4 ~t:2 ~seed:42L);
+  run_scenario (Core.Adversary.confined_clique ~n:6 ~t:3 ~seed:7L);
+  run_scenario (Core.Adversary.confined_clique ~n:7 ~t:4 ~seed:11L)
+
+let lying_detector () =
+  run_scenario (Core.Adversary.lying_detector ~n:4 ~seed:42L);
+  run_scenario (Core.Adversary.lying_detector ~n:5 ~seed:3L)
+
+let blind_detector () =
+  run_scenario (Core.Adversary.blind_detector ~n:4 ~seed:42L)
+
+(* The violating runs still satisfy the *non-uniform* spec: the performer
+   crashed, so DC2' does not oblige anyone. This is exactly the gap
+   between UDC and nUDC the paper stresses. *)
+let violations_are_non_uniform_only () =
+  List.iter
+    (fun s ->
+      let r = Sim.execute s.Core.Adversary.config s.Core.Adversary.protocol in
+      match s.Core.Adversary.expectation with
+      | Core.Adversary.Udc_violated ->
+          check_err "DC2 violated" (Core.Spec.dc2 r.Sim.run);
+          check_ok "nUDC still holds" (Core.Spec.nudc r.Sim.run)
+      | Core.Adversary.Dc1_violated -> ())
+    (Core.Adversary.all ~n:4 ~seed:42L)
+
+(* The confined-clique construction is defeated by making the clique larger
+   than t: with t < n/2 the protocol waits for n - t > n/2 acks, and any
+   such set contains a process outside every t-sized doomed set. *)
+let clique_fails_when_t_small () =
+  let n = 4 and t = 1 in
+  let clique = Pid.Set.of_list [ 0; 1 ] in
+  let cfg = Sim.config ~n ~seed:42L in
+  let cfg =
+    {
+      cfg with
+      Sim.init_plan = Init_plan.one ~owner:0 ~at:1;
+      max_ticks = 600;
+      max_consecutive_drops = 200;
+      (* the adversary may only crash t=1 process: kill the initiator *)
+      fault_plan =
+        Fault_plan.of_entries
+          [
+            {
+              victim = 0;
+              trigger = Fault_plan.After_did (0, Action_id.make ~owner:0 ~tag:0);
+            };
+          ];
+      blackout_after_do = true;
+      link_loss =
+        (* links out of the clique are lossy only while the performer is
+           alive; since only p0 crashes, p1 keeps flooding and fairness
+           eventually delivers: loss below 1.0 *)
+        List.concat_map
+          (fun src ->
+            List.filter_map
+              (fun dst ->
+                if Pid.Set.mem src clique && not (Pid.Set.mem dst clique) then
+                  Some ((src, dst), 0.9)
+                else None)
+              (Pid.all n))
+          (Pid.all n);
+    }
+  in
+  let r = Sim.execute_uniform cfg (Core.Majority_udc.make ~t) in
+  check_ok "UDC holds with t<n/2" (Core.Spec.udc r.Sim.run)
+
+let suite =
+  [
+    Alcotest.test_case "solo performer (t=n-1)" `Quick solo_performer;
+    Alcotest.test_case "confined clique (n/2<=t<n-1)" `Quick confined_clique;
+    Alcotest.test_case "lying detector breaks ack protocol" `Quick
+      lying_detector;
+    Alcotest.test_case "blind detector blocks initiator" `Quick blind_detector;
+    Alcotest.test_case "violations respect nUDC" `Quick
+      violations_are_non_uniform_only;
+    Alcotest.test_case "clique adversary defeated when t<n/2" `Quick
+      clique_fails_when_t_small;
+  ]

@@ -1,0 +1,100 @@
+(* Common knowledge: the fixpoint operator and the classic Halpern-Moses
+   impossibility — no common knowledge of a new fact under unreliable
+   communication — exhibited on exhaustively enumerated systems. *)
+
+let alpha0 = Action_id.make ~owner:0 ~tag:0
+let group n = Pid.Set.full n
+
+let enumerated =
+  lazy
+    (let cfg = Enumerate.config ~n:3 ~depth:8 in
+     let cfg =
+       {
+         cfg with
+         Enumerate.max_crashes = 1;
+         init_plan = Init_plan.one ~owner:0 ~at:1;
+         oracle_mode = Enumerate.Perfect_reports;
+         max_nodes = 20_000_000;
+       }
+     in
+     let out = Enumerate.runs cfg (module Core.Nudc.P) in
+     Alcotest.(check bool) "exhaustive" true out.Enumerate.exhaustive;
+     Epistemic.Checker.make (Epistemic.System.of_runs out.Enumerate.runs))
+
+let check_valid env what f =
+  match Epistemic.Checker.counterexample env f with
+  | None -> ()
+  | Some (r, m) -> Alcotest.failf "%s fails at (run %d, tick %d)" what r m
+
+(* C_G is a fixpoint of E_G(phi ∧ ·): both unfoldings are valid. *)
+let fixpoint_property () =
+  let env = Lazy.force enumerated in
+  let g = group 3 in
+  let open Epistemic.Formula in
+  let phi = inited alpha0 in
+  check_valid env "Ck unfolds"
+    (Ck (g, phi) ==> everyone g (phi &&& Ck (g, phi)));
+  check_valid env "Ck refolds"
+    (everyone g (phi &&& Ck (g, phi)) ==> Ck (g, phi))
+
+(* The approximation chain: C_G phi => E_G^k phi => ... => phi. *)
+let approximation_chain () =
+  let env = Lazy.force enumerated in
+  let g = group 3 in
+  let open Epistemic.Formula in
+  let phi = inited alpha0 in
+  let e1 = everyone g phi in
+  let e2 = everyone g e1 in
+  check_valid env "C=>EE" (Ck (g, phi) ==> e2);
+  check_valid env "EE=>E" (e2 ==> e1);
+  check_valid env "E=>phi" (e1 ==> phi)
+
+(* Halpern-Moses: over unreliable channels a fresh fact never becomes
+   common knowledge — at every point of every run, someone's knowledge
+   chain bottoms out at an undelivered message. *)
+let no_common_knowledge_of_init () =
+  let env = Lazy.force enumerated in
+  let g = group 3 in
+  let open Epistemic.Formula in
+  check_valid env "Ck(init) unattainable" (neg (Ck (g, inited alpha0)))
+
+(* ... while "everyone knows" IS attainable: non-vacuity of the chain. *)
+let everyone_knows_is_attainable () =
+  let env = Lazy.force enumerated in
+  let g = group 3 in
+  let open Epistemic.Formula in
+  let e1 = everyone g (inited alpha0) in
+  match Epistemic.Checker.counterexample env (neg e1) with
+  | Some _ -> () (* a point where E_G(init) holds exists *)
+  | None -> Alcotest.fail "E_G(init) should be attainable somewhere"
+
+(* Degenerate group: C_{p} phi = K_p phi. *)
+let singleton_group () =
+  let env = Lazy.force enumerated in
+  let open Epistemic.Formula in
+  let g = Pid.Set.singleton 1 in
+  let phi = inited alpha0 in
+  check_valid env "C_{p} => K_p" (Ck (g, phi) ==> knows 1 phi);
+  check_valid env "K_p => C_{p}" (knows 1 phi ==> Ck (g, phi))
+
+(* Valid formulas ARE common knowledge (of anything true at all points):
+   the operator is not degenerate-false. *)
+let common_knowledge_of_validities () =
+  let env = Lazy.force enumerated in
+  let g = group 3 in
+  let open Epistemic.Formula in
+  (* "alpha0 is initiated at most by p0" is valid, hence commonly known *)
+  let tautology = inited alpha0 ||| neg (inited alpha0) in
+  check_valid env "Ck of a validity" (Ck (g, tautology))
+
+let suite =
+  [
+    Alcotest.test_case "fixpoint unfold/refold" `Slow fixpoint_property;
+    Alcotest.test_case "approximation chain" `Slow approximation_chain;
+    Alcotest.test_case "no Ck of init (Halpern-Moses)" `Slow
+      no_common_knowledge_of_init;
+    Alcotest.test_case "E_G(init) attainable" `Slow
+      everyone_knows_is_attainable;
+    Alcotest.test_case "singleton group = K" `Slow singleton_group;
+    Alcotest.test_case "Ck of validities" `Slow common_knowledge_of_validities;
+  ]

@@ -1,0 +1,58 @@
+(* The paper's system conditions A1-A5 (Section 3), checked as diagnostics
+   on exhaustively enumerated systems. *)
+
+let alpha0 = Action_id.make ~owner:0 ~tag:0
+
+let env_and_sys =
+  lazy
+    (let cfg = Enumerate.config ~n:3 ~depth:7 in
+     let cfg =
+       {
+         cfg with
+         Enumerate.max_crashes = 2;
+         init_plan = Init_plan.one ~owner:0 ~at:1;
+         oracle_mode = Enumerate.Perfect_reports;
+         max_nodes = 20_000_000;
+       }
+     in
+     let out =
+       Enumerate.runs cfg
+         (Core.Fip.make ~trust_reports:true (module Core.Ack_udc.P))
+     in
+     Alcotest.(check bool) "exhaustive" true out.Enumerate.exhaustive;
+     let sys = Epistemic.System.of_runs out.Enumerate.runs in
+     (Epistemic.Checker.make sys, sys))
+
+let check what = function
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "%s: %s" what e
+
+let a5 () =
+  let _, sys = Lazy.force env_and_sys in
+  check "A5_2" (Epistemic.Conditions.a5 sys ~t:2);
+  check "A5_1" (Epistemic.Conditions.a5 sys ~t:1);
+  (* and it is sharp: A5_3 fails because only 2 crashes were allowed *)
+  match Epistemic.Conditions.a5 sys ~t:3 with
+  | Ok () -> Alcotest.fail "A5_3 should fail with crash budget 2"
+  | Error _ -> ()
+
+let a1 () =
+  let _, sys = Lazy.force env_and_sys in
+  check "A1" (Epistemic.Conditions.a1 ~samples:3 ~margin:2 sys)
+
+let a3 () =
+  let env, _ = Lazy.force env_and_sys in
+  check "A3" (Epistemic.Conditions.a3 env)
+
+let a4 () =
+  let env, _ = Lazy.force env_and_sys in
+  check "A4 (init instance)"
+    (Epistemic.Conditions.a4_instance ~samples:2 env alpha0)
+
+let suite =
+  [
+    Alcotest.test_case "A5: failure freedom" `Slow a5;
+    Alcotest.test_case "A1: failure independence" `Slow a1;
+    Alcotest.test_case "A3: crash-insensitivity of K init" `Slow a3;
+    Alcotest.test_case "A4: maximal-ignorance witnesses" `Slow a4;
+  ]

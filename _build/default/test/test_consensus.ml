@@ -1,0 +1,148 @@
+(* Chandra-Toueg consensus baselines: the consensus rows of Table 1. *)
+
+open Helpers
+
+let run_consensus ?(loss = 0.2) ?(faults = Fault_plan.empty) ~oracle ~n ~seed
+    proto =
+  let cfg = Sim.config ~n ~seed in
+  let cfg =
+    {
+      cfg with
+      Sim.loss_rate = loss;
+      oracle;
+      fault_plan = faults;
+      goal = Sim.All_alive_decided;
+      max_ticks = 4000;
+    }
+  in
+  Sim.execute_uniform cfg proto
+
+let proposals n = Array.init n (fun i -> (i * 3) mod 7)
+
+let s_algorithm_no_faults () =
+  List.iter
+    (fun seed ->
+      let n = 4 in
+      let props = proposals n in
+      let r =
+        run_consensus ~oracle:(Detector.Oracles.strong ~seed ()) ~n ~seed
+          (Consensus.Chandra_toueg.make_s ~proposals:props)
+      in
+      well_formed r.Sim.run;
+      check_ok "consensus S" (Consensus.Spec.consensus ~proposals:props r.Sim.run))
+    (seeds 6)
+
+let s_algorithm_many_failures () =
+  (* strong FD tolerates n-1 failures even over lossy links *)
+  List.iter
+    (fun seed ->
+      let n = 4 in
+      let props = proposals n in
+      let faults = Fault_plan.crash_at [ (0, 6); (2, 10); (3, 14) ] in
+      let r =
+        run_consensus ~faults ~oracle:(Detector.Oracles.perfect ~lag:1 ()) ~n
+          ~seed
+          (Consensus.Chandra_toueg.make_s ~proposals:props)
+      in
+      check_ok "consensus S, n-1 crashes"
+        (Consensus.Spec.consensus ~proposals:props r.Sim.run))
+    (seeds 6)
+
+let ds_algorithm_majority () =
+  List.iter
+    (fun seed ->
+      let n = 5 in
+      let props = proposals n in
+      let faults = Fault_plan.crash_at [ (1, 8); (3, 20) ] in
+      let oracle =
+        Detector.Oracles.eventually_perfect ~stabilize_at:60 ~seed ()
+      in
+      let r =
+        run_consensus ~faults ~oracle ~n ~seed
+          (Consensus.Chandra_toueg.make_ds ~proposals:props)
+      in
+      well_formed r.Sim.run;
+      check_ok "consensus DS"
+        (Consensus.Spec.consensus ~proposals:props r.Sim.run))
+    (seeds 6)
+
+(* The FLP-style cell: with no failure detector, a crashed coordinator
+   blocks the S algorithm forever — termination fails. *)
+let no_detector_blocks () =
+  let n = 4 in
+  let props = proposals n in
+  let faults = Fault_plan.crash_at [ (0, 2) ] in
+  let r =
+    run_consensus ~faults ~oracle:Oracle.none ~n ~seed:42L
+      (Consensus.Chandra_toueg.make_s ~proposals:props)
+  in
+  Alcotest.(check bool) "runs to the cap" true (r.Sim.reason = Sim.Max_ticks);
+  check_err "termination fails" (Consensus.Spec.termination r.Sim.run);
+  check_ok "but agreement holds" (Consensus.Spec.agreement r.Sim.run)
+
+(* UDC vs consensus separation (Section 1): with reliable channels and no
+   detector, UDC is attainable at any t while consensus is not. *)
+let separation () =
+  let n = 4 in
+  let faults = Fault_plan.crash_at [ (0, 6); (1, 9); (2, 12) ] in
+  let udc_run = run_udc ~n ~seed:42L ~loss:0.0 ~faults (module Core.Reliable_udc.P) in
+  check_ok "UDC fine" (Core.Spec.udc udc_run.Sim.run);
+  let props = proposals n in
+  let cons_run =
+    run_consensus ~loss:0.0 ~faults ~oracle:Oracle.none ~n ~seed:42L
+      (Consensus.Chandra_toueg.make_s ~proposals:props)
+  in
+  check_err "consensus stuck" (Consensus.Spec.termination cons_run.Sim.run)
+
+(* The honest eventually-weak detector (the real ◇W of Table 1): too weak
+   for the ◇S algorithm on its own — a crashed coordinator is suspected
+   only by its witness, so other processes can wait forever — but
+   sufficient once strengthened by current-semantics gossip (the
+   ◇W ≅ ◇S observation via Prop 2.1). *)
+let eventually_weak_needs_gossip () =
+  let n = 5 in
+  let props = proposals n in
+  let faults = Fault_plan.crash_at [ (1, 8) ] in
+  (* without the conversion, some run blocks at the cap *)
+  let blocked =
+    List.exists
+      (fun seed ->
+        let r =
+          run_consensus ~faults
+            ~oracle:(Detector.Oracles.eventually_weak ~stabilize_at:60 ~seed ())
+            ~n ~seed
+            (Consensus.Chandra_toueg.make_ds ~proposals:props)
+        in
+        Result.is_error (Consensus.Spec.termination r.Sim.run))
+      (seeds 6)
+  in
+  Alcotest.(check bool) "raw ◇W blocks somewhere" true blocked;
+  (* with the conversion, every run decides *)
+  List.iter
+    (fun seed ->
+      let module DS = struct
+        include (val Consensus.Chandra_toueg.make_ds ~proposals:props)
+      end in
+      let module G = Detector.Convert.With_gossip_current (DS) in
+      let r =
+        run_consensus ~faults
+          ~oracle:(Detector.Oracles.eventually_weak ~stabilize_at:60 ~seed ())
+          ~n ~seed (module G)
+      in
+      check_ok "◇W + gossip decides"
+        (Consensus.Spec.consensus ~proposals:props r.Sim.run))
+    (seeds 6)
+
+let suite =
+  [
+    Alcotest.test_case "S algorithm, no faults" `Quick s_algorithm_no_faults;
+    Alcotest.test_case "S algorithm, n-1 failures" `Quick
+      s_algorithm_many_failures;
+    Alcotest.test_case "DS algorithm, t<n/2, eventually-strong FD" `Quick
+      ds_algorithm_majority;
+    Alcotest.test_case "no detector: coordinator crash blocks" `Quick
+      no_detector_blocks;
+    Alcotest.test_case "UDC vs consensus separation" `Quick separation;
+    Alcotest.test_case "eventually-weak needs the gossip conversion" `Quick
+      eventually_weak_needs_gossip;
+  ]

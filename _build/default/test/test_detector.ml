@@ -1,0 +1,191 @@
+(* Failure-detector oracles, their advertised classes, and the
+   conversions of Propositions 2.1 and 2.2. *)
+
+open Helpers
+
+let run_with ?(n = 5) ?(loss = 0.3) ?(faults = Fault_plan.crash_at [ (1, 8); (3, 14) ])
+    ~seed oracle proto =
+  let cfg = Sim.config ~n ~seed in
+  let cfg =
+    {
+      cfg with
+      Sim.loss_rate = loss;
+      oracle;
+      fault_plan = faults;
+      init_plan = workload n;
+      max_ticks = 3000;
+    }
+  in
+  (Sim.execute_uniform cfg proto).Sim.run
+
+let classes_hold oracle_of_seed cls () =
+  List.iter
+    (fun seed ->
+      let run = run_with ~seed (oracle_of_seed seed) (module Core.Nudc.P) in
+      check_ok
+        (Detector.Spec.cls_name cls)
+        (Detector.Spec.satisfies cls run))
+    (seeds 6)
+
+let perfect_is_perfect =
+  classes_hold (fun _ -> Detector.Oracles.perfect ~lag:1 ()) Detector.Spec.Perfect
+
+let strong_is_strong =
+  classes_hold (fun seed -> Detector.Oracles.strong ~seed ()) Detector.Spec.Strong
+
+let weak_is_weak =
+  classes_hold (fun _ -> Detector.Oracles.weak ()) Detector.Spec.Weak
+
+let impermanent_strong_is =
+  classes_hold
+    (fun _ -> Detector.Oracles.impermanent_strong ())
+    Detector.Spec.Impermanent_strong
+
+let impermanent_weak_is =
+  classes_hold
+    (fun _ -> Detector.Oracles.impermanent_weak ())
+    Detector.Spec.Impermanent_weak
+
+(* The strong oracle is *not* strongly accurate (its false suspicions are
+   the point), and the weak oracle is not strongly complete. *)
+let classes_are_sharp () =
+  let violations =
+    List.filter
+      (fun seed ->
+        let run =
+          run_with ~seed (Detector.Oracles.strong ~seed ()) (module Core.Nudc.P)
+        in
+        Result.is_error (Detector.Spec.strong_accuracy run))
+      (seeds 8)
+  in
+  Alcotest.(check bool) "strong oracle falsely suspects somewhere" true
+    (violations <> []);
+  let weak_not_strong =
+    List.filter
+      (fun seed ->
+        let run = run_with ~seed (Detector.Oracles.weak ()) (module Core.Nudc.P) in
+        Result.is_error (Detector.Spec.strong_completeness run))
+      (seeds 8)
+  in
+  Alcotest.(check bool) "weak oracle not strongly complete somewhere" true
+    (weak_not_strong <> [])
+
+(* Proposition 2.2: accumulation converts impermanent-strong to strong. *)
+let accumulate_conversion () =
+  List.iter
+    (fun seed ->
+      let oracle =
+        Detector.Oracles.accumulate (Detector.Oracles.impermanent_strong ())
+      in
+      let run = run_with ~seed oracle (module Core.Nudc.P) in
+      check_ok "strong after accumulation"
+        (Detector.Spec.satisfies Detector.Spec.Strong run))
+    (seeds 6)
+
+(* Proposition 2.1: the gossip combinator converts a weak detector into a
+   strong *derived* detector, read off the run with the gossip timeline;
+   accuracy is preserved. *)
+let gossip_conversion () =
+  List.iter
+    (fun seed ->
+      let module G = Detector.Convert.With_gossip (Core.Nudc.P) in
+      let run =
+        run_with ~seed ~loss:0.2 (Detector.Oracles.weak ()) (module G)
+      in
+      let timeline = Detector.Spec.gossip_timeline in
+      check_ok "derived strong completeness"
+        (Detector.Spec.strong_completeness ~timeline run);
+      check_ok "derived weak accuracy"
+        (Detector.Spec.weak_accuracy ~timeline run))
+    (seeds 6)
+
+(* The gossip conversion preserves *strong* accuracy too when the base
+   detector is perfect. *)
+let gossip_preserves_strong_accuracy () =
+  List.iter
+    (fun seed ->
+      let module G = Detector.Convert.With_gossip (Core.Nudc.P) in
+      let run =
+        run_with ~seed ~loss:0.2 (Detector.Oracles.perfect ()) (module G)
+      in
+      check_ok "derived strong accuracy"
+        (Detector.Spec.strong_accuracy
+           ~timeline:Detector.Spec.gossip_timeline run))
+    (seeds 6)
+
+(* Generalized detectors: gen_exact is t-useful; trivial cycling is
+   t-useful iff t < n/2 (it reports (S,0), useful only when n-t > t). *)
+let gen_exact_useful () =
+  List.iter
+    (fun seed ->
+      let run = run_with ~seed (Detector.Oracles.gen_exact ()) (module Core.Nudc.P) in
+      check_ok "t-useful" (Detector.Spec.t_useful run ~t:2))
+    (seeds 6)
+
+let trivial_cycling_useful_iff_minority () =
+  let run t seed =
+    run_with ~n:5 ~seed
+      (Detector.Oracles.trivial_cycling ~t ())
+      (module Core.Nudc.P)
+  in
+  List.iter
+    (fun seed ->
+      check_ok "t=2 useful (t<n/2)" (Detector.Spec.t_useful (run 2 seed) ~t:2))
+    (seeds 4);
+  (* with t=3 >= n/2 the (S,0) reports can never be useful *)
+  let faults = Fault_plan.crash_at [ (1, 8); (3, 14) ] in
+  let r =
+    run_with ~n:5 ~seed:5L ~faults
+      (Detector.Oracles.trivial_cycling ~t:3 ())
+      (module Core.Nudc.P)
+  in
+  check_err "t=3 not useful" (Detector.Spec.t_useful r ~t:3)
+
+(* Generalized strong accuracy is monitored: a (S,k) report with k greater
+   than the true crash count in S must be flagged. *)
+let gen_accuracy_catches_lies () =
+  let lying_gen =
+    {
+      Oracle.name = "gen-liar";
+      poll =
+        (fun _ view ->
+          if view.Oracle.now >= 3 then
+            Some (Report.gen (Pid.Set.of_list [ 0; 1 ]) 2)
+          else None);
+    }
+  in
+  let r =
+    run_with ~seed:7L ~faults:Fault_plan.empty lying_gen (module Core.Nudc.P)
+  in
+  check_err "flagged" (Detector.Spec.generalized_strong_accuracy r)
+
+(* Report.suspects: generalized reports name their suspects only when
+   k = |S|. *)
+let report_suspects () =
+  let s = Pid.Set.of_list [ 1; 2 ] in
+  Alcotest.(check bool) "std" true
+    (Pid.Set.equal (Report.suspects (Report.std s)) s);
+  Alcotest.(check bool) "gen full" true
+    (Pid.Set.equal (Report.suspects (Report.gen s 2)) s);
+  Alcotest.(check bool) "gen partial" true
+    (Pid.Set.is_empty (Report.suspects (Report.gen s 1)))
+
+let suite =
+  [
+    Alcotest.test_case "perfect oracle is Perfect" `Quick perfect_is_perfect;
+    Alcotest.test_case "strong oracle is Strong" `Quick strong_is_strong;
+    Alcotest.test_case "weak oracle is Weak" `Quick weak_is_weak;
+    Alcotest.test_case "impermanent-strong oracle" `Quick impermanent_strong_is;
+    Alcotest.test_case "impermanent-weak oracle" `Quick impermanent_weak_is;
+    Alcotest.test_case "classes are sharp" `Quick classes_are_sharp;
+    Alcotest.test_case "Prop 2.2: accumulate" `Quick accumulate_conversion;
+    Alcotest.test_case "Prop 2.1: gossip weak->strong" `Quick gossip_conversion;
+    Alcotest.test_case "gossip preserves strong accuracy" `Quick
+      gossip_preserves_strong_accuracy;
+    Alcotest.test_case "gen_exact is t-useful" `Quick gen_exact_useful;
+    Alcotest.test_case "trivial cycling useful iff t<n/2" `Quick
+      trivial_cycling_useful_iff_minority;
+    Alcotest.test_case "generalized accuracy catches lies" `Quick
+      gen_accuracy_catches_lies;
+    Alcotest.test_case "report suspect sets" `Quick report_suspects;
+  ]

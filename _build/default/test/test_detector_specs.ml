@@ -1,0 +1,229 @@
+(* Unit tests for the failure-detector property specs on hand-built runs:
+   each accuracy/completeness clause exercised in isolation. *)
+
+let mk_run n specs =
+  let hists =
+    Array.init n (fun p ->
+        List.fold_left
+          (fun h (e, tick) -> History.append h e ~tick)
+          History.empty
+          (Option.value ~default:[] (List.assoc_opt p specs)))
+  in
+  let horizon =
+    List.fold_left
+      (fun acc (_, evs) ->
+        List.fold_left (fun acc (_, t) -> max acc t) acc evs)
+      0 specs
+  in
+  Run.make ~n ~horizon hists
+
+let suspect s tick = (Event.Suspect (Report.std (Pid.Set.of_list s)), tick)
+let gen_report s k tick = (Event.Suspect (Report.gen (Pid.Set.of_list s) k), tick)
+
+let ok what = function
+  | Ok () -> ignore what
+  | Error e -> Alcotest.failf "%s should hold: %s" what e
+
+let err what = function
+  | Ok () -> Alcotest.failf "%s should be violated" what
+  | Error _ -> ()
+
+let strong_accuracy_cases () =
+  (* suspected strictly after the crash: fine *)
+  ok "post-crash suspicion"
+    (Detector.Spec.strong_accuracy
+       (mk_run 2 [ (0, [ suspect [ 1 ] 5 ]); (1, [ (Event.Crash, 3) ]) ]));
+  (* suspected the tick of the crash: crash(q) in r_q(m), fine *)
+  ok "same-tick suspicion"
+    (Detector.Spec.strong_accuracy
+       (mk_run 2 [ (0, [ suspect [ 1 ] 3 ]); (1, [ (Event.Crash, 3) ]) ]));
+  (* suspected before the crash: violation *)
+  err "premature suspicion"
+    (Detector.Spec.strong_accuracy
+       (mk_run 2 [ (0, [ suspect [ 1 ] 2 ]); (1, [ (Event.Crash, 3) ]) ]))
+
+let weak_accuracy_cases () =
+  (* p1 never suspected: fine even though p0 is suspected *)
+  ok "one immune process"
+    (Detector.Spec.weak_accuracy
+       (mk_run 3 [ (1, [ suspect [ 0 ] 2 ]); (2, []) ]));
+  (* every correct process suspected at some point: violation *)
+  err "no immune process"
+    (Detector.Spec.weak_accuracy
+       (mk_run 2 [ (0, [ suspect [ 1 ] 2 ]); (1, [ suspect [ 0 ] 3 ]) ]));
+  (* all processes crash: vacuous *)
+  ok "vacuous when all crash"
+    (Detector.Spec.weak_accuracy
+       (mk_run 2
+          [
+            (0, [ suspect [ 1 ] 1; (Event.Crash, 4) ]);
+            (1, [ suspect [ 0 ] 2; (Event.Crash, 5) ]);
+          ]))
+
+let completeness_cases () =
+  let crashed_then_suspected =
+    mk_run 3
+      [
+        (0, [ suspect [ 2 ] 6 ]);
+        (1, [ suspect [ 2 ] 7 ]);
+        (2, [ (Event.Crash, 3) ]);
+      ]
+  in
+  ok "strong completeness" (Detector.Spec.strong_completeness crashed_then_suspected);
+  (* only one correct process suspects: weak holds, strong fails *)
+  let only_witness =
+    mk_run 3
+      [ (0, [ suspect [ 2 ] 6 ]); (1, []); (2, [ (Event.Crash, 3) ]) ]
+  in
+  ok "weak completeness" (Detector.Spec.weak_completeness only_witness);
+  err "strong completeness fails" (Detector.Spec.strong_completeness only_witness);
+  (* suspicion later retracted: impermanent holds, permanent fails *)
+  let retracted =
+    mk_run 2
+      [ (0, [ suspect [ 1 ] 5; suspect [] 8 ]); (1, [ (Event.Crash, 3) ]) ]
+  in
+  ok "impermanent strong"
+    (Detector.Spec.impermanent_strong_completeness retracted);
+  err "permanent strong fails" (Detector.Spec.strong_completeness retracted);
+  (* never suspected at all: even impermanent weak fails *)
+  let blind =
+    mk_run 2 [ (0, []); (1, [ (Event.Crash, 3) ]) ]
+  in
+  err "impermanent weak fails"
+    (Detector.Spec.impermanent_weak_completeness blind)
+
+let generalized_cases () =
+  (* (S,k) with exactly k crashed inside S at report time: fine *)
+  ok "gen accuracy"
+    (Detector.Spec.generalized_strong_accuracy
+       (mk_run 3
+          [
+            (0, [ gen_report [ 1; 2 ] 1 5 ]);
+            (1, [ (Event.Crash, 3) ]);
+            (2, []);
+          ]));
+  (* k exceeds the true crash count in S: violation *)
+  err "gen accuracy overcount"
+    (Detector.Spec.generalized_strong_accuracy
+       (mk_run 3
+          [
+            (0, [ gen_report [ 1; 2 ] 2 5 ]);
+            (1, [ (Event.Crash, 3) ]);
+            (2, []);
+          ]))
+
+let t_useful_cases () =
+  (* n=4, t=2, F={3}: (S={3}, k=1) is useful: 4-1=3 > 2-1=1 *)
+  let run =
+    mk_run 4
+      [
+        (0, [ gen_report [ 3 ] 1 6 ]);
+        (1, [ gen_report [ 3 ] 1 7 ]);
+        (2, [ gen_report [ 3 ] 1 8 ]);
+        (3, [ (Event.Crash, 3) ]);
+      ]
+  in
+  ok "t-useful" (Detector.Spec.t_useful run ~t:2);
+  (* the usefulness arithmetic is sharp: (S, k) with n - |S| <= t - k is
+     not useful — here (S={1,2,3}, k=1) at t=2: 4-3=1 <= 2-1=1 *)
+  Alcotest.(check bool)
+    "arithmetic sharp" false
+    (Detector.Spec.t_useful_event run ~t:2 (Pid.Set.of_list [ 1; 2; 3 ], 1));
+  Alcotest.(check bool)
+    "arithmetic holds" true
+    (Detector.Spec.t_useful_event run ~t:2 (Pid.Set.of_list [ 3 ], 1))
+
+let suspects_at_cases () =
+  let run =
+    mk_run 2
+      [ (0, [ suspect [ 1 ] 3; suspect [] 6 ]); (1, [ (Event.Crash, 2) ]) ]
+  in
+  let at m = Detector.Spec.suspects_at Detector.Spec.event_timeline run 0 m in
+  Alcotest.(check bool) "before first report" true (Pid.Set.is_empty (at 2));
+  Alcotest.(check bool) "after first report" true (Pid.Set.mem 1 (at 4));
+  Alcotest.(check bool) "after retraction" true (Pid.Set.is_empty (at 7))
+
+(* The footnote-11 variant: correct under strong accuracy, and strictly
+   quieter than the baseline. *)
+let quiet_variant () =
+  let sends proto seed =
+    let cfg = Sim.config ~n:5 ~seed in
+    let cfg =
+      {
+        cfg with
+        Sim.loss_rate = 0.3;
+        oracle = Detector.Oracles.perfect ~lag:1 ();
+        fault_plan = Fault_plan.crash_at [ (1, 8) ];
+        init_plan = Init_plan.staggered ~n:5 ~actions_per_process:1 ~spacing:3;
+        max_ticks = 3000;
+      }
+    in
+    let r = Sim.execute_uniform cfg proto in
+    (match Core.Spec.udc r.Sim.run with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "udc: %s" e);
+    (Stats.of_run r.Sim.run).Stats.sends
+  in
+  List.iter
+    (fun seed ->
+      let noisy = sends (module Core.Ack_udc.P) seed in
+      let quiet = sends (module Core.Ack_udc.Quiet) seed in
+      Alcotest.(check bool)
+        (Printf.sprintf "quieter (%d <= %d)" quiet noisy)
+        true (quiet <= noisy))
+    (List.init 5 (fun i -> Int64.of_int ((i * 131) + 7)))
+
+let suite =
+  [
+    Alcotest.test_case "strong accuracy clauses" `Quick strong_accuracy_cases;
+    Alcotest.test_case "weak accuracy clauses" `Quick weak_accuracy_cases;
+    Alcotest.test_case "completeness clauses" `Quick completeness_cases;
+    Alcotest.test_case "generalized accuracy" `Quick generalized_cases;
+    Alcotest.test_case "t-usefulness arithmetic" `Quick t_useful_cases;
+    Alcotest.test_case "Suspects_p timeline" `Quick suspects_at_cases;
+    Alcotest.test_case "footnote-11 quiet variant" `Quick quiet_variant;
+  ]
+
+(* g-standard detectors (Section 2.2): the complement-form rendering of a
+   perfect oracle still satisfies every class property, and the protocols
+   interpret it through the g mapping — "all of our results apply to
+   g-standard failure detectors as well". *)
+let g_standard_detectors () =
+  List.iter
+    (fun seed ->
+      let oracle =
+        Detector.Oracles.g_standard (Detector.Oracles.perfect ~lag:1 ())
+      in
+      let cfg = Sim.config ~n:5 ~seed in
+      let cfg =
+        {
+          cfg with
+          Sim.loss_rate = 0.3;
+          oracle;
+          fault_plan = Fault_plan.crash_at [ (1, 8); (3, 12) ];
+          init_plan = Init_plan.staggered ~n:5 ~actions_per_process:1 ~spacing:3;
+          max_ticks = 3000;
+        }
+      in
+      let r = Sim.execute_uniform cfg (module Core.Ack_udc.P) in
+      (* the run really contains complement-form reports *)
+      let has_gstd =
+        List.exists
+          (fun p ->
+            List.exists
+              (fun (e, _) ->
+                match e with
+                | Event.Suspect (Report.Correct_set _) -> true
+                | _ -> false)
+              (History.timed_events (Run.history r.Sim.run p)))
+          (Pid.all 5)
+      in
+      Alcotest.(check bool) "g-standard reports present" true has_gstd;
+      ok "udc with g-standard detector" (Core.Spec.udc r.Sim.run);
+      ok "still Perfect through the g mapping"
+        (Detector.Spec.satisfies Detector.Spec.Perfect r.Sim.run))
+    (List.init 5 (fun i -> Int64.of_int ((i * 977) + 3)))
+
+let suite = suite @ [
+    Alcotest.test_case "g-standard detectors" `Quick g_standard_detectors;
+  ]

@@ -1,0 +1,344 @@
+(* Unit and property tests for the simulation substrate. *)
+
+let alpha owner tag = Action_id.make ~owner ~tag
+
+(* ---------- Prng ---------- *)
+
+let prng_deterministic () =
+  let a = Prng.create 42L and b = Prng.create 42L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.next_int64 a) (Prng.next_int64 b)
+  done
+
+let prng_split_independent () =
+  let a = Prng.create 42L in
+  let child = Prng.split a in
+  (* the child stream must differ from the parent's continuation *)
+  let xs = List.init 20 (fun _ -> Prng.next_int64 a) in
+  let ys = List.init 20 (fun _ -> Prng.next_int64 child) in
+  Alcotest.(check bool) "independent" false (xs = ys)
+
+let prng_int_bounds =
+  QCheck.Test.make ~name:"Prng.int stays in bounds" ~count:500
+    QCheck.(pair int64 (int_range 1 1000))
+    (fun (seed, bound) ->
+      let p = Prng.create seed in
+      let x = Prng.int p bound in
+      x >= 0 && x < bound)
+
+let prng_float_bounds =
+  QCheck.Test.make ~name:"Prng.float in [0,1)" ~count:500 QCheck.int64
+    (fun seed ->
+      let p = Prng.create seed in
+      let x = Prng.float p in
+      x >= 0.0 && x < 1.0)
+
+let prng_shuffle_permutes =
+  QCheck.Test.make ~name:"Prng.shuffle permutes" ~count:200
+    QCheck.(pair int64 (list_of_size (Gen.int_range 0 30) small_int))
+    (fun (seed, l) ->
+      let a = Array.of_list l in
+      Prng.shuffle (Prng.create seed) a;
+      List.sort compare (Array.to_list a) = List.sort compare l)
+
+(* ---------- History ---------- *)
+
+let history_append_order () =
+  let h = History.empty in
+  let h = History.append h (Event.Init (alpha 0 0)) ~tick:1 in
+  let h = History.append h (Event.Do (alpha 0 0)) ~tick:3 in
+  Alcotest.(check int) "length" 2 (History.length h);
+  (match History.last h with
+  | Some (Event.Do _) -> ()
+  | _ -> Alcotest.fail "last should be Do");
+  Alcotest.check_raises "same tick rejected (R2)"
+    (Invalid_argument "History.append: more than one event per tick (R2)")
+    (fun () -> ignore (History.append h (Event.Crash) ~tick:3))
+
+let history_crash_is_final () =
+  let h = History.append History.empty Event.Crash ~tick:1 in
+  Alcotest.(check bool) "crashed" true (History.is_crashed h);
+  Alcotest.check_raises "no event after crash (R4)"
+    (Invalid_argument "History.append: history ends in crash (R4)")
+    (fun () -> ignore (History.append h (Event.Do (alpha 0 0)) ~tick:2))
+
+let history_prefix () =
+  let h = History.empty in
+  let h = History.append h (Event.Init (alpha 0 0)) ~tick:2 in
+  let h = History.append h (Event.Do (alpha 0 0)) ~tick:5 in
+  Alcotest.(check int) "prefix at 1 empty" 0 (History.length (History.prefix_upto h 1));
+  Alcotest.(check int) "prefix at 2" 1 (History.length (History.prefix_upto h 2));
+  Alcotest.(check int) "prefix at 4" 1 (History.length (History.prefix_upto h 4));
+  Alcotest.(check int) "prefix at 5" 2 (History.length (History.prefix_upto h 5))
+
+let history_equal_ignores_ticks () =
+  let mk ticks =
+    List.fold_left
+      (fun h tick -> History.append h (Event.Init (alpha 0 0)) ~tick)
+      History.empty ticks
+  in
+  (* one event each, at different ticks *)
+  let a = mk [ 1 ] and b = mk [ 7 ] in
+  Alcotest.(check bool) "tick-insensitive" true (History.equal_events a b);
+  Alcotest.(check int) "same hash" (History.hash_events a) (History.hash_events b)
+
+(* ---------- Outbox ---------- *)
+
+let outbox_fifo () =
+  let ob = Outbox.empty in
+  let m1 = Message.Coord_ack (alpha 0 0, Fact.Set.empty) in
+  let m2 = Message.Coord_ack (alpha 0 1, Fact.Set.empty) in
+  let ob = Outbox.push ob ~dst:1 m1 in
+  let ob = Outbox.push ob ~dst:2 m2 in
+  match Outbox.next ob ~now:0 with
+  | Some (ob, (d, m)) ->
+      Alcotest.(check int) "first dst" 1 d;
+      Alcotest.(check bool) "first msg" true (Message.equal m m1);
+      (match Outbox.next ob ~now:0 with
+      | Some (_, (d2, _)) -> Alcotest.(check int) "second dst" 2 d2
+      | None -> Alcotest.fail "second missing")
+  | None -> Alcotest.fail "first missing"
+
+let outbox_recurring_paced () =
+  let m = Message.Coord_request (alpha 0 0, Fact.Set.empty) in
+  let ob = Outbox.set_recurring Outbox.empty ~key:"k" ~dst:1 m in
+  (match Outbox.next ob ~now:0 with
+  | Some (ob', _) ->
+      (* immediately after sending, the entry is not yet eligible *)
+      Alcotest.(check bool) "paced" true (Outbox.next ob' ~now:1 = None);
+      Alcotest.(check bool)
+        "eligible after period" true
+        (Outbox.next ob' ~now:Outbox.resend_period <> None)
+  | None -> Alcotest.fail "fresh entry should be eligible");
+  let ob = Outbox.cancel ob ~key:"k" in
+  Alcotest.(check bool) "cancelled" true (Outbox.next ob ~now:100 = None)
+
+let outbox_oneshot_priority () =
+  let req = Message.Coord_request (alpha 0 0, Fact.Set.empty) in
+  let ack = Message.Coord_ack (alpha 0 0, Fact.Set.empty) in
+  let ob = Outbox.set_recurring Outbox.empty ~key:"k" ~dst:1 req in
+  let ob = Outbox.push ob ~dst:2 ack in
+  match Outbox.next ob ~now:0 with
+  | Some (_, (_, m)) ->
+      Alcotest.(check bool) "one-shot first" true (Message.equal m ack)
+  | None -> Alcotest.fail "missing"
+
+let outbox_replace_recurring () =
+  let m1 = Message.Coord_request (alpha 0 0, Fact.Set.empty) in
+  let m2 = Message.Coord_request (alpha 0 1, Fact.Set.empty) in
+  let ob = Outbox.set_recurring Outbox.empty ~key:"k" ~dst:1 m1 in
+  let ob = Outbox.set_recurring ob ~key:"k" ~dst:1 m2 in
+  match Outbox.next ob ~now:10 with
+  | Some (_, (_, m)) -> Alcotest.(check bool) "replaced" true (Message.equal m m2)
+  | None -> Alcotest.fail "missing"
+
+(* ---------- Channel ---------- *)
+
+let channel_lossless_delivers () =
+  let ch =
+    Channel.create ~n:2 ~prng:(Prng.create 1L) ~loss_rate:0.0
+      ~max_consecutive_drops:4 ()
+  in
+  let m = Message.Coord_request (alpha 0 0, Fact.Set.empty) in
+  Alcotest.(check bool) "kept" true (Channel.send ch ~now:1 ~src:0 ~dst:1 m = `Kept);
+  Alcotest.(check int) "in flight" 1 (Channel.in_flight_count ch);
+  Channel.deliver ch ~src:0 ~dst:1 m;
+  Alcotest.(check int) "drained" 0 (Channel.in_flight_count ch)
+
+let channel_bounded_unfairness =
+  QCheck.Test.make ~name:"forced keep after k consecutive drops" ~count:100
+    QCheck.(pair int64 (int_range 0 6))
+    (fun (seed, k) ->
+      let ch =
+        Channel.create ~n:2 ~prng:(Prng.create seed) ~loss_rate:1.0
+          ~max_consecutive_drops:k ()
+      in
+      let m = Message.Coord_request (alpha 0 0, Fact.Set.empty) in
+      (* with loss 1.0 exactly the first k sends drop, then one is kept *)
+      let rec go i =
+        match Channel.send ch ~now:i ~src:0 ~dst:1 m with
+        | `Kept -> i
+        | `Dropped -> go (i + 1)
+      in
+      go 0 = k)
+
+let channel_link_override () =
+  let ch =
+    Channel.create
+      ~link_loss:[ ((0, 1), 1.0) ]
+      ~n:3 ~prng:(Prng.create 1L) ~loss_rate:0.0 ~max_consecutive_drops:1000 ()
+  in
+  let m = Message.Coord_request (alpha 0 0, Fact.Set.empty) in
+  Alcotest.(check bool) "0->1 lossy" true
+    (Channel.send ch ~now:1 ~src:0 ~dst:1 m = `Dropped);
+  Alcotest.(check bool) "0->2 clean" true
+    (Channel.send ch ~now:1 ~src:0 ~dst:2 m = `Kept)
+
+(* ---------- Run checkers ---------- *)
+
+let mk_run n specs =
+  (* specs: per-pid (event, tick) lists, chronological *)
+  let hists =
+    Array.init n (fun p ->
+        List.fold_left
+          (fun h (e, tick) -> History.append h e ~tick)
+          History.empty
+          (List.assoc p specs))
+  in
+  let horizon =
+    List.fold_left
+      (fun acc (_, evs) ->
+        List.fold_left (fun acc (_, t) -> max acc t) acc evs)
+      0 specs
+  in
+  Run.make ~n ~horizon hists
+
+let req = Message.Coord_request (alpha 0 0, Fact.Set.empty)
+
+let run_r3_detects_phantom_recv () =
+  let r =
+    mk_run 2 [ (0, []); (1, [ (Event.Recv { src = 0; msg = req }, 1) ]) ]
+  in
+  Alcotest.(check bool) "R3 fails" true (Result.is_error (Run.check_r3 r))
+
+let run_r3_accepts_matched () =
+  let r =
+    mk_run 2
+      [
+        (0, [ (Event.Send { dst = 1; msg = req }, 1) ]);
+        (1, [ (Event.Recv { src = 0; msg = req }, 2) ]);
+      ]
+  in
+  Alcotest.(check bool) "R3 ok" true (Result.is_ok (Run.check_r3 r))
+
+let run_r3_multiplicity () =
+  (* two receives of a message sent once: violation *)
+  let r =
+    mk_run 2
+      [
+        (0, [ (Event.Send { dst = 1; msg = req }, 1) ]);
+        ( 1,
+          [
+            (Event.Recv { src = 0; msg = req }, 2);
+            (Event.Recv { src = 0; msg = req }, 3);
+          ] );
+      ]
+  in
+  Alcotest.(check bool) "R3 fails" true (Result.is_error (Run.check_r3 r))
+
+let run_r3_rejects_early_recv () =
+  (* receive strictly before the send *)
+  let r =
+    mk_run 2
+      [
+        (0, [ (Event.Send { dst = 1; msg = req }, 5) ]);
+        (1, [ (Event.Recv { src = 0; msg = req }, 2) ]);
+      ]
+  in
+  Alcotest.(check bool) "R3 fails" true (Result.is_error (Run.check_r3 r))
+
+let run_init_once () =
+  let r =
+    mk_run 2
+      [
+        (0, [ (Event.Init (alpha 0 0), 1) ]);
+        (1, [ (Event.Init (alpha 0 1), 2) ]);
+      ]
+  in
+  (* p1 "initiating" p0's action a0.1 violates ownership *)
+  Alcotest.(check bool) "ownership" true
+    (Result.is_error (Run.check_init_once r))
+
+let run_faulty_set () =
+  let r =
+    mk_run 3
+      [ (0, [ (Event.Crash, 4) ]); (1, []); (2, [ (Event.Crash, 2) ]) ]
+  in
+  Alcotest.(check bool) "F(r)" true
+    (Pid.Set.equal (Run.faulty r) (Pid.Set.of_list [ 0; 2 ]));
+  Alcotest.(check bool) "crashed_by" true (Run.crashed_by r 2 2);
+  Alcotest.(check bool) "not yet" false (Run.crashed_by r 0 3)
+
+(* Every simulator-produced run is well-formed: a broad property over
+   random configurations. *)
+let sim_runs_well_formed =
+  QCheck.Test.make ~name:"simulator output satisfies R1-R5" ~count:30
+    QCheck.(triple int64 (int_range 2 6) (int_range 0 80))
+    (fun (seed, n, loss_pct) ->
+      let loss = float_of_int loss_pct /. 100.0 in
+      let prng = Prng.create seed in
+      let t = Prng.int prng n in
+      let cfg = Sim.config ~n ~seed in
+      let cfg =
+        {
+          cfg with
+          Sim.loss_rate = loss;
+          fault_plan = Fault_plan.random prng ~n ~t ~max_tick:30;
+          init_plan = Init_plan.staggered ~n ~actions_per_process:1 ~spacing:2;
+          oracle = Detector.Oracles.perfect ();
+          max_ticks = 1500;
+        }
+      in
+      let r = Sim.execute_uniform cfg (module Core.Ack_udc.P) in
+      Result.is_ok
+        (Run.check_well_formed r.Sim.run
+           ~max_consecutive_drops:cfg.Sim.max_consecutive_drops))
+
+(* Determinism: the same configuration yields the same run. *)
+let sim_deterministic () =
+  let cfg = Sim.config ~n:4 ~seed:99L in
+  let cfg =
+    {
+      cfg with
+      Sim.loss_rate = 0.4;
+      fault_plan = Fault_plan.crash_at [ (2, 7) ];
+      init_plan = Init_plan.one ~owner:0 ~at:1;
+      oracle = Detector.Oracles.perfect ();
+    }
+  in
+  let r1 = Sim.execute_uniform cfg (module Core.Ack_udc.P) in
+  let r2 = Sim.execute_uniform cfg (module Core.Ack_udc.P) in
+  List.iter
+    (fun p ->
+      Alcotest.(check bool)
+        "same histories" true
+        (History.timed_events (Run.history r1.Sim.run p)
+        = History.timed_events (Run.history r2.Sim.run p)))
+    (Pid.all 4)
+
+let qsuite = List.map QCheck_alcotest.to_alcotest
+  [
+    prng_int_bounds;
+    prng_float_bounds;
+    prng_shuffle_permutes;
+    channel_bounded_unfairness;
+    sim_runs_well_formed;
+  ]
+
+let suite =
+  [
+    Alcotest.test_case "prng: deterministic" `Quick prng_deterministic;
+    Alcotest.test_case "prng: split independent" `Quick prng_split_independent;
+    Alcotest.test_case "history: append/R2" `Quick history_append_order;
+    Alcotest.test_case "history: crash final (R4)" `Quick history_crash_is_final;
+    Alcotest.test_case "history: cut prefixes" `Quick history_prefix;
+    Alcotest.test_case "history: tick-insensitive equality" `Quick
+      history_equal_ignores_ticks;
+    Alcotest.test_case "outbox: one-shot FIFO" `Quick outbox_fifo;
+    Alcotest.test_case "outbox: recurring pacing" `Quick outbox_recurring_paced;
+    Alcotest.test_case "outbox: one-shots first" `Quick outbox_oneshot_priority;
+    Alcotest.test_case "outbox: recurring replacement" `Quick
+      outbox_replace_recurring;
+    Alcotest.test_case "channel: lossless delivery" `Quick
+      channel_lossless_delivers;
+    Alcotest.test_case "channel: per-link override" `Quick channel_link_override;
+    Alcotest.test_case "run: R3 phantom receive" `Quick
+      run_r3_detects_phantom_recv;
+    Alcotest.test_case "run: R3 matched" `Quick run_r3_accepts_matched;
+    Alcotest.test_case "run: R3 multiplicity" `Quick run_r3_multiplicity;
+    Alcotest.test_case "run: R3 early receive" `Quick run_r3_rejects_early_recv;
+    Alcotest.test_case "run: init ownership" `Quick run_init_once;
+    Alcotest.test_case "run: faulty set" `Quick run_faulty_set;
+    Alcotest.test_case "sim: deterministic" `Quick sim_deterministic;
+  ]
+  @ qsuite

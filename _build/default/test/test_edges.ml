@@ -1,0 +1,144 @@
+(* Edge cases and plan/plumbing units: degenerate system sizes, trigger
+   semantics, plan validation, blackout, and goal/quiescence corners. *)
+
+let alpha owner tag = Action_id.make ~owner ~tag
+
+let base n seed =
+  let cfg = Sim.config ~n ~seed in
+  { cfg with Sim.init_plan = Init_plan.one ~owner:0 ~at:1; max_ticks = 400 }
+
+(* A single process coordinates with itself. *)
+let singleton_system () =
+  List.iter
+    (fun proto ->
+      let r = Sim.execute_uniform (base 1 3L) proto in
+      (match Core.Spec.udc r.Sim.run with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "n=1 udc: %s" e);
+      Alcotest.(check bool)
+        "performed" true
+        (Run.did r.Sim.run 0 (alpha 0 0)))
+    [
+      (module Core.Nudc.P : Protocol.S);
+      (module Core.Reliable_udc.P);
+      (module Core.Ack_udc.P);
+      Core.Majority_udc.make ~t:0;
+    ]
+
+(* Two processes, both crash: UDC vacuous, run well-formed, sim stops. *)
+let everyone_crashes () =
+  let cfg = base 2 5L in
+  let cfg =
+    { cfg with Sim.fault_plan = Fault_plan.crash_at [ (0, 3); (1, 4) ] }
+  in
+  let r = Sim.execute_uniform cfg (module Core.Nudc.P) in
+  Alcotest.(check bool)
+    "stops before the cap" true
+    (Run.horizon r.Sim.run < 400);
+  (match Core.Spec.nudc r.Sim.run with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "nudc: %s" e);
+  Alcotest.(check int) "both crashed" 2
+    (Pid.Set.cardinal (Run.faulty r.Sim.run))
+
+(* After_did triggers fire only once the named action is performed. *)
+let trigger_semantics () =
+  let a = alpha 0 0 in
+  let cfg = base 3 7L in
+  let cfg =
+    {
+      cfg with
+      Sim.fault_plan =
+        Fault_plan.of_entries
+          [ { victim = 1; trigger = Fault_plan.After_did (0, a) } ];
+    }
+  in
+  let r = Sim.execute_uniform cfg (module Core.Nudc.P) in
+  let do_tick = Option.get (Run.do_tick r.Sim.run 0 a) in
+  (match Run.crash_tick r.Sim.run 1 with
+  | Some tc ->
+      (* the crash may land in the same global tick as the do: ticks are
+         per-process, and within a tick the scheduler saw the do first *)
+      Alcotest.(check bool)
+        (Printf.sprintf "crash %d not before do %d" tc do_tick)
+        true (tc >= do_tick)
+  | None -> Alcotest.fail "trigger never fired");
+  (* an After_did trigger whose action never happens leaves its victim
+     correct *)
+  let cfg2 = base 3 7L in
+  let cfg2 =
+    {
+      cfg2 with
+      Sim.fault_plan =
+        Fault_plan.of_entries
+          [ { victim = 1; trigger = Fault_plan.After_did (2, alpha 2 5) } ];
+    }
+  in
+  let r2 = Sim.execute_uniform cfg2 (module Core.Nudc.P) in
+  Alcotest.(check bool)
+    "unfired trigger leaves victim correct" true
+    (Run.crash_tick r2.Sim.run 1 = None)
+
+(* Duplicate initiations are rejected at plan construction. *)
+let init_plan_validation () =
+  Alcotest.check_raises "duplicate action"
+    (Invalid_argument "Init_plan: action initiated twice") (fun () ->
+      ignore
+        (Init_plan.of_entries
+           [
+             { Init_plan.action = alpha 0 0; at = 1 };
+             { Init_plan.action = alpha 0 0; at = 4 };
+           ]))
+
+(* Blackout drops every in-flight message at the first do, but fairness
+   recovers later traffic: the nUDC protocol still coordinates. *)
+let blackout_recovery () =
+  let cfg = base 3 11L in
+  let cfg = { cfg with Sim.blackout_after_do = true; max_ticks = 2000 } in
+  let r = Sim.execute_uniform cfg (module Core.Nudc.P) in
+  match Core.Spec.nudc r.Sim.run with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "nudc after blackout: %s" e
+
+(* The goal respects late initiations: the run must not stop before a
+   planned action has even been initiated. *)
+let goal_waits_for_late_inits () =
+  let cfg = Sim.config ~n:3 ~seed:13L in
+  let cfg =
+    {
+      cfg with
+      Sim.init_plan =
+        Init_plan.of_entries
+          [
+            { Init_plan.action = alpha 0 0; at = 1 };
+            { Init_plan.action = alpha 1 0; at = 60 };
+          ];
+      max_ticks = 2000;
+    }
+  in
+  let r = Sim.execute_uniform cfg (module Core.Nudc.P) in
+  Alcotest.(check bool) "ran past the late init" true (Run.horizon r.Sim.run > 60);
+  Alcotest.(check bool) "late action performed" true
+    (Run.did r.Sim.run 2 (alpha 1 0))
+
+(* Fault_plan.random produces exactly t distinct victims. *)
+let random_fault_plan =
+  QCheck.Test.make ~name:"Fault_plan.random: t distinct victims" ~count:200
+    QCheck.(pair int64 (int_range 1 6))
+    (fun (seed, n) ->
+      let prng = Prng.create seed in
+      let t = Prng.int prng (n + 1) in
+      let plan = Fault_plan.random prng ~n ~t ~max_tick:20 in
+      Pid.Set.cardinal (Fault_plan.planned_faulty plan) = t)
+
+let suite =
+  [
+    Alcotest.test_case "n=1 systems" `Quick singleton_system;
+    Alcotest.test_case "everyone crashes" `Quick everyone_crashes;
+    Alcotest.test_case "After_did trigger semantics" `Quick trigger_semantics;
+    Alcotest.test_case "init plan validation" `Quick init_plan_validation;
+    Alcotest.test_case "blackout recovery" `Quick blackout_recovery;
+    Alcotest.test_case "goal waits for late inits" `Quick
+      goal_waits_for_late_inits;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest [ random_fault_plan ]

@@ -1,0 +1,230 @@
+(* The Section 5 material and footnote 10: the ATD99 detector class, the
+   heartbeat quiescence mechanism, and the sampled-knowledge ablation. *)
+
+open Helpers
+
+(* --- ATD99 / Theta --- *)
+
+let rotating_is_theta_not_weak () =
+  List.iter
+    (fun seed ->
+      let faults = Fault_plan.crash_at [ (1, 8) ] in
+      let r =
+        run_udc ~n:4 ~seed ~loss:0.3 ~faults
+          ~oracle:(Detector.Theta.rotating ())
+          (module Core.Theta_udc.P)
+      in
+      check_ok "theta class" (Detector.Theta.satisfies_theta r.Sim.run);
+      (* every correct process is suspected at some point: weak accuracy
+         genuinely fails, so this detector is strictly weaker *)
+      check_err "weak accuracy fails" (Detector.Spec.weak_accuracy r.Sim.run))
+    (seeds 5)
+
+let theta_udc_attains_udc () =
+  List.iter
+    (fun seed ->
+      let faults = Fault_plan.crash_at [ (1, 8); (3, 15) ] in
+      let r =
+        run_udc ~n:5 ~seed ~loss:0.3 ~faults
+          ~oracle:(Detector.Theta.rotating ())
+          (module Core.Theta_udc.P)
+      in
+      well_formed r.Sim.run;
+      check_ok "udc via theta" (Core.Spec.udc r.Sim.run))
+    (seeds 8)
+
+(* The Prop 3.1 protocol is NOT safe with this weaker detector: its
+   "says or has said" discharge turns rotating suspicions into permanent
+   ones, so a doomed clique can perform with no correct witness. *)
+let ack_udc_breaks_with_theta () =
+  let n = 4 in
+  let clique = Pid.Set.of_list [ 0 ] in
+  let alpha0 = Action_id.make ~owner:0 ~tag:0 in
+  let violated =
+    List.exists
+      (fun seed ->
+        let cfg = Sim.config ~n ~seed in
+        let cfg =
+          {
+            cfg with
+            Sim.init_plan = Init_plan.one ~owner:0 ~at:1;
+            oracle = Detector.Theta.rotating ~window:2 ();
+            max_ticks = 400;
+            max_consecutive_drops = 200;
+            link_loss =
+              List.concat_map
+                (fun src ->
+                  List.filter_map
+                    (fun dst ->
+                      if Pid.Set.mem src clique && not (Pid.Set.mem dst clique)
+                      then Some ((src, dst), 1.0)
+                      else None)
+                    (Pid.all n))
+                (Pid.all n);
+            fault_plan =
+              Fault_plan.of_entries
+                [ { victim = 0; trigger = Fault_plan.After_did (0, alpha0) } ];
+            blackout_after_do = true;
+          }
+        in
+        let r = Sim.execute_uniform cfg (module Core.Ack_udc.P) in
+        Result.is_error (Core.Spec.dc2 r.Sim.run)
+        && Result.is_ok (Core.Spec.nudc r.Sim.run))
+      (seeds 8)
+  in
+  Alcotest.(check bool) "ack protocol violates UDC under theta" true violated
+
+(* --- Heartbeats (footnote 10 / ACT97) --- *)
+
+let heartbeat_nudc_correct () =
+  List.iter
+    (fun seed ->
+      let faults = Fault_plan.crash_at [ (2, 9) ] in
+      let r =
+        run_udc ~n:4 ~seed ~loss:0.4 ~faults (module Core.Heartbeat_nudc.P)
+      in
+      well_formed r.Sim.run;
+      check_ok "nudc via heartbeats" (Core.Spec.nudc r.Sim.run))
+    (seeds 8)
+
+let heartbeat_application_quiescence () =
+  (* run far past coordination: application traffic must stop, while the
+     plain flooding protocol keeps retransmitting to the crashed peer *)
+  let mk proto seed =
+    let cfg = Sim.config ~n:4 ~seed in
+    let cfg =
+      {
+        cfg with
+        Sim.loss_rate = 0.3;
+        fault_plan = Fault_plan.crash_at [ (3, 6) ];
+        init_plan = Init_plan.one ~owner:0 ~at:1;
+        goal = Sim.Run_to_max;
+        max_ticks = 600;
+      }
+    in
+    (Sim.execute_uniform cfg proto).Sim.run
+  in
+  List.iter
+    (fun seed ->
+      let hb_run = mk (module Core.Heartbeat_nudc.P) seed in
+      check_ok "still correct" (Core.Spec.nudc hb_run);
+      (match Core.Heartbeat_nudc.app_quiescent_after hb_run with
+      | Some t ->
+          Alcotest.(check bool)
+            (Printf.sprintf "quiescent early (tick %d)" t)
+            true
+            (t < 300)
+      | None -> Alcotest.fail "application traffic never stopped");
+      (* contrast: the flooding protocol is still talking at the horizon *)
+      let flood_run = mk (module Core.Nudc.P) seed in
+      Alcotest.(check bool)
+        "flooding never quiesces" true
+        (Core.Heartbeat_nudc.app_quiescent_after flood_run = None))
+    (seeds 4)
+
+(* --- Sampled knowledge --- *)
+
+let sampled_overclaim_decays () =
+  (* no-detector context: exhaustively, no process ever knows a crash, so
+     every crash-knowledge claim a subsample grants is overclaim *)
+  let cfg = Enumerate.config ~n:3 ~depth:7 in
+  let cfg =
+    {
+      cfg with
+      Enumerate.max_crashes = 2;
+      init_plan = Init_plan.one ~owner:0 ~at:1;
+      oracle_mode = Enumerate.No_oracle;
+      max_nodes = 20_000_000;
+    }
+  in
+  let out = Enumerate.runs cfg (module Core.Nudc.P) in
+  Alcotest.(check bool) "exhaustive" true out.Enumerate.exhaustive;
+  let full = Array.of_list out.Enumerate.runs in
+  let env_full =
+    Epistemic.Checker.make (Epistemic.System.of_runs out.Enumerate.runs)
+  in
+  let claims env_sub indices =
+    let total = ref 0 and refuted = ref 0 in
+    List.iteri
+      (fun sub_ri full_ri ->
+        for m = 0 to Run.horizon full.(full_ri) do
+          List.iter
+            (fun pr ->
+              List.iter
+                (fun q ->
+                  if pr <> q then
+                    let f =
+                      Epistemic.Formula.knows pr (Epistemic.Formula.crashed q)
+                    in
+                    if Epistemic.Checker.holds env_sub f ~run:sub_ri ~tick:m
+                    then begin
+                      incr total;
+                      if
+                        not
+                          (Epistemic.Checker.holds env_full f ~run:full_ri
+                             ~tick:m)
+                      then incr refuted
+                    end)
+                (Pid.all 3))
+            (Pid.all 3)
+        done)
+      indices;
+    (!total, !refuted)
+  in
+  (* on the full system itself: zero crash-knowledge (asynchrony) *)
+  let full_claims, _ =
+    claims env_full (List.init (Array.length full) (fun i -> i))
+  in
+  Alcotest.(check int) "no crash knowledge without a detector" 0 full_claims;
+  (* on a small subsample: whatever is claimed is refuted by the full
+     system - pure sampling artifact *)
+  let size = 12 in
+  let stride = Array.length full / size in
+  let indices = List.init size (fun i -> i * stride) in
+  let env_sub =
+    Epistemic.Checker.make
+      (Epistemic.System.of_runs (List.map (fun i -> full.(i)) indices))
+  in
+  let sub_claims, sub_refuted = claims env_sub indices in
+  Alcotest.(check int) "all subsample claims are overclaim" sub_claims
+    sub_refuted
+
+let sampled_knowledge_still_sound_where_exact () =
+  (* accuracy audit never flags a suspicion of a process that crashed:
+     those are true regardless of sampling *)
+  let mk_config seed =
+    let cfg = Sim.config ~n:3 ~seed in
+    {
+      cfg with
+      Sim.loss_rate = 0.2;
+      oracle = Detector.Oracles.perfect ();
+      fault_plan = Fault_plan.crash_at [ (1, 5) ];
+      init_plan = Init_plan.one ~owner:0 ~at:1;
+      max_ticks = 400;
+    }
+  in
+  let env =
+    Core.Sampled.env ~mk_config ~protocol:(module Core.Ack_udc.P) ~runs:12
+  in
+  let o = Core.Sampled.f_overclaim env in
+  Alcotest.(check bool) "some reports" true (o.Core.Sampled.reports > 0);
+  (* identical fault plans: all sampled runs have p1 crashed, so
+     suspecting p1 is always true; no false suspicions possible *)
+  Alcotest.(check int) "no overclaim" 0 o.Core.Sampled.false_suspicions
+
+let suite =
+  [
+    Alcotest.test_case "rotating detector: theta but not weak" `Quick
+      rotating_is_theta_not_weak;
+    Alcotest.test_case "theta protocol attains UDC" `Quick
+      theta_udc_attains_udc;
+    Alcotest.test_case "Prop 3.1 protocol breaks under theta" `Quick
+      ack_udc_breaks_with_theta;
+    Alcotest.test_case "heartbeat nUDC correct" `Quick heartbeat_nudc_correct;
+    Alcotest.test_case "heartbeat application quiescence" `Quick
+      heartbeat_application_quiescence;
+    Alcotest.test_case "sampled knowledge: overclaim decays" `Slow
+      sampled_overclaim_decays;
+    Alcotest.test_case "sampled knowledge: sound on fixed faults" `Quick
+      sampled_knowledge_still_sound_where_exact;
+  ]

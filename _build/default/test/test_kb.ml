@@ -1,0 +1,118 @@
+(* The knowledge-based program interpreter (FHMV97 semantics): the
+   Proposition 3.5 guard generates a safe coordination program by fixpoint;
+   the naive guard ("perform once you know the initiation") does not. *)
+
+let alpha = Action_id.make ~owner:0 ~tag:0
+let n = 3
+
+let safety_formula =
+  let open Epistemic.Formula in
+  disj
+    (List.map
+       (fun q -> knows q (inited alpha) &&& always (neg (crashed q)))
+       (Pid.all n))
+  ||| conj (List.map (fun q -> eventually (crashed q)) (Pid.all n))
+
+(* classify an outcome: perform points, unsafe perform points, and
+   unrecoverable uniformity violations (someone performed, every knower
+   crashed, a correct ignorant process remains) *)
+let audit (outcome : Core.Kb_program.outcome) =
+  let env = outcome.Core.Kb_program.env in
+  let sys = Epistemic.Checker.system env in
+  let performs = ref 0 and unsafe = ref 0 and unrecoverable = ref 0 in
+  for ri = 0 to Epistemic.System.run_count sys - 1 do
+    let r = Epistemic.System.run sys ri in
+    List.iter
+      (fun p ->
+        match Run.do_tick r p alpha with
+        | Some m ->
+            incr performs;
+            if not (Epistemic.Checker.holds env safety_formula ~run:ri ~tick:m)
+            then incr unsafe
+        | None -> ())
+      (Pid.all n);
+    if Result.is_error (Core.Spec.dc2 r) then begin
+      let h = Run.horizon r in
+      let recoverable =
+        List.exists
+          (fun q ->
+            (not (Run.crashed_by r q h))
+            && Epistemic.Checker.holds env
+                 (Epistemic.Formula.knows q (Epistemic.Formula.inited alpha))
+                 ~run:ri ~tick:h)
+          (Pid.all n)
+      in
+      if not recoverable then incr unrecoverable
+    end
+  done;
+  (!performs, !unsafe, !unrecoverable)
+
+let interpret guard =
+  Core.Kb_program.interpret ~n ~depth:8 ~max_crashes:2 ~alpha ~guard
+    ~max_iters:8
+
+let prop35_guard_is_safe () =
+  let outcome = interpret (Core.Kb_program.prop35_guard ~n ~alpha) in
+  Alcotest.(check bool) "fixpoint reached" true outcome.Core.Kb_program.fixpoint;
+  Alcotest.(check bool)
+    "program acts somewhere" true
+    (Core.Kb_program.table_size outcome.Core.Kb_program.table > 0);
+  let performs, unsafe, unrecoverable = audit outcome in
+  Alcotest.(check bool) "nonvacuous" true (performs > 0);
+  Alcotest.(check int) "no unsafe perform points" 0 unsafe;
+  Alcotest.(check int) "no unrecoverable violations" 0 unrecoverable;
+  (* DC3 holds outright: nobody performs an uninitiated action *)
+  let sys = Epistemic.Checker.system outcome.Core.Kb_program.env in
+  for ri = 0 to Epistemic.System.run_count sys - 1 do
+    match Core.Spec.dc3 (Epistemic.System.run sys ri) with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "DC3 in run %d: %s" ri e
+  done
+
+let naive_guard_is_unsafe () =
+  let naive : Core.Kb_program.guard =
+    fun env p ~run ~tick ->
+     Epistemic.Checker.holds env
+       (Epistemic.Formula.knows p (Epistemic.Formula.inited alpha))
+       ~run ~tick
+  in
+  let outcome = interpret naive in
+  let _, unsafe, unrecoverable = audit outcome in
+  Alcotest.(check bool) "unsafe perform points exist" true (unsafe > 0);
+  Alcotest.(check bool) "unrecoverable violations exist" true
+    (unrecoverable > 0)
+
+(* The digest mirrors the enumerator's histories exactly: the shell's
+   self-recorded events reproduce the run events. *)
+let shell_digest_consistent () =
+  let table = Core.Kb_program.empty_table () in
+  let cfg = Enumerate.config ~n ~depth:6 in
+  let cfg =
+    {
+      cfg with
+      Enumerate.max_crashes = 1;
+      init_plan = Init_plan.of_entries [ { Init_plan.action = alpha; at = 1 } ];
+      oracle_mode = Enumerate.Perfect_reports;
+    }
+  in
+  let out = Enumerate.runs cfg (Core.Kb_program.shell ~alpha ~table) in
+  Alcotest.(check bool) "exhaustive" true out.Enumerate.exhaustive;
+  Alcotest.(check bool) "system nonempty" true (out.Enumerate.runs <> []);
+  (* with an empty table nothing ever performs *)
+  List.iter
+    (fun r ->
+      List.iter
+        (fun p ->
+          Alcotest.(check bool) "no perform" false (Run.did r p alpha))
+        (Pid.all n))
+    out.Enumerate.runs
+
+let suite =
+  [
+    Alcotest.test_case "Prop 3.5 guard: safe fixpoint" `Slow
+      prop35_guard_is_safe;
+    Alcotest.test_case "naive guard: genuinely unsafe" `Slow
+      naive_guard_is_unsafe;
+    Alcotest.test_case "shell/enumerator digest consistency" `Quick
+      shell_digest_consistent;
+  ]

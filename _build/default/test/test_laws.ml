@@ -1,0 +1,179 @@
+(* Property tests: algebraic laws of the value types (total orders,
+   equality/hash coherence, printer injectivity on generated values) and
+   semantic laws of the temporal operators. *)
+
+open QCheck
+
+(* ---------- generators ---------- *)
+
+let pid_gen n = Gen.int_range 0 (n - 1)
+let pid_set_gen n = Gen.map Pid.Set.of_list (Gen.list_size (Gen.int_range 0 n) (pid_gen n))
+
+let action_gen n =
+  Gen.map2
+    (fun owner tag -> Action_id.make ~owner ~tag)
+    (pid_gen n) (Gen.int_range 0 3)
+
+let fact_gen n =
+  Gen.oneof
+    [
+      Gen.map (fun a -> Fact.Inited a) (action_gen n);
+      Gen.map2 (fun p a -> Fact.Did (p, a)) (pid_gen n) (action_gen n);
+      Gen.map (fun p -> Fact.Crashed p) (pid_gen n);
+    ]
+
+let fact_set_gen n =
+  Gen.map Fact.Set.of_list (Gen.list_size (Gen.int_range 0 4) (fact_gen n))
+
+let message_gen n =
+  Gen.oneof
+    [
+      Gen.map2 (fun a f -> Message.Coord_request (a, f)) (action_gen n) (fact_set_gen n);
+      Gen.map2 (fun a f -> Message.Coord_ack (a, f)) (action_gen n) (fact_set_gen n);
+      Gen.map (fun s -> Message.Gossip s) (pid_set_gen n);
+      Gen.map (fun seq -> Message.Heartbeat seq) (Gen.int_range 0 50);
+      Gen.map2
+        (fun round value -> Message.Cons_propose { round; value })
+        (Gen.int_range 0 9) (Gen.int_range 0 4);
+      Gen.map (fun value -> Message.Cons_decide { value }) (Gen.int_range 0 4);
+    ]
+
+let report_gen n =
+  Gen.oneof
+    [
+      Gen.map Report.std (pid_set_gen n);
+      Gen.map
+        (fun s -> Report.gen s (Gen.generate1 (Gen.int_range 0 (Pid.Set.cardinal s))))
+        (pid_set_gen n);
+    ]
+
+let event_gen n =
+  Gen.oneof
+    [
+      Gen.map2 (fun dst msg -> Event.Send { dst; msg }) (pid_gen n) (message_gen n);
+      Gen.map2 (fun src msg -> Event.Recv { src; msg }) (pid_gen n) (message_gen n);
+      Gen.map (fun a -> Event.Do a) (action_gen n);
+      Gen.map (fun a -> Event.Init a) (action_gen n);
+      Gen.pure Event.Crash;
+      Gen.map (fun r -> Event.Suspect r) (report_gen n);
+    ]
+
+let triple_of g = Gen.triple g g g
+
+(* ---------- total-order laws ---------- *)
+
+let order_laws name gen compare =
+  Test.make ~name:(name ^ ": total order laws") ~count:300
+    (make (triple_of gen))
+    (fun (a, b, c) ->
+      let refl = compare a a = 0 in
+      let antisym = not (compare a b < 0 && compare b a < 0) in
+      let consistent = Stdlib.compare (compare a b) (-compare b a) = 0 in
+      let trans =
+        (not (compare a b <= 0 && compare b c <= 0)) || compare a c <= 0
+      in
+      refl && antisym && consistent && trans)
+
+let message_order = order_laws "Message" (message_gen 4) Message.compare
+let event_order = order_laws "Event" (event_gen 4) Event.compare
+let report_order = order_laws "Report" (report_gen 4) Report.compare
+let fact_order = order_laws "Fact" (fact_gen 4) Fact.compare
+
+(* ---------- printer injectivity (the epistemic index relies on it) ---------- *)
+
+let event_pp_injective =
+  Test.make ~name:"Event.pp injective on distinct events" ~count:500
+    (make (Gen.pair (event_gen 4) (event_gen 4)))
+    (fun (a, b) ->
+      let sa = Format.asprintf "%a" Event.pp a in
+      let sb = Format.asprintf "%a" Event.pp b in
+      if Event.equal a b then sa = sb else sa <> sb)
+
+(* equal events print equally even when their set payloads were built in
+   different orders (the canonicalisation the System index depends on) *)
+let event_pp_canonical =
+  Test.make ~name:"Event.pp canonical over set construction order" ~count:300
+    (make (Gen.list_size (Gen.int_range 0 5) (pid_gen 5)))
+    (fun pids ->
+      let s1 = Pid.Set.of_list pids in
+      let s2 = List.fold_left (fun acc p -> Pid.Set.add p acc) Pid.Set.empty (List.rev pids) in
+      let e1 = Event.Suspect (Report.std s1) in
+      let e2 = Event.Suspect (Report.std s2) in
+      Format.asprintf "%a" Event.pp e1 = Format.asprintf "%a" Event.pp e2)
+
+(* ---------- temporal operator laws on simulator-produced systems ---------- *)
+
+let small_env seed =
+  let prng = Prng.create seed in
+  let n = 3 in
+  let runs =
+    List.init 3 (fun i ->
+        let cfg = Sim.config ~n ~seed:(Int64.add seed (Int64.of_int i)) in
+        let cfg =
+          {
+            cfg with
+            Sim.loss_rate = 0.3;
+            oracle = Detector.Oracles.perfect ();
+            fault_plan = Fault_plan.random prng ~n ~t:1 ~max_tick:8;
+            init_plan = Init_plan.one ~owner:0 ~at:1;
+            max_ticks = 300;
+          }
+        in
+        (Sim.execute_uniform cfg (module Core.Ack_udc.P)).Sim.run)
+  in
+  Epistemic.Checker.make (Epistemic.System.of_runs runs)
+
+let temporal_laws =
+  Test.make ~name:"temporal dualities and fixpoints" ~count:20
+    (make Gen.int64)
+    (fun seed ->
+      let env = small_env seed in
+      let open Epistemic.Formula in
+      let phi = inited (Action_id.make ~owner:0 ~tag:0) in
+      let psi = crashed 1 in
+      List.for_all
+        (Epistemic.Checker.valid env)
+        [
+          (* duality *)
+          Implies (eventually phi, neg (always (neg phi)));
+          Implies (neg (always (neg phi)), eventually phi);
+          (* box implies now; now implies diamond *)
+          Implies (always psi, psi);
+          Implies (psi, eventually psi);
+          (* distribution over conjunction *)
+          Implies (always (phi &&& psi), always phi &&& always psi);
+          (* stable formulas: phi => box phi for event-based prims *)
+          Implies (phi, always phi);
+          Implies (psi, always psi);
+        ])
+
+let knowledge_laws =
+  Test.make ~name:"knowledge laws on sampled systems" ~count:20
+    (make Gen.int64)
+    (fun seed ->
+      let env = small_env seed in
+      let open Epistemic.Formula in
+      let phi = inited (Action_id.make ~owner:0 ~tag:0) in
+      List.for_all
+        (Epistemic.Checker.valid env)
+        [
+          (* truth, introspection: S5 holds for ANY system by construction *)
+          Implies (knows 1 phi, phi);
+          Implies (knows 1 phi, knows 1 (knows 1 phi));
+          Implies (neg (knows 1 phi), knows 1 (neg (knows 1 phi)));
+          (* the owner knows its own stable local facts *)
+          Implies (phi, knows 0 phi);
+        ])
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      message_order;
+      event_order;
+      report_order;
+      fact_order;
+      event_pp_injective;
+      event_pp_canonical;
+      temporal_laws;
+      knowledge_laws;
+    ]

@@ -1,0 +1,20 @@
+let () =
+  Alcotest.run "udc"
+    [
+      ("dist", Test_dist.suite);
+      ("laws", Test_laws.suite);
+      ("edges", Test_edges.suite);
+      ("specs", Test_specs.suite);
+      ("detector", Test_detector.suite);
+      ("detector-specs", Test_detector_specs.suite);
+      ("protocols", Test_protocols.suite);
+      ("adversary", Test_adversary.suite);
+      ("consensus", Test_consensus.suite);
+      ("epistemic", Test_epistemic.suite);
+      ("theorems", Test_theorems.suite);
+      ("conditions", Test_conditions.suite);
+      ("extensions", Test_extensions.suite);
+      ("kb-programs", Test_kb.suite);
+      ("common-knowledge", Test_common_knowledge.suite);
+      ("enumerate", Test_enumerate.suite);
+    ]

@@ -1,0 +1,183 @@
+(* Integration tests for the UDC/nUDC protocols of the paper
+   (Propositions 2.3, 2.4, 3.1, 4.1; Corollary 4.2). *)
+
+open Helpers
+
+let nudc_no_faults () =
+  List.iter
+    (fun seed ->
+      let r = run_udc ~n:4 ~seed ~loss:0.4 (module Core.Nudc.P) in
+      well_formed r.Sim.run;
+      check_ok "nudc" (Core.Spec.nudc r.Sim.run);
+      Alcotest.(check bool) "goal reached" true (r.Sim.reason = Sim.Goal_reached))
+    (seeds 5)
+
+let nudc_with_crashes () =
+  List.iter
+    (fun seed ->
+      let faults = Fault_plan.crash_at [ (1, 9); (3, 15) ] in
+      let r = run_udc ~n:5 ~seed ~loss:0.5 ~faults (module Core.Nudc.P) in
+      well_formed r.Sim.run;
+      check_ok "nudc with crashes" (Core.Spec.nudc r.Sim.run))
+    (seeds 5)
+
+let nudc_all_crash () =
+  let faults = Fault_plan.crash_at [ (0, 4); (1, 5); (2, 6) ] in
+  let r = run_udc ~n:3 ~seed:1L ~loss:0.5 ~faults (module Core.Nudc.P) in
+  well_formed r.Sim.run;
+  check_ok "nudc, all crash" (Core.Spec.nudc r.Sim.run)
+
+let reliable_udc_ok () =
+  List.iter
+    (fun seed ->
+      let faults = Fault_plan.crash_at [ (2, 12) ] in
+      let r = run_udc ~n:4 ~seed ~loss:0.0 ~faults (module Core.Reliable_udc.P) in
+      well_formed r.Sim.run;
+      check_ok "udc reliable" (Core.Spec.udc r.Sim.run))
+    (seeds 8)
+
+(* The crash-right-after-perform adversary: with reliable channels UDC
+   still holds because the performer flushed its messages first. *)
+let reliable_udc_crash_after_do () =
+  let alpha = Action_id.make ~owner:0 ~tag:0 in
+  let faults =
+    Fault_plan.of_entries
+      [ { victim = 0; trigger = Fault_plan.After_did (0, alpha) } ]
+  in
+  List.iter
+    (fun seed ->
+      let init_plan = Init_plan.one ~owner:0 ~at:1 in
+      let r =
+        run_udc ~n:4 ~seed ~loss:0.0 ~faults ~init_plan
+          (module Core.Reliable_udc.P)
+      in
+      check_ok "udc reliable, performer dies" (Core.Spec.udc r.Sim.run))
+    (seeds 8)
+
+(* The same protocol over lossy channels is *not* uniform: the performer's
+   messages can all be lost. This is the reliable/unreliable row split. *)
+let reliable_udc_breaks_on_loss () =
+  let alpha = Action_id.make ~owner:0 ~tag:0 in
+  let faults =
+    Fault_plan.of_entries
+      [ { victim = 0; trigger = Fault_plan.After_did (0, alpha) } ]
+  in
+  let init_plan = Init_plan.one ~owner:0 ~at:1 in
+  let violated =
+    List.exists
+      (fun seed ->
+        let cfg = Sim.config ~n:4 ~seed in
+        let cfg =
+          {
+            cfg with
+            Sim.loss_rate = 1.0;
+            max_consecutive_drops = 100;
+            fault_plan = faults;
+            init_plan;
+            blackout_after_do = true;
+            max_ticks = 300;
+          }
+        in
+        let r = Sim.execute_uniform cfg (module Core.Reliable_udc.P) in
+        Result.is_error (Core.Spec.dc2 r.Sim.run))
+      (seeds 6)
+  in
+  Alcotest.(check bool) "some run violates DC2" true violated
+
+let ack_udc_strong_fd () =
+  List.iter
+    (fun seed ->
+      let faults = Fault_plan.crash_at [ (1, 8) ] in
+      let oracle = Detector.Oracles.strong ~seed () in
+      let r = run_udc ~n:4 ~seed ~loss:0.4 ~oracle ~faults (module Core.Ack_udc.P) in
+      well_formed r.Sim.run;
+      check_ok "udc ack+strong" (Core.Spec.udc r.Sim.run);
+      check_ok "oracle is strong"
+        (Detector.Spec.satisfies Detector.Spec.Strong r.Sim.run))
+    (seeds 8)
+
+let ack_udc_many_failures () =
+  (* n-1 failures, unreliable channels: strong FD still suffices. *)
+  List.iter
+    (fun seed ->
+      let faults = Fault_plan.crash_at [ (1, 10); (2, 14); (3, 18) ] in
+      let oracle = Detector.Oracles.perfect ~lag:2 () in
+      let r = run_udc ~n:4 ~seed ~loss:0.3 ~oracle ~faults (module Core.Ack_udc.P) in
+      well_formed r.Sim.run;
+      check_ok "udc ack, n-1 failures" (Core.Spec.udc r.Sim.run))
+    (seeds 8)
+
+let generalized_udc_ok () =
+  List.iter
+    (fun seed ->
+      let n = 5 and t = 3 in
+      let faults = Fault_plan.crash_at [ (1, 8); (4, 12) ] in
+      let oracle = Detector.Oracles.gen_exact () in
+      let r =
+        run_udc ~n ~seed ~loss:0.3 ~oracle ~faults (Core.Generalized_udc.make ~t)
+      in
+      well_formed r.Sim.run;
+      check_ok "udc generalized" (Core.Spec.udc r.Sim.run);
+      check_ok "oracle t-useful" (Detector.Spec.t_useful r.Sim.run ~t))
+    (seeds 8)
+
+let generalized_udc_component () =
+  let n = 6 and t = 2 in
+  let components =
+    [ Pid.Set.of_list [ 0; 1 ]; Pid.Set.of_list [ 2; 3 ]; Pid.Set.of_list [ 4; 5 ] ]
+  in
+  List.iter
+    (fun seed ->
+      let faults = Fault_plan.crash_at [ (2, 9) ] in
+      let oracle = Detector.Oracles.gen_component ~components () in
+      let r =
+        run_udc ~n ~seed ~loss:0.3 ~oracle ~faults (Core.Generalized_udc.make ~t)
+      in
+      check_ok "udc component detector" (Core.Spec.udc r.Sim.run))
+    (seeds 6)
+
+let majority_udc_ok () =
+  (* t < n/2, no failure detector at all (Gopal-Toueg / Corollary 4.2). *)
+  List.iter
+    (fun seed ->
+      let n = 5 and t = 2 in
+      let faults = Fault_plan.crash_at [ (0, 7); (3, 11) ] in
+      let r = run_udc ~n ~seed ~loss:0.4 ~faults (Core.Majority_udc.make ~t) in
+      well_formed r.Sim.run;
+      check_ok "udc majority" (Core.Spec.udc r.Sim.run))
+    (seeds 8)
+
+let majority_udc_via_cycling_detector () =
+  (* The same guarantee obtained from the paper's trivial t-useful
+     detector plugged into the Proposition 4.1 protocol. *)
+  List.iter
+    (fun seed ->
+      let n = 5 and t = 2 in
+      let faults = Fault_plan.crash_at [ (1, 9) ] in
+      let oracle = Detector.Oracles.trivial_cycling ~t () in
+      let r =
+        run_udc ~n ~seed ~loss:0.3 ~oracle ~faults (Core.Generalized_udc.make ~t)
+      in
+      check_ok "udc via cycling detector" (Core.Spec.udc r.Sim.run))
+    (seeds 6)
+
+let suite =
+  [
+    Alcotest.test_case "nUDC: lossy channels, no faults" `Quick nudc_no_faults;
+    Alcotest.test_case "nUDC: lossy channels, crashes" `Quick nudc_with_crashes;
+    Alcotest.test_case "nUDC: every process crashes" `Quick nudc_all_crash;
+    Alcotest.test_case "UDC: reliable channels, no FD" `Quick reliable_udc_ok;
+    Alcotest.test_case "UDC: reliable, performer dies" `Quick
+      reliable_udc_crash_after_do;
+    Alcotest.test_case "UDC: reliable protocol breaks on lossy channels"
+      `Quick reliable_udc_breaks_on_loss;
+    Alcotest.test_case "UDC: ack protocol + strong FD" `Quick ack_udc_strong_fd;
+    Alcotest.test_case "UDC: ack protocol, n-1 failures" `Quick
+      ack_udc_many_failures;
+    Alcotest.test_case "UDC: generalized t-useful FD" `Quick generalized_udc_ok;
+    Alcotest.test_case "UDC: component detector" `Quick
+      generalized_udc_component;
+    Alcotest.test_case "UDC: majority, t<n/2, no FD" `Quick majority_udc_ok;
+    Alcotest.test_case "UDC: trivial cycling detector" `Quick
+      majority_udc_via_cycling_detector;
+  ]

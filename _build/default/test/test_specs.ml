@@ -1,0 +1,158 @@
+(* Unit tests for the run-level specifications (DC1-DC3, DC2') on
+   hand-built runs: each clause exercised in isolation, both directions. *)
+
+let alpha owner tag = Action_id.make ~owner ~tag
+
+let mk_run n specs =
+  let hists =
+    Array.init n (fun p ->
+        List.fold_left
+          (fun h (e, tick) -> History.append h e ~tick)
+          History.empty
+          (Option.value ~default:[] (List.assoc_opt p specs)))
+  in
+  let horizon =
+    List.fold_left
+      (fun acc (_, evs) ->
+        List.fold_left (fun acc (_, t) -> max acc t) acc evs)
+      0 specs
+  in
+  Run.make ~n ~horizon hists
+
+let a0 = alpha 0 0
+
+let ok what = function
+  | Ok () -> ignore what
+  | Error e -> Alcotest.failf "%s should hold: %s" what e
+
+let err what = function
+  | Ok () -> Alcotest.failf "%s should be violated" what
+  | Error _ -> ()
+
+(* DC1: initiator performs or crashes. *)
+let dc1_cases () =
+  (* initiated and performed: fine *)
+  ok "dc1 perform"
+    (Core.Spec.dc1
+       (mk_run 2 [ (0, [ (Event.Init a0, 1); (Event.Do a0, 3) ]) ]));
+  (* initiated then crashed: discharged *)
+  ok "dc1 crash"
+    (Core.Spec.dc1
+       (mk_run 2 [ (0, [ (Event.Init a0, 1); (Event.Crash, 3) ]) ]));
+  (* initiated, alive, never performed: violation *)
+  err "dc1 stall"
+    (Core.Spec.dc1 (mk_run 2 [ (0, [ (Event.Init a0, 1) ]) ]))
+
+(* DC2: any performance obliges everyone (uniformity). *)
+let dc2_cases () =
+  let performed_both =
+    mk_run 2
+      [
+        (0, [ (Event.Init a0, 1); (Event.Do a0, 2) ]);
+        (1, [ (Event.Do a0, 4) ]);
+      ]
+  in
+  ok "dc2 both" (Core.Spec.dc2 performed_both);
+  (* performer crashed, bystander correct and idle: DC2 violated... *)
+  let crashed_performer =
+    mk_run 2
+      [ (0, [ (Event.Init a0, 1); (Event.Do a0, 2); (Event.Crash, 3) ]); (1, []) ]
+  in
+  err "dc2 uniformity" (Core.Spec.dc2 crashed_performer);
+  (* ...but DC2' is satisfied: the performer was faulty *)
+  ok "dc2' exempts faulty performer" (Core.Spec.dc2' crashed_performer);
+  (* a CORRECT performer obliges even under DC2' *)
+  let correct_performer =
+    mk_run 2 [ (0, [ (Event.Init a0, 1); (Event.Do a0, 2) ]); (1, []) ]
+  in
+  err "dc2' correct performer" (Core.Spec.dc2' correct_performer);
+  (* obliged process that crashed is discharged *)
+  let obliged_crashed =
+    mk_run 2
+      [
+        (0, [ (Event.Init a0, 1); (Event.Do a0, 2) ]);
+        (1, [ (Event.Crash, 3) ]);
+      ]
+  in
+  ok "dc2 crash discharge" (Core.Spec.dc2 obliged_crashed)
+
+(* DC3: no performance without (prior) initiation. *)
+let dc3_cases () =
+  (* performing an uninitiated action *)
+  err "dc3 uninitiated"
+    (Core.Spec.dc3 (mk_run 2 [ (1, [ (Event.Do a0, 2) ]) ]));
+  (* performing before the owner initiated *)
+  err "dc3 early"
+    (Core.Spec.dc3
+       (mk_run 2
+          [ (0, [ (Event.Init a0, 5) ]); (1, [ (Event.Do a0, 2) ]) ]));
+  (* same tick is fine (initiation at m, do observed at m) *)
+  ok "dc3 same tick"
+    (Core.Spec.dc3
+       (mk_run 2
+          [ (0, [ (Event.Init a0, 2) ]); (1, [ (Event.Do a0, 2) ]) ]))
+
+(* The formula renderings agree with the run-level checkers on a batch of
+   simulator runs: the two formalisations cross-validate. *)
+let formulas_agree_with_checkers () =
+  let alpha0 = a0 in
+  List.iter
+    (fun seed ->
+      let prng = Prng.create seed in
+      let n = 3 in
+      let cfg = Sim.config ~n ~seed in
+      let cfg =
+        {
+          cfg with
+          Sim.loss_rate = 0.3;
+          oracle = Detector.Oracles.perfect ();
+          fault_plan = Fault_plan.random prng ~n ~t:1 ~max_tick:10;
+          init_plan = Init_plan.one ~owner:0 ~at:1;
+          max_ticks = 800;
+        }
+      in
+      let r = (Sim.execute_uniform cfg (module Core.Ack_udc.P)).Sim.run in
+      (* a single-run system: validity of the DC formulas there = the
+         run-level verdicts (all formulas involved are propositional/
+         temporal, no K) *)
+      let env = Epistemic.Checker.make (Epistemic.System.of_runs [ r ]) in
+      let agree name formula checker =
+        let fv = Epistemic.Checker.holds env formula ~run:0 ~tick:0 in
+        let cv = Result.is_ok (checker r) in
+        Alcotest.(check bool) name cv fv
+      in
+      agree "DC1" (Core.Spec.dc1_formula alpha0) Core.Spec.dc1;
+      agree "DC2" (Core.Spec.dc2_formula ~n alpha0) Core.Spec.dc2;
+      agree "DC3" (Core.Spec.dc3_formula ~n alpha0) Core.Spec.dc3)
+    (List.init 8 (fun i -> Int64.of_int ((i * 31) + 5)))
+
+(* uniformity_latency measures from initiation to the last alive do. *)
+let latency_cases () =
+  let r =
+    mk_run 3
+      [
+        (0, [ (Event.Init a0, 2); (Event.Do a0, 5) ]);
+        (1, [ (Event.Do a0, 9) ]);
+        (2, [ (Event.Crash, 3) ]);
+      ]
+  in
+  (match Stats.uniformity_latency r a0 with
+  | Some l -> Alcotest.(check int) "latency" 7 l
+  | None -> Alcotest.fail "latency should exist");
+  let incomplete =
+    mk_run 3
+      [ (0, [ (Event.Init a0, 2); (Event.Do a0, 5) ]); (1, []); (2, []) ]
+  in
+  Alcotest.(check bool)
+    "no latency when incomplete" true
+    (Stats.uniformity_latency incomplete a0 = None)
+
+let suite =
+  [
+    Alcotest.test_case "DC1 clause" `Quick dc1_cases;
+    Alcotest.test_case "DC2 / DC2' clauses" `Quick dc2_cases;
+    Alcotest.test_case "DC3 clause" `Quick dc3_cases;
+    Alcotest.test_case "formula vs checker cross-validation" `Quick
+      formulas_agree_with_checkers;
+    Alcotest.test_case "uniformity latency" `Quick latency_cases;
+  ]
