@@ -27,10 +27,22 @@ let run_all () =
 
 open Cmdliner
 
-let cmd_of (name, doc, f) =
-  Cmd.v (Cmd.info name ~doc) Term.(const f $ const ())
+let domains_arg =
+  let doc =
+    "Size of the domain pool for parallel ensembles (overrides the \
+     UDC_DOMAINS environment variable; default: the runtime's recommended \
+     domain count). Results are bit-identical for every pool size."
+  in
+  Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N" ~doc)
 
-let default = Term.(const run_all $ const ())
+let with_domains f domains =
+  Option.iter Ensemble.set_domains domains;
+  f ()
+
+let cmd_of (name, doc, f) =
+  Cmd.v (Cmd.info name ~doc) Term.(const (with_domains f) $ domains_arg)
+
+let default = Term.(const (with_domains run_all) $ domains_arg)
 
 let () =
   let info =

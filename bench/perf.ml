@@ -9,6 +9,42 @@ let mean l =
   | [] -> nan
   | _ -> List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)
 
+(* Machine-readable records: every section reports its wall time and (when
+   meaningful) how many simulated runs it contains; [run] dumps them to
+   BENCH_perf.json for the CI/driver to pick up. *)
+let records : (string * float * int option) list ref = ref []
+
+let record name ~wall ~runs = records := (name, wall, runs) :: !records
+
+let timed name ?runs f =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  record name ~wall:(Unix.gettimeofday () -. t0) ~runs
+
+let write_json path =
+  let oc = open_out path in
+  let pr fmt = Printf.fprintf oc fmt in
+  pr "{\n";
+  pr "  \"domains\": %d,\n" (Ensemble.domain_count ());
+  pr "  \"recommended_domains\": %d,\n" (Domain.recommended_domain_count ());
+  pr "  \"experiments\": [\n";
+  let items = List.rev !records in
+  let last = List.length items - 1 in
+  List.iteri
+    (fun i (name, wall, runs) ->
+      let extra =
+        match runs with
+        | Some r ->
+            Printf.sprintf ", \"runs\": %d, \"runs_per_sec\": %.2f" r
+              (if wall > 0.0 then float_of_int r /. wall else 0.0)
+        | None -> ""
+      in
+      pr "    {\"name\": \"%s\", \"wall_s\": %.3f%s}%s\n" name wall extra
+        (if i = last then "" else ","))
+    items;
+  pr "  ]\n}\n";
+  close_out oc
+
 let run_one ~n ~loss ~t ~oracle ~k ~lag:_ proto seed =
   let prng = Prng.create seed in
   let cfg = Sim.config ~n ~seed in
@@ -227,10 +263,54 @@ let bechamel () =
     (fun t -> benchmark (Test.make_grouped ~name:"udc" [ t ]))
     [ sim_bench; enum_bench; knowledge_bench ]
 
+(* P5: throughput of the ensemble engine itself — the same seed list
+   mapped sequentially and on the domain pool. The digests double as a
+   cheap determinism assertion: the parallel map must reproduce the
+   sequential one bit for bit. *)
+let ensemble_throughput () =
+  Util.header "P5: ensemble engine throughput (sequential vs domain pool)";
+  let nseeds = 16 in
+  let seeds = Util.seeds nseeds in
+  let sim seed =
+    let cfg =
+      Util.udc_config ~n:6 ~t:2 ~loss:0.3
+        ~oracle:(Detector.Oracles.perfect ()) seed
+    in
+    Run.digest (Sim.execute cfg (Util.uniform (module Core.Ack_udc.P) cfg)).Sim.run
+  in
+  let time domains =
+    let t0 = Unix.gettimeofday () in
+    let digests = Ensemble.run ~domains ~seeds sim in
+    (Unix.gettimeofday () -. t0, digests)
+  in
+  let pool = max (Ensemble.domain_count ()) 1 in
+  let seq_wall, seq_digests = time 1 in
+  let par_wall, par_digests = time pool in
+  if not (List.equal String.equal seq_digests par_digests) then
+    failwith "ensemble determinism violated: parallel digests differ";
+  record "ensemble-throughput:domains=1" ~wall:seq_wall ~runs:(Some nseeds);
+  record
+    (Printf.sprintf "ensemble-throughput:domains=%d" pool)
+    ~wall:par_wall ~runs:(Some nseeds);
+  Format.printf "    %-28s %8.2f runs/s@." "sequential (1 domain)"
+    (float_of_int nseeds /. seq_wall);
+  Format.printf "    %-28s %8.2f runs/s  (speedup %.2fx)@."
+    (Printf.sprintf "pool (%d domains)" pool)
+    (float_of_int nseeds /. par_wall)
+    (seq_wall /. par_wall);
+  Format.printf
+    "    (digests of both maps compared: bit-identical on %d runs)@." nseeds
+
 let run () =
-  bechamel ();
-  message_complexity ();
-  quiet_ablation ();
-  latency_vs_loss ();
-  fairness_ablation ();
-  lag_sensitivity ()
+  records := [];
+  timed "bechamel" bechamel;
+  timed "message-complexity" ~runs:200 message_complexity;
+  timed "quiet-ablation" ~runs:60 quiet_ablation;
+  timed "latency-vs-loss" ~runs:60 latency_vs_loss;
+  timed "fairness-ablation" ~runs:48 fairness_ablation;
+  timed "lag-sensitivity" ~runs:48 lag_sensitivity;
+  ensemble_throughput ();
+  write_json "BENCH_perf.json";
+  Format.printf "@.  wrote BENCH_perf.json (%d records; %d domains)@."
+    (List.length !records)
+    (Ensemble.domain_count ())

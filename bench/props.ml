@@ -84,19 +84,21 @@ let prop31 () =
 let conversions () =
   Util.header "E5 (Props 2.1, 2.2): failure-detector conversions";
   let check name timeline oracle cls =
-    let ok = ref 0 and bad = ref 0 in
-    List.iter
-      (fun seed ->
-        let cfg =
-          Util.udc_config ~n:6 ~t:2 ~loss:0.25 ~oracle:(oracle seed) seed
-        in
-        let module G = Detector.Convert.With_gossip (Core.Nudc.P) in
-        let r = Sim.execute cfg (Util.uniform (module G) cfg) in
-        match Detector.Spec.satisfies ~timeline cls r.Sim.run with
-        | Ok () -> incr ok
-        | Error _ -> incr bad)
-      (Util.seeds runs);
-    Format.printf "    %-44s %d/%d ok@." name !ok (!ok + !bad)
+    let ok, bad =
+      Ensemble.fold
+        ~f:(fun (ok, bad) verdict ->
+          match verdict with Ok () -> (ok + 1, bad) | Error _ -> (ok, bad + 1))
+        ~init:(0, 0)
+        (fun seed ->
+          let cfg =
+            Util.udc_config ~n:6 ~t:2 ~loss:0.25 ~oracle:(oracle seed) seed
+          in
+          let module G = Detector.Convert.With_gossip (Core.Nudc.P) in
+          let r = Sim.execute cfg (Util.uniform (module G) cfg) in
+          Detector.Spec.satisfies ~timeline cls r.Sim.run)
+        (Util.seeds runs)
+    in
+    Format.printf "    %-44s %d/%d ok@." name ok (ok + bad)
   in
   check "weak --gossip--> derived strong (2.1)" Detector.Spec.gossip_timeline
     (fun _ -> Detector.Oracles.weak ())
@@ -123,11 +125,13 @@ let prop41 () =
     "component FD" "no FD (majority)";
   List.iter
     (fun t ->
-      let cell oracle proto =
+      (* stateful oracles are allocated per seed, never shared across the
+         ensemble *)
+      let cell oracle_of proto =
         let v =
           Util.ensemble ~runs
             ~mk_config:(fun seed ->
-              Util.udc_config ~n ~t ~loss:0.3 ~oracle seed)
+              Util.udc_config ~n ~t ~loss:0.3 ~oracle:(oracle_of ()) seed)
             ~protocol:(Util.uniform proto) ~property:Core.Spec.udc
         in
         Printf.sprintf "%d/%d" v.Util.ok (v.Util.ok + v.Util.violated)
@@ -136,17 +140,17 @@ let prop41 () =
         [ Pid.Set.of_list [ 0; 1 ]; Pid.Set.of_list [ 2; 3 ]; Pid.Set.of_list [ 4; 5 ] ]
       in
       let gen =
-        cell (Detector.Oracles.gen_exact ()) (Core.Generalized_udc.make ~t)
+        cell (fun () -> Detector.Oracles.gen_exact ()) (Core.Generalized_udc.make ~t)
       in
       let comp =
         if t <= 2 then
           cell
-            (Detector.Oracles.gen_component ~components ())
+            (fun () -> Detector.Oracles.gen_component ~components ())
             (Core.Generalized_udc.make ~t)
         else "n/a"
       in
       let nofd =
-        if 2 * t < n then cell Oracle.none (Core.Majority_udc.make ~t)
+        if 2 * t < n then cell (fun () -> Oracle.none) (Core.Majority_udc.make ~t)
         else "needs FD"
       in
       Format.printf "    %-10d %-22s %-22s %-22s@." t gen comp nofd)

@@ -8,14 +8,21 @@
 let n = 6
 let runs = 20
 
-let udc_suffices ~t ~loss ~oracle ~proto =
+(* Oracles are allocated per seed ([oracle_of]): most oracle
+   implementations carry mutable state (sticky suspicion sets, lag
+   bookkeeping), so one oracle value must never be shared across the
+   ensemble — runs would stop being functions of their seed, and the
+   parallel engine would race on the shared state. *)
+let udc_suffices ~t ~loss ~oracle_of ~proto =
   Util.ensemble ~runs
-    ~mk_config:(Util.udc_config ~n ~t ~loss ~oracle)
+    ~mk_config:(fun seed ->
+      Util.udc_config ~n ~t ~loss ~oracle:(oracle_of seed) seed)
     ~protocol:(Util.uniform proto) ~property:Core.Spec.udc
 
-let consensus_suffices ~t ~loss ~oracle ~proposals =
+let consensus_suffices ~t ~loss ~oracle_of ~proposals =
   Util.ensemble ~runs
-    ~mk_config:(Util.consensus_config ~n ~t ~loss ~oracle)
+    ~mk_config:(fun seed ->
+      Util.consensus_config ~n ~t ~loss ~oracle:(oracle_of seed) seed)
     ~protocol:(Util.uniform (Consensus.Chandra_toueg.make_s ~proposals))
     ~property:(Consensus.Spec.consensus ~proposals)
 
@@ -59,7 +66,7 @@ let flp_cell () =
   (* no failure detector: a crashed coordinator blocks the S algorithm *)
   let proposals = Array.init n (fun i -> i mod 2) in
   let stuck =
-    List.exists
+    Ensemble.exists
       (fun seed ->
         let cfg =
           Util.consensus_config ~n ~t:1 ~loss:0.0 ~oracle:Oracle.none seed
@@ -82,7 +89,7 @@ let eventual_accuracy_insufficient () =
      correct coordinator split the estimates -> disagreement somewhere *)
   let proposals = Array.init n (fun i -> i mod 2) in
   let disagreement =
-    List.exists
+    Ensemble.exists
       (fun seed ->
         let cfg =
           Util.consensus_config ~n ~t:0 ~loss:0.2
@@ -108,7 +115,7 @@ let ds_needs_majority () =
   (* the majority algorithm loses liveness when t >= n/2 *)
   let proposals = Array.init n (fun i -> i mod 2) in
   let stuck =
-    List.exists
+    Ensemble.exists
       (fun seed ->
         let cfg =
           Util.consensus_config ~n ~t:(n - 1) ~loss:0.2
@@ -140,39 +147,39 @@ let run () =
   Format.printf "@.  [reliable channels]@.";
   Format.printf "   UDC:@.";
   show_cell "t<n/2: no FD"
-    (udc_suffices ~t:2 ~loss:0.0 ~oracle:Oracle.none
+    (udc_suffices ~t:2 ~loss:0.0 ~oracle_of:(fun _ -> Oracle.none)
        ~proto:(module Core.Reliable_udc.P));
   show_cell "n/2<=t<n-1: no FD"
-    (udc_suffices ~t:4 ~loss:0.0 ~oracle:Oracle.none
+    (udc_suffices ~t:4 ~loss:0.0 ~oracle_of:(fun _ -> Oracle.none)
        ~proto:(module Core.Reliable_udc.P));
   show_cell "t=n-1: no FD"
-    (udc_suffices ~t:(n - 1) ~loss:0.0 ~oracle:Oracle.none
+    (udc_suffices ~t:(n - 1) ~loss:0.0 ~oracle_of:(fun _ -> Oracle.none)
        ~proto:(module Core.Reliable_udc.P));
   Format.printf "   consensus:@.";
   show_cell "t<n/2: eventually-strong FD"
     (consensus_ds_suffices ~t:2 ~loss:0.0 ~proposals);
   show_cell "n/2<=t<n-1: strong FD"
     (consensus_suffices ~t:4 ~loss:0.0
-       ~oracle:(Detector.Oracles.strong ~seed:1L ())
+       ~oracle_of:(fun seed -> Detector.Oracles.strong ~seed ())
        ~proposals);
   show_cell "t=n-1: perfect FD"
     (consensus_suffices ~t:(n - 1) ~loss:0.0
-       ~oracle:(Detector.Oracles.perfect ~lag:1 ())
+       ~oracle_of:(fun _ -> Detector.Oracles.perfect ~lag:1 ())
        ~proposals);
   Format.printf "@.  [unreliable (fair-lossy) channels]@.";
   Format.printf "   UDC:@.";
   show_cell "t<n/2: no FD (Gopal-Toueg)"
-    (udc_suffices ~t:2 ~loss:0.3 ~oracle:Oracle.none
+    (udc_suffices ~t:2 ~loss:0.3 ~oracle_of:(fun _ -> Oracle.none)
        ~proto:(Core.Majority_udc.make ~t:2));
   show_cell "n/2<=t<n-1: t-useful gen. FD"
     (udc_suffices ~t:4 ~loss:0.3
-       ~oracle:(Detector.Oracles.gen_exact ())
+       ~oracle_of:(fun _ -> Detector.Oracles.gen_exact ())
        ~proto:(Core.Generalized_udc.make ~t:4));
   adversary_cell "n/2<=t<n-1: no FD fails"
     (Core.Adversary.confined_clique ~n ~t:4 ~seed:11L);
   show_cell "t=n-1: perfect FD"
     (udc_suffices ~t:(n - 1) ~loss:0.3
-       ~oracle:(Detector.Oracles.perfect ~lag:1 ())
+       ~oracle_of:(fun _ -> Detector.Oracles.perfect ~lag:1 ())
        ~proto:(module Core.Ack_udc.P));
   adversary_cell "t=n-1: inaccurate FD fails"
     (Core.Adversary.lying_detector ~n ~seed:42L);
@@ -186,11 +193,11 @@ let run () =
   flp_cell ();
   show_cell "n/2<=t<n-1: strong FD"
     (consensus_suffices ~t:4 ~loss:0.3
-       ~oracle:(Detector.Oracles.strong ~seed:1L ())
+       ~oracle_of:(fun seed -> Detector.Oracles.strong ~seed ())
        ~proposals);
   show_cell "t=n-1: perfect FD"
     (consensus_suffices ~t:(n - 1) ~loss:0.3
-       ~oracle:(Detector.Oracles.perfect ~lag:1 ())
+       ~oracle_of:(fun _ -> Detector.Oracles.perfect ~lag:1 ())
        ~proposals);
   eventual_accuracy_insufficient ();
   ds_needs_majority ();

@@ -219,21 +219,27 @@ let separation () =
   in
   Format.printf "    UDC (reliable, no FD, t=n-1):      %a@." Util.pp_verdict udc;
   let proposals = Array.init n (fun i -> i mod 2) in
-  let stuck = ref 0 in
-  List.iter
-    (fun seed ->
-      let cfg = Util.consensus_config ~n ~t:1 ~loss:0.0 ~oracle:Oracle.none seed in
-      let cfg =
-        { cfg with Sim.fault_plan = Fault_plan.crash_at [ (0, 2) ]; max_ticks = 800 }
-      in
-      let r =
-        Sim.execute cfg (Util.uniform (Consensus.Chandra_toueg.make_s ~proposals) cfg)
-      in
-      if Result.is_error (Consensus.Spec.termination r.Sim.run) then incr stuck)
-    (Util.seeds 10);
+  let stuck =
+    Ensemble.fold
+      ~f:(fun acc blocked -> if blocked then acc + 1 else acc)
+      ~init:0
+      (fun seed ->
+        let cfg =
+          Util.consensus_config ~n ~t:1 ~loss:0.0 ~oracle:Oracle.none seed
+        in
+        let cfg =
+          { cfg with Sim.fault_plan = Fault_plan.crash_at [ (0, 2) ]; max_ticks = 800 }
+        in
+        let r =
+          Sim.execute cfg
+            (Util.uniform (Consensus.Chandra_toueg.make_s ~proposals) cfg)
+        in
+        Result.is_error (Consensus.Spec.termination r.Sim.run))
+      (Util.seeds 10)
+  in
   Format.printf
     "    consensus (reliable, no FD, 1 crash): %d/10 runs block forever@."
-    !stuck;
+    stuck;
   Util.paper_vs_measured
     ~claim:
       "with reliable channels UDC is strictly easier than consensus: \

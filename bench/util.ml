@@ -10,13 +10,13 @@ let pp_verdict ppf v =
   | Some e ->
       Format.fprintf ppf "%d/%d ok; e.g. %s" v.ok (v.ok + v.violated) e
 
-(* Run [property] over an ensemble of seeded executions. *)
+(* Run [property] over an ensemble of seeded executions.  Simulations run
+   on the domain pool; verdicts are folded in seed order, so the counts and
+   the reported [first_error] match a sequential evaluation exactly. *)
 let ensemble ~runs ~mk_config ~protocol ~property =
-  List.fold_left
-    (fun acc seed ->
-      let cfg = mk_config seed in
-      let result = Sim.execute cfg (protocol cfg) in
-      match property result.Sim.run with
+  Ensemble.fold
+    ~f:(fun acc outcome ->
+      match outcome with
       | Ok () -> { acc with ok = acc.ok + 1 }
       | Error e ->
           {
@@ -25,7 +25,11 @@ let ensemble ~runs ~mk_config ~protocol ~property =
             first_error =
               (match acc.first_error with None -> Some e | some -> some);
           })
-    { ok = 0; violated = 0; first_error = None }
+    ~init:{ ok = 0; violated = 0; first_error = None }
+    (fun seed ->
+      let cfg = mk_config seed in
+      let result = Sim.execute cfg (protocol cfg) in
+      property result.Sim.run)
     (seeds runs)
 
 let uniform proto cfg p = Protocol.make proto ~n:cfg.Sim.n ~me:p

@@ -172,13 +172,13 @@ let enumerate n depth crashes =
 
 let scenarios n seed =
   List.iter
-    (fun s ->
+    (fun (s, verdict) ->
       Format.printf "@.%s: %s@." s.Core.Adversary.name
         s.Core.Adversary.description;
-      match Core.Adversary.verify s with
+      match verdict with
       | Ok () -> Format.printf "  -> expected violation exhibited@."
       | Error e -> Format.printf "  -> UNEXPECTED: %s@." e)
-    (Core.Adversary.all ~n ~seed)
+    (Core.Adversary.verify_all (Core.Adversary.all ~n ~seed))
 
 let depth_arg =
   Arg.(value & opt int 7 & info [ "depth" ] ~doc:"Enumeration horizon.")

@@ -1,10 +1,6 @@
 let errorf fmt = Format.kasprintf (fun s -> Error s) fmt
 
-let decision run p =
-  List.find_map
-    (fun (e, _) ->
-      match e with Event.Do a -> Some (Action_id.tag a) | _ -> None)
-    (History.timed_events (Run.history run p))
+let decision run p = Run_index.decision (Run_index.of_run run) p
 
 let decisions run =
   List.filter_map

@@ -168,3 +168,13 @@ let verify scenario =
           match Spec.dc3 run with
           | Error e -> errorf "%s: DC3 failed unexpectedly (%s)" scenario.name e
           | Ok () -> Ok ()))
+
+let verify_all scenarios =
+  Ensemble.map (fun s -> (s, verify s)) scenarios
+
+let search ~seeds mk =
+  Ensemble.find_map
+    (fun seed ->
+      let s = mk ~seed in
+      match verify s with Ok () -> Some (seed, s) | Error _ -> None)
+    seeds

@@ -127,10 +127,11 @@ module P : Protocol.S = struct
 end
 
 let app_quiescent_after run =
+  let idx = Run_index.of_run run in
   let last_app_send = ref None in
   List.iter
     (fun p ->
-      List.iter
+      Array.iter
         (fun (e, tick) ->
           match e with
           | Event.Send { msg = Message.Heartbeat _; _ } -> ()
@@ -138,7 +139,7 @@ let app_quiescent_after run =
               if !last_app_send = None || Option.get !last_app_send < tick
               then last_app_send := Some tick
           | _ -> ())
-        (History.timed_events (Run.history run p)))
+        (Run_index.events idx p))
     (Pid.all (Run.n run));
   match !last_app_send with
   | Some t when t < Run.horizon run -> Some t

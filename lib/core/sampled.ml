@@ -1,7 +1,7 @@
 let env ~mk_config ~protocol ~runs =
+  let seeds = List.init runs (fun i -> Int64.of_int ((i * 6700417) + 97)) in
   let runs_list =
-    List.init runs (fun i ->
-        let seed = Int64.of_int ((i * 6700417) + 97) in
+    Ensemble.run ~seeds (fun seed ->
         let cfg = mk_config seed in
         (Sim.execute_uniform cfg protocol).Sim.run)
   in
@@ -16,15 +16,14 @@ type overclaim = {
 
 let f_overclaim env =
   let sys = Epistemic.Checker.system env in
-  let reports = ref 0 and false_suspicions = ref 0 in
-  let runs_complete = ref 0 and runs_total = ref 0 in
-  for ri = 0 to Epistemic.System.run_count sys - 1 do
-    incr runs_total;
+  let audit ri =
     let fr = Simulate_fd.f_run env ~run:ri in
+    let fidx = Run_index.of_run fr in
     (* audit every constructed suspicion against the ground truth *)
+    let reports = ref 0 and false_suspicions = ref 0 in
     List.iter
       (fun p ->
-        List.iter
+        Array.iter
           (fun (e, tick) ->
             match e with
             | Event.Suspect r ->
@@ -35,27 +34,31 @@ let f_overclaim env =
                       incr false_suspicions)
                   (Report.suspects r)
             | _ -> ())
-          (History.timed_events (Run.history fr p)))
+          (Run_index.events fidx p))
       (Pid.all (Run.n fr));
     let complete =
       Pid.Set.for_all
         (fun q ->
           Pid.Set.for_all
-            (fun p ->
-              Pid.Set.mem q
-                (Detector.Spec.suspects_at Detector.Spec.event_timeline fr p
-                   (Run.horizon fr)))
+            (fun p -> Pid.Set.mem q (Run_index.final_suspects fidx p))
             (Run.correct fr))
         (Run.faulty fr)
     in
-    if complete then incr runs_complete
-  done;
-  {
-    reports = !reports;
-    false_suspicions = !false_suspicions;
-    runs_complete = !runs_complete;
-    runs_total = !runs_total;
-  }
+    (!reports, !false_suspicions, complete)
+  in
+  (* one audit per run of the system, on the domain pool; the shared
+     checker env is domain-safe *)
+  Ensemble.fold
+    ~f:(fun acc (reports, false_susp, complete) ->
+      {
+        reports = acc.reports + reports;
+        false_suspicions = acc.false_suspicions + false_susp;
+        runs_complete = (acc.runs_complete + if complete then 1 else 0);
+        runs_total = acc.runs_total + 1;
+      })
+    ~init:{ reports = 0; false_suspicions = 0; runs_complete = 0; runs_total = 0 }
+    audit
+    (List.init (Epistemic.System.run_count sys) Fun.id)
 
 let pp_overclaim ppf o =
   Format.fprintf ppf

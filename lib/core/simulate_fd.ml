@@ -12,13 +12,14 @@ let subset_of_index ~n l =
 let transform env ~run:ri ~report =
   let sys = Epistemic.Checker.system env in
   let r = Epistemic.System.run sys ri in
+  let idx = Epistemic.System.index sys ri in
   let n = Run.n r in
   let horizon = Run.horizon r in
   let transform_process p =
     let timed =
       List.filter
         (fun (e, _) -> not (Event.is_failure_detector e))
-        (History.timed_events (Run.history r p))
+        (Array.to_list (Run_index.events idx p))
     in
     let crash_tick = Run.crash_tick r p in
     let alive_at m =

@@ -5,22 +5,23 @@ let fold_ok f xs =
     (fun acc x -> match acc with Error _ -> acc | Ok () -> f x)
     (Ok ()) xs
 
-let performers run alpha =
-  List.filter (fun q -> Run.did run q alpha) (Pid.all (Run.n run))
-
 let dc1 run =
+  let idx = Run_index.of_run run in
   fold_ok
     (fun (alpha, _) ->
       let p = Action_id.owner alpha in
-      if Run.did run p alpha || Option.is_some (Run.crash_tick run p) then
-        Ok ()
+      if
+        Option.is_some (Run_index.first_do idx p alpha)
+        || Option.is_some (Run.crash_tick run p)
+      then Ok ()
       else
         errorf "DC1: %a initiated %a but neither performed it nor crashed"
           Pid.pp p Action_id.pp alpha)
-    (Run.initiated run)
+    (Run_index.initiated idx)
 
 let obligation ~exempt_faulty_performer run alpha =
-  let performed_by = performers run alpha in
+  let idx = Run_index.of_run run in
+  let performed_by = Run_index.performers idx alpha in
   let obliging =
     if exempt_faulty_performer then
       List.filter
@@ -32,30 +33,18 @@ let obligation ~exempt_faulty_performer run alpha =
   else
     fold_ok
       (fun q2 ->
-        if Run.did run q2 alpha || Option.is_some (Run.crash_tick run q2) then
-          Ok ()
+        if
+          Option.is_some (Run_index.first_do idx q2 alpha)
+          || Option.is_some (Run.crash_tick run q2)
+        then Ok ()
         else
           errorf "%s: %a performed %a but correct %a never did"
             (if exempt_faulty_performer then "DC2'" else "DC2")
             Pid.pp (List.hd obliging) Action_id.pp alpha Pid.pp q2)
       (Pid.all (Run.n run))
 
-let all_actions run =
-  (* every action that was initiated or performed anywhere *)
-  let tbl = Hashtbl.create 8 in
-  List.iter
-    (fun (a, _) -> Hashtbl.replace tbl (Action_id.to_string a) a)
-    (Run.initiated run);
-  List.iter
-    (fun p ->
-      List.iter
-        (fun (e, _) ->
-          match e with
-          | Event.Do a -> Hashtbl.replace tbl (Action_id.to_string a) a
-          | _ -> ())
-        (History.timed_events (Run.history run p)))
-    (Pid.all (Run.n run));
-  Hashtbl.fold (fun _ a acc -> a :: acc) tbl []
+(* every action that was initiated or performed anywhere *)
+let all_actions run = Run_index.all_actions (Run_index.of_run run)
 
 let dc2 run =
   fold_ok (obligation ~exempt_faulty_performer:false run) (all_actions run)
@@ -64,17 +53,18 @@ let dc2' run =
   fold_ok (obligation ~exempt_faulty_performer:true run) (all_actions run)
 
 let dc3 run =
+  let idx = Run_index.of_run run in
   fold_ok
     (fun alpha ->
       let init_tick =
         List.find_map
           (fun (a, tick) ->
             if Action_id.equal a alpha then Some tick else None)
-          (Run.initiated run)
+          (Run_index.initiated idx)
       in
       fold_ok
         (fun q ->
-          match Run.do_tick run q alpha with
+          match Run_index.first_do idx q alpha with
           | None -> Ok ()
           | Some dt -> (
               match init_tick with

@@ -1,33 +1,14 @@
 type timeline = Run.t -> Pid.t -> (int * Pid.Set.t) list
 
+(* Both timelines read the precomputed change-lists of the run's
+   {!Run_index} instead of re-scanning [History.timed_events]. *)
 let event_timeline run p =
-  let n = Run.n run in
-  List.filter_map
-    (fun (e, tick) ->
-      match e with
-      | Event.Suspect (Report.Gen _) -> None
-      | Event.Suspect r -> Some (tick, Report.suspects_in ~n r)
-      | _ -> None)
-    (History.timed_events (Run.history run p))
+  Array.to_list (Run_index.suspicions (Run_index.of_run run) p)
 
 (* Derived detector of the weak-to-strong conversion: own standard reports
    plus every suspicion heard in Gossip messages, accumulated. *)
 let gossip_timeline run p =
-  let changes, _ =
-    List.fold_left
-      (fun (acc, cur) (e, tick) ->
-        let grow s =
-          let cur' = Pid.Set.union cur s in
-          if Pid.Set.equal cur' cur then (acc, cur) else ((tick, cur') :: acc, cur')
-        in
-        match e with
-        | Event.Suspect (Report.Std s) -> grow s
-        | Event.Recv { msg = Message.Gossip s; _ } -> grow s
-        | _ -> (acc, cur))
-      ([], Pid.Set.empty)
-      (History.timed_events (Run.history run p))
-  in
-  List.rev changes
+  Array.to_list (Run_index.gossip_suspicions (Run_index.of_run run) p)
 
 let suspects_at timeline run p m =
   List.fold_left
@@ -138,12 +119,7 @@ let impermanent_weak_completeness ?(timeline = event_timeline) run =
       (Pid.Set.elements faulty)
 
 let gen_reports run p =
-  List.filter_map
-    (fun (e, tick) ->
-      match e with
-      | Event.Suspect (Report.Gen (s, k)) -> Some (tick, s, k)
-      | _ -> None)
-    (History.timed_events (Run.history run p))
+  Array.to_list (Run_index.gen_reports (Run_index.of_run run) p)
 
 let generalized_strong_accuracy run =
   fold_ok

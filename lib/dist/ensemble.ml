@@ -1,0 +1,127 @@
+let override = Atomic.make 0 (* 0 = unset *)
+
+let env_domains () =
+  match Sys.getenv_opt "UDC_DOMAINS" with
+  | None -> None
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some d when d >= 1 -> Some d
+      | _ -> None)
+
+let domain_count () =
+  match Atomic.get override with
+  | d when d >= 1 -> d
+  | _ -> (
+      match env_domains () with
+      | Some d -> d
+      | None -> max 1 (Domain.recommended_domain_count ()))
+
+let set_domains d = Atomic.set override (max 1 d)
+
+(* Work-stealing map core: an atomic next-item counter, one result slot
+   per input position. Indices are claimed in ascending order; [stop]
+   only prevents *new* claims, so when item k fails (or witnesses an
+   [exists]) every item before k has been claimed and will be completed
+   before the joins return. Distinct slots are written by exactly one
+   domain each and read only after every domain is joined, so the joins
+   provide the needed happens-before edges. *)
+let map_into ?domains ?(stop = Atomic.make false) f xs =
+  let len = Array.length xs in
+  let pool =
+    max 1 (min (Option.value domains ~default:(domain_count ())) len)
+  in
+  let results = Array.make len None in
+  let task i =
+    let r =
+      match f xs.(i) with
+      | v -> Ok v
+      | exception e ->
+          Atomic.set stop true;
+          Error e
+    in
+    results.(i) <- Some r
+  in
+  if pool <= 1 then begin
+    let i = ref 0 in
+    while !i < len && not (Atomic.get stop) do
+      task !i;
+      incr i
+    done
+  end
+  else begin
+    let next = Atomic.make 0 in
+    let worker () =
+      let continue = ref true in
+      while !continue do
+        if Atomic.get stop then continue := false
+        else
+          let i = Atomic.fetch_and_add next 1 in
+          if i >= len then continue := false else task i
+      done
+    in
+    let spawned = List.init (pool - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join spawned
+  end;
+  results
+
+let map_array ?domains f xs =
+  let results = map_into ?domains f xs in
+  (* re-raise the earliest failure — exactly the sequential behaviour *)
+  Array.iter
+    (function Some (Error e) -> raise e | _ -> ())
+    results;
+  Array.map
+    (function
+      | Some (Ok v) -> v
+      | Some (Error _) | None -> assert false (* unreachable: no failure *))
+    results
+
+let map ?domains f xs = Array.to_list (map_array ?domains f (Array.of_list xs))
+let run ?domains ~seeds f = map ?domains f seeds
+
+let exists ?domains f xs =
+  let stop = Atomic.make false in
+  let results =
+    map_into ?domains ~stop
+      (fun x ->
+        let v = f x in
+        if v then Atomic.set stop true;
+        v)
+      (Array.of_list xs)
+  in
+  (* scan in input order: a true before the earliest error wins, as it
+     would under the sequential short-circuit *)
+  let len = Array.length results in
+  let rec scan i =
+    if i >= len then false
+    else
+      match results.(i) with
+      | Some (Ok true) -> true
+      | Some (Error e) -> raise e
+      | Some (Ok false) | None -> scan (i + 1)
+  in
+  scan 0
+
+let find_map ?domains f xs =
+  let stop = Atomic.make false in
+  let results =
+    map_into ?domains ~stop
+      (fun x ->
+        let v = f x in
+        if Option.is_some v then Atomic.set stop true;
+        v)
+      (Array.of_list xs)
+  in
+  let len = Array.length results in
+  let rec scan i =
+    if i >= len then None
+    else
+      match results.(i) with
+      | Some (Ok (Some _ as v)) -> v
+      | Some (Error e) -> raise e
+      | Some (Ok None) | None -> scan (i + 1)
+  in
+  scan 0
+
+let fold ?domains ~f ~init g xs = List.fold_left f init (map ?domains g xs)

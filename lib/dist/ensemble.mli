@@ -1,0 +1,52 @@
+(** Deterministic parallel ensemble execution.
+
+    Every experiment of the reproduction is an ensemble: a pure function
+    (seed → simulated run → verdict) mapped over a list of seeds. This
+    module runs such maps on a fixed-size pool of OCaml 5 domains while
+    keeping the output {e bit-identical} to the sequential fold: work items
+    are claimed from an atomic counter, each result is written back into
+    the slot of its input position, and the caller receives results in
+    input order. A task that raises aborts the whole map with the
+    exception of the {e earliest} failing item — again matching the
+    sequential behaviour.
+
+    The only requirement is that the task function is self-contained per
+    item (no shared mutable state, or state that is itself domain-safe
+    like {!Run_index} and the epistemic checker's memo tables).
+
+    The pool size defaults to [UDC_DOMAINS] from the environment, falling
+    back to [Domain.recommended_domain_count ()]; benches override it with
+    [--domains] via {!set_domains}. *)
+
+(** Number of domains a call without [?domains] will use (≥ 1). *)
+val domain_count : unit -> int
+
+(** Override the default pool size for the rest of the process (clamped
+    to ≥ 1); wins over [UDC_DOMAINS]. *)
+val set_domains : int -> unit
+
+(** [map_array ?domains f xs] = [Array.map f xs], computed on the pool. *)
+val map_array : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
+
+(** [map ?domains f xs] = [List.map f xs], computed on the pool. *)
+val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+
+(** [run ?domains ~seeds f] maps [f] over a seed list — the ensemble
+    primitive. Results are in seed-list order regardless of scheduling. *)
+val run : ?domains:int -> seeds:int64 list -> (int64 -> 'a) -> 'a list
+
+(** [exists ?domains f xs]: whether any item satisfies [f]. Domains stop
+    claiming new work once a witness is found, so this is an (eager,
+    deterministic) parallel search. *)
+val exists : ?domains:int -> ('a -> bool) -> 'a list -> bool
+
+(** [find_map ?domains f xs]: the first (in input order) [Some] produced
+    by [f], with the same early-stopping discipline as {!exists} — the
+    witness returned is the one the sequential [List.find_map] would
+    return. *)
+val find_map : ?domains:int -> ('a -> 'b option) -> 'a list -> 'b option
+
+(** [fold ?domains ~f ~init g xs] maps [g] in parallel, then folds the
+    results sequentially in input order — the common
+    map-then-accumulate-verdicts shape of the benches. *)
+val fold : ?domains:int -> f:('acc -> 'b -> 'acc) -> init:'acc -> ('a -> 'b) -> 'a list -> 'acc

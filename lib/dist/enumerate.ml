@@ -46,7 +46,7 @@ type move =
 let last_suspect h =
   List.find_map
     (function Event.Suspect r, _ -> Some r | _ -> None)
-    (List.rev (History.timed_events h))
+    (History.rev_timed_events h)
 
 let moves_for cfg node p =
   if Pid.Set.mem p node.crashed then []

@@ -22,29 +22,33 @@ let length h = h.len
 let is_crashed h = h.crashed
 let events h = List.rev_map fst h.rev
 let timed_events h = List.rev h.rev
+let rev_timed_events h = h.rev
 
 let prefix_upto h m =
-  let rec drop rev =
+  (* track the length while dropping: recomputing [List.length rev] here
+     made building the cut r(m) for all m quadratic in the history *)
+  let rec drop rev len =
     match rev with
-    | (_, tick) :: rest when tick > m -> drop rest
-    | _ -> rev
+    | (_, tick) :: rest when tick > m -> drop rest (len - 1)
+    | _ -> (rev, len)
   in
-  let rev = drop h.rev in
+  let rev, len = drop h.rev h.len in
   match rev with
   | [] -> empty
-  | (e, tick) :: _ ->
-      {
-        rev;
-        len = List.length rev;
-        crashed = Event.is_crash e;
-        last_tick = tick;
-      }
+  | (e, tick) :: _ -> { rev; len; crashed = Event.is_crash e; last_tick = tick }
 
 let last h = match h.rev with [] -> None | (e, _) :: _ -> Some e
+let last_tick h = if h.last_tick < 0 then None else Some h.last_tick
 
 let equal_events a b =
   a.len = b.len
   && List.for_all2 (fun (e, _) (e', _) -> Event.equal e e') a.rev b.rev
+
+let equal_timed a b =
+  a.len = b.len
+  && List.for_all2
+       (fun (e, t) (e', t') -> Int.equal t t' && Event.equal e e')
+       a.rev b.rev
 
 let hash_events h = Hashtbl.hash (List.map fst h.rev)
 

@@ -27,6 +27,11 @@ val events : t -> Event.t list
 (** Events with their ticks, chronological. *)
 val timed_events : t -> (Event.t * int) list
 
+(** Events with their ticks, newest first. O(1) — the internal
+    representation; use for latest-event scans instead of
+    [List.rev (timed_events h)]. *)
+val rev_timed_events : t -> (Event.t * int) list
+
 (** [prefix_upto h m] is the history restricted to events with tick <= [m]
     — i.e. [p]'s component of the cut [r(m)]. *)
 val prefix_upto : t -> int -> t
@@ -34,9 +39,16 @@ val prefix_upto : t -> int -> t
 (** [last h] is the most recent event, if any. *)
 val last : t -> Event.t option
 
+(** Tick of the most recent event, if any. O(1). *)
+val last_tick : t -> int option
+
 (** Structural equality of the event sequences (ticks ignored): the
     indistinguishability test of the paper. *)
 val equal_events : t -> t -> bool
+
+(** Exact equality of the timed event sequences (ticks included) — the
+    bit-identical comparison used by determinism tests. *)
+val equal_timed : t -> t -> bool
 
 (** A hash of the event sequence (ticks ignored), consistent with
     [equal_events]; used to index points of a system by local state. *)

@@ -22,10 +22,11 @@ let faulty t =
 
 let correct t = Pid.Set.complement t.n (faulty t)
 
+(* R4 (enforced by History.append): a crash, if present, is the last
+   event of its history — so the crash tick is the last tick, O(1). *)
 let crash_tick t p =
-  List.find_map
-    (fun (e, tick) -> if Event.is_crash e then Some tick else None)
-    (History.timed_events t.histories.(p))
+  let h = t.histories.(p) in
+  if History.is_crashed h then History.last_tick h else None
 
 let crashed_by t p m =
   match crash_tick t p with None -> false | Some tick -> tick <= m
@@ -50,6 +51,17 @@ let do_tick t p alpha =
 let did t p alpha = Option.is_some (do_tick t p alpha)
 
 let change_ticks t p = List.map snd (History.timed_events t.histories.(p))
+
+let equal a b =
+  a.n = b.n && a.horizon = b.horizon
+  && Array.for_all2 History.equal_timed a.histories b.histories
+
+let digest t =
+  Digest.to_hex
+    (Digest.string
+       (Marshal.to_string
+          (t.n, t.horizon, Array.map History.timed_events t.histories)
+          []))
 
 let errorf fmt = Format.kasprintf (fun s -> Error s) fmt
 

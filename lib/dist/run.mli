@@ -45,6 +45,15 @@ val do_tick : t -> Pid.t -> Action_id.t -> int option
     change points [p]'s local state, hence its knowledge, is constant. *)
 val change_ticks : t -> Pid.t -> int list
 
+(** Exact equality: same arity, horizon, and timed event sequences
+    (ticks included). This is the bit-identical comparison used by the
+    determinism tests of the parallel ensemble engine. *)
+val equal : t -> t -> bool
+
+(** A stable hex digest of the run (arity, horizon, timed events):
+    same seed ⇒ same digest. *)
+val digest : t -> string
+
 (** R2: within each history, ticks are strictly increasing and bounded by
     the horizon. (R1, the empty cut at time 0, holds by construction since
     ticks start at 1.) *)

@@ -1,0 +1,213 @@
+type counts = {
+  sends : int;
+  recvs : int;
+  dos : int;
+  inits : int;
+  crashes : int;
+  suspects : int;
+}
+
+type t = {
+  run : Run.t;
+  events : (Event.t * int) array array; (* [p] -> chronological *)
+  first_sends : (int * int * string, int) Hashtbl.t; (* src,dst,msg *)
+  first_recvs : (int * int * string, int) Hashtbl.t; (* dst,src,msg *)
+  first_dos : (int * int * int, int) Hashtbl.t; (* p,owner,tag *)
+  first_inits : (int * int, int) Hashtbl.t; (* owner,tag *)
+  initiated : (Action_id.t * int) list;
+  all_actions : Action_id.t list;
+  performers : (int * int, Pid.t list) Hashtbl.t; (* owner,tag -> pids asc *)
+  decisions : int option array;
+  suspicions : (int * Pid.Set.t) array array;
+  all_suspicions : (int * Pid.Set.t) array array;
+  gossip : (int * Pid.Set.t) array array;
+  gen_reports : (int * Pid.Set.t * int) array array;
+  faulty : Pid.Set.t;
+  counts : counts;
+}
+
+(* Canonical key for a message: [Message.pp] prints set-valued payloads in
+   sorted element order, so messages equal under [Message.equal] map to the
+   same key — the same canonicalization trick as [System.of_runs]. *)
+let msg_key m = Format.asprintf "%a" Message.pp m
+
+let action_key a = (Action_id.owner a, Action_id.tag a)
+
+let build r =
+  let n = Run.n r in
+  let first_sends = Hashtbl.create 64 in
+  let first_recvs = Hashtbl.create 64 in
+  let first_dos = Hashtbl.create 16 in
+  let first_inits = Hashtbl.create 16 in
+  let performers = Hashtbl.create 16 in
+  let action_set = ref Action_id.Set.empty in
+  let decisions = Array.make n None in
+  let sends = ref 0
+  and recvs = ref 0
+  and dos = ref 0
+  and inits = ref 0
+  and crashes = ref 0
+  and suspects = ref 0 in
+  let first tbl key tick =
+    if not (Hashtbl.mem tbl key) then Hashtbl.add tbl key tick
+  in
+  let events =
+    Array.init n (fun p ->
+        Array.of_list (History.timed_events (Run.history r p)))
+  in
+  let initiated_rev = ref [] in
+  let susp_rev = Array.make n [] in
+  let all_susp_rev = Array.make n [] in
+  let gossip_rev = Array.make n [] in
+  let gossip_cur = Array.make n Pid.Set.empty in
+  let gen_rev = Array.make n [] in
+  for p = 0 to n - 1 do
+    let gossip_grow tick s =
+      let cur' = Pid.Set.union gossip_cur.(p) s in
+      if not (Pid.Set.equal cur' gossip_cur.(p)) then begin
+        gossip_rev.(p) <- (tick, cur') :: gossip_rev.(p);
+        gossip_cur.(p) <- cur'
+      end
+    in
+    Array.iter
+      (fun (e, tick) ->
+        match e with
+        | Event.Send { dst; msg } ->
+            incr sends;
+            first first_sends (p, dst, msg_key msg) tick
+        | Event.Recv { src; msg } ->
+            incr recvs;
+            first first_recvs (p, src, msg_key msg) tick;
+            (match msg with
+            | Message.Gossip s -> gossip_grow tick s
+            | _ -> ())
+        | Event.Do a ->
+            incr dos;
+            let key = action_key a in
+            first first_dos (p, fst key, snd key) tick;
+            action_set := Action_id.Set.add a !action_set;
+            (match Hashtbl.find_opt performers key with
+            | Some (q :: _) when Pid.equal q p -> () (* repeated Do by p *)
+            | Some ps -> Hashtbl.replace performers key (p :: ps)
+            | None -> Hashtbl.add performers key [ p ]);
+            if decisions.(p) = None then decisions.(p) <- Some (Action_id.tag a)
+        | Event.Init a ->
+            incr inits;
+            (* owner-only, matching the Inited primitive: a (malformed)
+               init at a non-owner still shows up in [initiated] *)
+            if Pid.equal p (Action_id.owner a) then
+              first first_inits (action_key a) tick;
+            action_set := Action_id.Set.add a !action_set;
+            initiated_rev := (a, tick) :: !initiated_rev
+        | Event.Crash -> incr crashes
+        | Event.Suspect rep ->
+            incr suspects;
+            let s = Report.suspects_in ~n rep in
+            all_susp_rev.(p) <- (tick, s) :: all_susp_rev.(p);
+            (match rep with
+            | Report.Gen (gs, k) -> gen_rev.(p) <- (tick, gs, k) :: gen_rev.(p)
+            | Report.Std std ->
+                susp_rev.(p) <- (tick, s) :: susp_rev.(p);
+                gossip_grow tick std
+            | Report.Correct_set _ -> susp_rev.(p) <- (tick, s) :: susp_rev.(p)))
+      events.(p)
+  done;
+  Hashtbl.filter_map_inplace (fun _ ps -> Some (List.rev ps)) performers;
+  {
+    run = r;
+    events;
+    first_sends;
+    first_recvs;
+    first_dos;
+    first_inits;
+    initiated = List.rev !initiated_rev;
+    all_actions = Action_id.Set.elements !action_set;
+    performers;
+    decisions;
+    suspicions = Array.map (fun l -> Array.of_list (List.rev l)) susp_rev;
+    all_suspicions =
+      Array.map (fun l -> Array.of_list (List.rev l)) all_susp_rev;
+    gossip = Array.map (fun l -> Array.of_list (List.rev l)) gossip_rev;
+    gen_reports = Array.map (fun l -> Array.of_list (List.rev l)) gen_rev;
+    faulty = Run.faulty r;
+    counts =
+      {
+        sends = !sends;
+        recvs = !recvs;
+        dos = !dos;
+        inits = !inits;
+        crashes = !crashes;
+        suspects = !suspects;
+      };
+  }
+
+(* One index per run: memoized on the run's physical identity, weakly (the
+   cache entry dies with the run), behind a mutex so that the parallel
+   ensemble engine can index runs from several domains at once. The index
+   is built outside the lock — worst case two domains race to build the
+   same index and one copy is dropped. *)
+module Cache = Ephemeron.K1.Make (struct
+  type nonrec t = Run.t
+
+  let equal = ( == )
+  let hash = Hashtbl.hash
+end)
+
+let cache : t Cache.t = Cache.create 64
+let cache_lock = Mutex.create ()
+
+let of_run r =
+  match Mutex.protect cache_lock (fun () -> Cache.find_opt cache r) with
+  | Some idx -> idx
+  | None ->
+      let idx = build r in
+      Mutex.protect cache_lock (fun () ->
+          match Cache.find_opt cache r with
+          | Some existing -> existing
+          | None ->
+              Cache.add cache r idx;
+              idx)
+
+let run t = t.run
+let n t = Run.n t.run
+let horizon t = Run.horizon t.run
+let events t p = t.events.(p)
+
+let first_send t ~src ~dst msg =
+  Hashtbl.find_opt t.first_sends (src, dst, msg_key msg)
+
+let first_recv t ~dst ~src msg =
+  Hashtbl.find_opt t.first_recvs (dst, src, msg_key msg)
+
+let crash_tick t p = Run.crash_tick t.run p
+let first_do t p a = Hashtbl.find_opt t.first_dos (p, Action_id.owner a, Action_id.tag a)
+let first_init t a = Hashtbl.find_opt t.first_inits (action_key a)
+let faulty t = t.faulty
+let correct t = Pid.Set.complement (n t) t.faulty
+let initiated t = t.initiated
+let all_actions t = t.all_actions
+
+let performers t a =
+  Option.value ~default:[] (Hashtbl.find_opt t.performers (action_key a))
+
+let decision t p = t.decisions.(p)
+let suspicions t p = t.suspicions.(p)
+let all_suspicions t p = t.all_suspicions.(p)
+let gossip_suspicions t p = t.gossip.(p)
+let gen_reports t p = t.gen_reports.(p)
+
+let suspects_at changes m =
+  (* greatest change point with tick <= m *)
+  let lo = ref 0 and hi = ref (Array.length changes) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if fst changes.(mid) <= m then lo := mid + 1 else hi := mid
+  done;
+  if !lo = 0 then Pid.Set.empty else snd changes.(!lo - 1)
+
+let final_suspects t p = suspects_at t.suspicions.(p) (horizon t)
+
+let ever_suspects t p q =
+  Array.exists (fun (_, s) -> Pid.Set.mem q s) t.suspicions.(p)
+
+let counts t = t.counts

@@ -120,7 +120,7 @@ let oracle_view m =
 let last_suspect_report h =
   List.find_map
     (function Event.Suspect r, _ -> Some r | _ -> None)
-    (List.rev (History.timed_events h))
+    (History.rev_timed_events h)
 
 let deliver_message m p (src, msg, _sent_at) =
   Channel.deliver m.channel ~src ~dst:p msg;
@@ -211,7 +211,7 @@ let goal_holds m =
         |> List.concat_map (fun h ->
                List.filter_map
                  (function Event.Init a, _ -> Some a | _ -> None)
-                 (History.timed_events h))
+                 (History.rev_timed_events h))
       in
       List.for_all
         (fun a ->

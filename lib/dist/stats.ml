@@ -10,42 +10,26 @@ type t = {
 }
 
 let of_run run =
-  let sends = ref 0
-  and recvs = ref 0
-  and dos = ref 0
-  and inits = ref 0
-  and crashes = ref 0
-  and suspects = ref 0 in
-  List.iter
-    (fun p ->
-      List.iter
-        (fun (e, _) ->
-          match e with
-          | Event.Send _ -> incr sends
-          | Event.Recv _ -> incr recvs
-          | Event.Do _ -> incr dos
-          | Event.Init _ -> incr inits
-          | Event.Crash -> incr crashes
-          | Event.Suspect _ -> incr suspects)
-        (History.timed_events (Run.history run p)))
-    (Pid.all (Run.n run));
+  let c = Run_index.counts (Run_index.of_run run) in
   {
-    sends = !sends;
-    recvs = !recvs;
-    dos = !dos;
-    inits = !inits;
-    crashes = !crashes;
-    suspects = !suspects;
+    sends = c.Run_index.sends;
+    recvs = c.Run_index.recvs;
+    dos = c.Run_index.dos;
+    inits = c.Run_index.inits;
+    crashes = c.Run_index.crashes;
+    suspects = c.Run_index.suspects;
     horizon = Run.horizon run;
     delivery_ratio =
-      (if !sends = 0 then 1.0 else float_of_int !recvs /. float_of_int !sends);
+      (if c.Run_index.sends = 0 then 1.0
+       else float_of_int c.Run_index.recvs /. float_of_int c.Run_index.sends);
   }
 
 let uniformity_latency run alpha =
+  let idx = Run_index.of_run run in
   let init_tick =
     List.find_map
       (fun (a, tick) -> if Action_id.equal a alpha then Some tick else None)
-      (Run.initiated run)
+      (Run_index.initiated idx)
   in
   match init_tick with
   | None -> None
@@ -55,7 +39,7 @@ let uniformity_latency run alpha =
           (fun p -> not (Run.crashed_by run p (Run.horizon run)))
           (Pid.all (Run.n run))
       in
-      let ticks = List.map (fun p -> Run.do_tick run p alpha) alive in
+      let ticks = List.map (fun p -> Run_index.first_do idx p alpha) alive in
       if List.exists Option.is_none ticks then None
       else
         let latest =

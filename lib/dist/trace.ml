@@ -1,13 +1,14 @@
 (* Pair each receive with the earliest unmatched send of the same
    (src, dst, content): the same FIFO discipline as the R3 checker. *)
 let match_messages run =
+  let idx = Run_index.of_run run in
   let n = Run.n run in
   let sends = Hashtbl.create 64 in
   (* (src,dst,msg) -> (tick, id option ref) list, chronological *)
   let counter = ref 0 in
   List.iter
     (fun p ->
-      List.iter
+      Array.iter
         (fun (e, tick) ->
           match e with
           | Event.Send { dst; msg } ->
@@ -15,13 +16,13 @@ let match_messages run =
               let prev = Option.value ~default:[] (Hashtbl.find_opt sends key) in
               Hashtbl.replace sends key (prev @ [ (tick, ref None) ])
           | _ -> ())
-        (History.timed_events (Run.history run p)))
+        (Run_index.events idx p))
     (Pid.all n);
   (* send side lookup: (p, tick) -> id; recv side: (q, tick) -> id *)
   let send_ids = Hashtbl.create 64 and recv_ids = Hashtbl.create 64 in
   List.iter
     (fun q ->
-      List.iter
+      Array.iter
         (fun (e, tick) ->
           match e with
           | Event.Recv { src; msg } -> (
@@ -41,7 +42,7 @@ let match_messages run =
                       Hashtbl.replace send_ids (src, st) !counter;
                       Hashtbl.replace recv_ids (q, tick) !counter))
           | _ -> ())
-        (History.timed_events (Run.history run q)))
+        (Run_index.events idx q))
     (Pid.all n);
   (send_ids, recv_ids)
 
@@ -73,11 +74,11 @@ let pp ppf run =
   let ticks = ref [] in
   List.iter
     (fun p ->
-      List.iter
+      Array.iter
         (fun ((_, tick) as te) ->
           Hashtbl.replace cells (tick, p) (describe p te);
           ticks := tick :: !ticks)
-        (History.timed_events (Run.history run p)))
+        (Run_index.events (Run_index.of_run run) p))
     (Pid.all n);
   let ticks = List.sort_uniq Int.compare !ticks in
   Format.fprintf ppf "%6s" "tick";

@@ -2,9 +2,12 @@ type env = {
   sys : System.t;
   memo : (Formula.t, bool array array) Hashtbl.t;
       (* formula -> per run, per tick truth table *)
+  lock : Mutex.t;
+      (* guards [memo]: the parallel ensemble engine evaluates formulas
+         against a shared env from several domains *)
 }
 
-let make sys = { sys; memo = Hashtbl.create 64 }
+let make sys = { sys; memo = Hashtbl.create 64; lock = Mutex.create () }
 let system env = env.sys
 
 (* A truth table shaped like the system: one bool per point. *)
@@ -12,78 +15,49 @@ let blank env value =
   Array.init (System.run_count env.sys) (fun ri ->
       Array.make (System.horizon env.sys ri + 1) value)
 
-(* Table of a stable primitive that becomes true at [tick_of run] (None:
-   never). *)
+(* Table of a stable primitive that becomes true at [tick_of idx] (None:
+   never), where [idx] is the run's index. *)
 let from_tick env tick_of =
   Array.init (System.run_count env.sys) (fun ri ->
       let h = System.horizon env.sys ri in
-      match tick_of (System.run env.sys ri) with
+      match tick_of (System.index env.sys ri) with
       | None -> Array.make (h + 1) false
       | Some t0 -> Array.init (h + 1) (fun m -> m >= t0))
 
-let first_event_tick run p pred =
-  List.find_map
-    (fun (e, tick) -> if pred e then Some tick else None)
-    (History.timed_events (Run.history run p))
-
+(* Primitive tables read the per-run {!Run_index} first-tick tables and
+   suspicion change-lists: O(1)/O(changes) per run instead of a full
+   [timed_events] scan per (primitive, run). *)
 let prim_table env (p : Formula.prim) =
   match p with
   | Formula.Sent (src, dst, msg) ->
-      from_tick env (fun run ->
-          first_event_tick run src (function
-            | Event.Send { dst = d; msg = m } ->
-                Pid.equal d dst && Message.equal m msg
-            | _ -> false))
+      from_tick env (fun idx -> Run_index.first_send idx ~src ~dst msg)
   | Formula.Received (dst, src, msg) ->
-      from_tick env (fun run ->
-          first_event_tick run dst (function
-            | Event.Recv { src = s; msg = m } ->
-                Pid.equal s src && Message.equal m msg
-            | _ -> false))
-  | Formula.Crashed q -> from_tick env (fun run -> Run.crash_tick run q)
-  | Formula.Did (q, a) -> from_tick env (fun run -> Run.do_tick run q a)
-  | Formula.Inited a ->
-      from_tick env (fun run ->
-          first_event_tick run (Action_id.owner a) (function
-            | Event.Init a' -> Action_id.equal a a'
-            | _ -> false))
+      from_tick env (fun idx -> Run_index.first_recv idx ~dst ~src msg)
+  | Formula.Crashed q -> from_tick env (fun idx -> Run_index.crash_tick idx q)
+  | Formula.Did (q, a) -> from_tick env (fun idx -> Run_index.first_do idx q a)
+  | Formula.Inited a -> from_tick env (fun idx -> Run_index.first_init idx a)
   | Formula.Suspects (watcher, q) ->
       Array.init (System.run_count env.sys) (fun ri ->
-          let run = System.run env.sys ri in
-          let h = Run.horizon run in
+          let idx = System.index env.sys ri in
+          let h = System.horizon env.sys ri in
+          let changes = Run_index.all_suspicions idx watcher in
           let table = Array.make (h + 1) false in
           let current = ref false in
-          let changes =
-            List.filter_map
-              (fun (e, tick) ->
-                match e with
-                | Event.Suspect r ->
-                    Some (tick, Report.suspects_in ~n:(Run.n run) r)
-                | _ -> None)
-              (History.timed_events (Run.history run watcher))
-          in
-          let rec fill m changes =
-            if m > h then ()
-            else begin
-              (match changes with
-              | (tick, s) :: _ when tick = m -> current := Pid.Set.mem q s
-              | _ -> ());
-              table.(m) <- !current;
-              let changes =
-                match changes with
-                | (tick, _) :: rest when tick = m -> rest
-                | _ -> changes
-              in
-              fill (m + 1) changes
-            end
-          in
-          fill 0 changes;
+          let c = ref 0 in
+          for m = 0 to h do
+            if !c < Array.length changes && fst changes.(!c) = m then begin
+              current := Pid.Set.mem q (snd changes.(!c));
+              incr c
+            end;
+            table.(m) <- !current
+          done;
           table)
   | Formula.At_least_crashed (s, k) ->
-      from_tick env (fun run ->
+      from_tick env (fun idx ->
           let ticks =
             List.sort Int.compare
-              (List.filter_map (fun q -> Run.crash_tick run q)
+              (List.filter_map
+                 (fun q -> Run_index.crash_tick idx q)
                  (Pid.Set.elements s))
           in
           if k <= 0 then Some 0 else List.nth_opt ticks (k - 1))
@@ -93,6 +67,9 @@ let pointwise2 env f ta tb =
       Array.init (System.horizon env.sys ri + 1) (fun m ->
           f ta.(ri).(m) tb.(ri).(m)))
 
+(* The raw memoized evaluator. Recursion stays on the unlocked path; the
+   public [table] takes the env lock once, making a shared env safe to
+   query from several domains (tables are immutable once memoized). *)
 let rec table env (f : Formula.t) =
   match Hashtbl.find_opt env.memo f with
   | Some t -> t
@@ -186,6 +163,10 @@ and compute env = function
           out.(run).(tick) <- Hashtbl.find per_class (key ~run ~tick));
       out
 
+(* Shadow the recursive evaluator with the locked entry point: every
+   public query takes the lock exactly once (no reentrancy — [compute]
+   recurses on the unlocked binding above). *)
+let table env f = Mutex.protect env.lock (fun () -> table env f)
 let holds env f ~run ~tick = (table env f).(run).(tick)
 
 let counterexample env f =

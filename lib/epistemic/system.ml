@@ -1,5 +1,6 @@
 type t = {
   runs : Run.t array;
+  indexes : Run_index.t array;
   n : int;
   class_ids : int array array array; (* [p].[run].[tick] *)
   class_members : (int * int) list array array; (* [p].[class] -> points *)
@@ -18,6 +19,7 @@ let of_runs run_list =
   Array.iter
     (fun r -> if Run.n r <> n then invalid_arg "System.of_runs: mixed arity")
     runs;
+  let indexes = Array.map Run_index.of_run runs in
   let event_ids = Hashtbl.create 256 in
   let intern_event e =
     let key = event_key e in
@@ -52,7 +54,7 @@ let of_runs run_list =
       let horizon = Run.horizon run in
       for p = 0 to n - 1 do
         let ids = Array.make (horizon + 1) 0 in
-        let timed = History.timed_events (Run.history run p) in
+        let timed = Array.to_list (Run_index.events indexes.(ri) p) in
         let cls = ref 0 in
         let rec fill tick events =
           if tick > horizon then ()
@@ -93,10 +95,11 @@ let of_runs run_list =
         Array.init counts.(p) (fun c ->
             Option.value ~default:[] (Hashtbl.find_opt members.(p) c)))
   in
-  { runs; n; class_ids; class_members }
+  { runs; indexes; n; class_ids; class_members }
 
 let run_count t = Array.length t.runs
 let run t i = t.runs.(i)
+let index t i = t.indexes.(i)
 let n t = t.n
 let horizon t i = Run.horizon t.runs.(i)
 let class_id t p ~run ~tick = t.class_ids.(p).(run).(tick)

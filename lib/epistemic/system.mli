@@ -12,6 +12,11 @@ type t
 val of_runs : Run.t list -> t
 val run_count : t -> int
 val run : t -> int -> Run.t
+
+(** The {!Run_index.t} of a run — the array-backed tables every checker
+    reads instead of scanning [History.timed_events]. *)
+val index : t -> int -> Run_index.t
+
 val n : t -> int
 
 (** Horizon of a given run. *)

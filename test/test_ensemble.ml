@@ -1,0 +1,154 @@
+(* The parallel ensemble engine: bit-identical to sequential execution.
+
+   The two load-bearing claims (DESIGN.md, "Execution engine"): a seed
+   determines its run completely, and mapping over seeds on a domain pool
+   returns exactly what the sequential map returns — same runs, same
+   order, same first error, same witness. *)
+
+let udc_seeds = Helpers.seeds 8
+
+(* Table 1's UDC rows, as (name, seed -> run). *)
+let udc_rows : (string * (int64 -> Run.t)) list =
+  (* [oracle_of] rather than a shared oracle value: stateful oracles must
+     be allocated per seed or runs stop being functions of their seed
+     (and the domain pool would race on the shared state). *)
+  let simulate ~loss ~oracle_of proto seed =
+    let n = 5 in
+    let prng = Prng.create seed in
+    let cfg = Sim.config ~n ~seed in
+    let cfg =
+      {
+        cfg with
+        Sim.loss_rate = loss;
+        oracle = oracle_of ();
+        fault_plan = Fault_plan.random prng ~n ~t:2 ~max_tick:20;
+        init_plan = Init_plan.staggered ~n ~actions_per_process:1 ~spacing:3;
+        max_ticks = 2000;
+      }
+    in
+    (Sim.execute_uniform cfg proto).Sim.run
+  in
+  [
+    ( "reliable, no FD",
+      simulate ~loss:0.0 ~oracle_of:(fun () -> Oracle.none)
+        (module Core.Reliable_udc.P) );
+    ( "lossy, no FD (majority)",
+      simulate ~loss:0.3 ~oracle_of:(fun () -> Oracle.none)
+        (Core.Majority_udc.make ~t:2) );
+    ( "lossy, gen FD",
+      simulate ~loss:0.3
+        ~oracle_of:(fun () -> Detector.Oracles.gen_exact ())
+        (Core.Generalized_udc.make ~t:3) );
+    ( "lossy, perfect FD (ack)",
+      simulate ~loss:0.3
+        ~oracle_of:(fun () -> Detector.Oracles.perfect ~lag:1 ())
+        (module Core.Ack_udc.P) );
+  ]
+
+let test_same_seed_same_digest () =
+  List.iter
+    (fun (name, simulate) ->
+      List.iter
+        (fun seed ->
+          Alcotest.(check string)
+            (Printf.sprintf "%s seed %Ld" name seed)
+            (Run.digest (simulate seed))
+            (Run.digest (simulate seed)))
+        udc_seeds)
+    udc_rows
+
+let test_parallel_equals_sequential () =
+  List.iter
+    (fun (name, simulate) ->
+      let sequential = Ensemble.run ~domains:1 ~seeds:udc_seeds simulate in
+      let parallel = Ensemble.run ~domains:4 ~seeds:udc_seeds simulate in
+      Alcotest.(check int)
+        (name ^ ": same cardinality")
+        (List.length sequential) (List.length parallel);
+      List.iteri
+        (fun i (a, b) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: run %d identical" name i)
+            true (Run.equal a b))
+        (List.combine sequential parallel))
+    udc_rows
+
+(* E8's f-construction (Thm 3.6) through the shared checker env: the memo
+   tables are hit from four domains at once and the derived runs must
+   still match the sequential construction. *)
+let test_parallel_f_runs () =
+  let runs =
+    List.map
+      (fun seed ->
+        (Helpers.run_udc ~loss:0.2
+           ~oracle:(Detector.Oracles.perfect ~lag:1 ())
+           ~faults:(Fault_plan.crash_at [ (0, 6) ])
+           ~max_ticks:400 ~n:4 ~seed
+           (module Core.Ack_udc.P))
+          .Sim.run)
+      (Helpers.seeds 6)
+  in
+  let env = Epistemic.Checker.make (Epistemic.System.of_runs runs) in
+  let indices = List.init (List.length runs) Fun.id in
+  let f_run ri = Core.Simulate_fd.f_run env ~run:ri in
+  let sequential = Ensemble.map ~domains:1 f_run indices in
+  let parallel = Ensemble.map ~domains:4 f_run indices in
+  List.iteri
+    (fun i (a, b) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "f_run %d identical" i)
+        true (Run.equal a b))
+    (List.combine sequential parallel)
+
+(* Sequential-equivalence of the combinators themselves. *)
+let test_exists_and_find_map () =
+  let xs = List.init 100 Fun.id in
+  List.iter
+    (fun domains ->
+      Alcotest.(check bool) "exists true" true
+        (Ensemble.exists ~domains (fun x -> x = 63) xs);
+      Alcotest.(check bool) "exists false" false
+        (Ensemble.exists ~domains (fun x -> x > 1000) xs);
+      Alcotest.(check (option int))
+        "find_map earliest witness" (Some 170)
+        (Ensemble.find_map ~domains
+           (fun x -> if x mod 17 = 0 && x > 0 then Some (x * 10) else None)
+           xs))
+    [ 1; 4 ]
+
+exception Boom of int
+
+let test_earliest_error_wins () =
+  let xs = List.init 50 Fun.id in
+  let f x = if x mod 13 = 12 then raise (Boom x) else x in
+  List.iter
+    (fun domains ->
+      match Ensemble.map ~domains f xs with
+      | _ -> Alcotest.fail "expected an exception"
+      | exception Boom x -> Alcotest.(check int) "earliest failure" 12 x)
+    [ 1; 4 ]
+
+let test_fold_order () =
+  let xs = List.init 30 Fun.id in
+  List.iter
+    (fun domains ->
+      Alcotest.(check (list int))
+        "fold preserves input order" (List.rev xs)
+        (Ensemble.fold ~domains
+           ~f:(fun acc x -> x :: acc)
+           ~init:[] Fun.id xs))
+    [ 1; 4 ]
+
+let suite =
+  [
+    Alcotest.test_case "same seed, same digest" `Quick
+      test_same_seed_same_digest;
+    Alcotest.test_case "4 domains = 1 domain (Table 1 UDC rows)" `Slow
+      test_parallel_equals_sequential;
+    Alcotest.test_case "4 domains = 1 domain (E8 f-construction)" `Quick
+      test_parallel_f_runs;
+    Alcotest.test_case "exists/find_map sequential-equivalent" `Quick
+      test_exists_and_find_map;
+    Alcotest.test_case "earliest error wins" `Quick test_earliest_error_wins;
+    Alcotest.test_case "fold preserves order" `Quick test_fold_order;
+  ]

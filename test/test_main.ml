@@ -2,6 +2,8 @@ let () =
   Alcotest.run "udc"
     [
       ("dist", Test_dist.suite);
+      ("run-index", Test_run_index.suite);
+      ("ensemble", Test_ensemble.suite);
       ("laws", Test_laws.suite);
       ("edges", Test_edges.suite);
       ("specs", Test_specs.suite);

@@ -1,0 +1,261 @@
+(* Run_index vs the naive scans it replaces: on random simulated runs,
+   every indexed answer must agree with a direct walk over the raw
+   [History.timed_events] lists. *)
+
+let timed run p = History.timed_events (Run.history run p)
+
+(* -- naive reference implementations ------------------------------------ *)
+
+let naive_first_send run ~src ~dst msg =
+  List.find_map
+    (fun (e, t) ->
+      match e with
+      | Event.Send { dst = d; msg = m }
+        when Pid.equal d dst && Message.equal m msg ->
+          Some t
+      | _ -> None)
+    (timed run src)
+
+let naive_first_recv run ~dst ~src msg =
+  List.find_map
+    (fun (e, t) ->
+      match e with
+      | Event.Recv { src = s; msg = m }
+        when Pid.equal s src && Message.equal m msg ->
+          Some t
+      | _ -> None)
+    (timed run dst)
+
+let naive_crash_tick run p =
+  List.find_map
+    (fun (e, t) -> if Event.is_crash e then Some t else None)
+    (timed run p)
+
+let naive_first_do run p alpha =
+  List.find_map
+    (fun (e, t) ->
+      match e with
+      | Event.Do a when Action_id.equal a alpha -> Some t
+      | _ -> None)
+    (timed run p)
+
+let naive_first_init run alpha =
+  List.find_map
+    (fun (e, t) ->
+      match e with
+      | Event.Init a when Action_id.equal a alpha -> Some t
+      | _ -> None)
+    (timed run (Action_id.owner alpha))
+
+let naive_all_actions run =
+  Action_id.Set.elements
+    (List.fold_left
+       (fun acc p ->
+         List.fold_left
+           (fun acc (e, _) ->
+             match e with
+             | Event.Do a | Event.Init a -> Action_id.Set.add a acc
+             | _ -> acc)
+           acc (timed run p))
+       Action_id.Set.empty
+       (Pid.all (Run.n run)))
+
+let naive_performers run alpha =
+  List.filter (fun p -> Run.did run p alpha) (Pid.all (Run.n run))
+
+let naive_decision run p =
+  List.find_map
+    (fun (e, _) ->
+      match e with Event.Do a -> Some (Action_id.tag a) | _ -> None)
+    (timed run p)
+
+(* the raw detector timeline read at tick [m]: last non-[Gen] report *)
+let naive_suspects_at run p m =
+  List.fold_left
+    (fun acc (e, t) ->
+      match e with
+      | Event.Suspect (Report.Gen _) -> acc
+      | Event.Suspect r when t <= m ->
+          Some (Report.suspects_in ~n:(Run.n run) r)
+      | _ -> acc)
+    None (timed run p)
+  |> Option.value ~default:Pid.Set.empty
+
+(* the checker's Suspects primitive: every report counts *)
+let naive_all_suspects_at run p m =
+  List.fold_left
+    (fun acc (e, t) ->
+      match e with
+      | Event.Suspect r when t <= m ->
+          Some (Report.suspects_in ~n:(Run.n run) r)
+      | _ -> acc)
+    None (timed run p)
+  |> Option.value ~default:Pid.Set.empty
+
+let naive_counts run =
+  List.fold_left
+    (fun acc p ->
+      List.fold_left
+        (fun (s, r, d, i, c, su) (e, _) ->
+          match e with
+          | Event.Send _ -> (s + 1, r, d, i, c, su)
+          | Event.Recv _ -> (s, r + 1, d, i, c, su)
+          | Event.Do _ -> (s, r, d + 1, i, c, su)
+          | Event.Init _ -> (s, r, d, i + 1, c, su)
+          | Event.Crash -> (s, r, d, i, c + 1, su)
+          | Event.Suspect _ -> (s, r, d, i, c, su + 1))
+        acc (timed run p))
+    (0, 0, 0, 0, 0, 0)
+    (Pid.all (Run.n run))
+
+(* -- one full cross-check of a run -------------------------------------- *)
+
+let opt_int = Alcotest.(option int)
+
+let cross_check run =
+  let idx = Run_index.of_run run in
+  let n = Run.n run in
+  let pids = Pid.all n in
+  List.iter
+    (fun p ->
+      (* the event arrays are exactly the raw lists *)
+      Alcotest.(check int)
+        (Printf.sprintf "events length p%d" p)
+        (List.length (timed run p))
+        (Array.length (Run_index.events idx p));
+      List.iteri
+        (fun i (e, t) ->
+          let e', t' = (Run_index.events idx p).(i) in
+          Alcotest.(check bool) "event" true (Event.equal e e');
+          Alcotest.(check int) "tick" t t')
+        (timed run p);
+      Alcotest.check opt_int
+        (Printf.sprintf "crash_tick p%d" p)
+        (naive_crash_tick run p)
+        (Run_index.crash_tick idx p);
+      Alcotest.check opt_int
+        (Printf.sprintf "decision p%d" p)
+        (naive_decision run p) (Run_index.decision idx p);
+      (* every send/recv that occurred is found at its first tick *)
+      List.iter
+        (fun (e, _) ->
+          match e with
+          | Event.Send { dst; msg } ->
+              Alcotest.check opt_int "first_send"
+                (naive_first_send run ~src:p ~dst msg)
+                (Run_index.first_send idx ~src:p ~dst msg)
+          | Event.Recv { src; msg } ->
+              Alcotest.check opt_int "first_recv"
+                (naive_first_recv run ~dst:p ~src msg)
+                (Run_index.first_recv idx ~dst:p ~src msg)
+          | _ -> ())
+        (timed run p);
+      (* suspicion timelines, at every tick of the run *)
+      for m = 0 to Run.horizon run do
+        Alcotest.(check bool)
+          (Printf.sprintf "suspects_at p%d m%d" p m)
+          true
+          (Pid.Set.equal
+             (naive_suspects_at run p m)
+             (Run_index.suspects_at (Run_index.suspicions idx p) m));
+        Alcotest.(check bool)
+          (Printf.sprintf "all_suspects_at p%d m%d" p m)
+          true
+          (Pid.Set.equal
+             (naive_all_suspects_at run p m)
+             (Run_index.suspects_at (Run_index.all_suspicions idx p) m))
+      done)
+    pids;
+  (* the action inventory *)
+  let actions = naive_all_actions run in
+  Alcotest.(check (list string))
+    "all_actions"
+    (List.map Action_id.to_string actions)
+    (List.map Action_id.to_string (Run_index.all_actions idx));
+  List.iter
+    (fun alpha ->
+      Alcotest.check opt_int "first_init" (naive_first_init run alpha)
+        (Run_index.first_init idx alpha);
+      Alcotest.(check (list int))
+        "performers"
+        (naive_performers run alpha)
+        (Run_index.performers idx alpha);
+      List.iter
+        (fun p ->
+          Alcotest.check opt_int "first_do" (naive_first_do run p alpha)
+            (Run_index.first_do idx p alpha))
+        pids)
+    actions;
+  List.iter2
+    (fun (a, t) (a', t') ->
+      Alcotest.(check bool) "initiated action" true (Action_id.equal a a');
+      Alcotest.(check int) "initiated tick" t t')
+    (Run.initiated run)
+    (Run_index.initiated idx);
+  (* counts *)
+  let s, r, d, i, c, su = naive_counts run in
+  let cs = Run_index.counts idx in
+  Alcotest.(check (list int))
+    "counts" [ s; r; d; i; c; su ]
+    [
+      cs.Run_index.sends;
+      cs.Run_index.recvs;
+      cs.Run_index.dos;
+      cs.Run_index.inits;
+      cs.Run_index.crashes;
+      cs.Run_index.suspects;
+    ]
+
+(* -- random runs --------------------------------------------------------- *)
+
+(* A run from a random workload: size, faults, loss, oracle and protocol
+   all drawn from the seed. *)
+let random_run seed =
+  let prng = Prng.create (Int64.of_int (seed * 2654435761 + 1)) in
+  let n = 3 + (seed mod 4) in
+  let t = seed mod n in
+  let loss = [| 0.0; 0.2; 0.5 |].(seed mod 3) in
+  let oracle =
+    match seed mod 4 with
+    | 0 -> Oracle.none
+    | 1 -> Detector.Oracles.perfect ~lag:(seed mod 3) ()
+    | 2 -> Detector.Oracles.strong ~seed:(Int64.of_int seed) ()
+    | _ -> Detector.Oracles.gen_exact ()
+  in
+  let proto =
+    match seed mod 3 with
+    | 0 -> (module Core.Nudc.P : Protocol.S)
+    | 1 -> (module Core.Ack_udc.P)
+    | _ -> Core.Majority_udc.make ~t:(max t 1)
+  in
+  let cfg = Sim.config ~n ~seed:(Int64.of_int ((seed * 7919) + 3)) in
+  let cfg =
+    {
+      cfg with
+      Sim.loss_rate = loss;
+      oracle;
+      fault_plan = Fault_plan.random prng ~n ~t ~max_tick:20;
+      init_plan = Init_plan.staggered ~n ~actions_per_process:1 ~spacing:3;
+      max_ticks = 600;
+    }
+  in
+  (Sim.execute_uniform cfg proto).Sim.run
+
+let qcheck_index_agrees =
+  QCheck.Test.make ~count:25 ~name:"index agrees with naive timed_events scan"
+    QCheck.(map (fun i -> abs i) small_int)
+    (fun seed ->
+      cross_check (random_run seed);
+      true)
+
+let test_memoized () =
+  let run = random_run 5 in
+  Alcotest.(check bool)
+    "same physical index" true
+    (Run_index.of_run run == Run_index.of_run run)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest qcheck_index_agrees;
+    Alcotest.test_case "index memoized per run" `Quick test_memoized;
+  ]
