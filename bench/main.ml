@@ -19,7 +19,7 @@ let experiments =
     ("sampled", "E14: exact vs sampled knowledge ablation", Extensions.sampled);
     ("kb", "E15: knowledge-based programs (FHMV97)", Extensions.kb_programs);
     ("ck", "E16: the knowledge hierarchy / common knowledge", Extensions.common_knowledge);
-    ("perf", "P1-P4: performance and ablations", Perf.run);
+    ("perf", "P1-P6: performance and ablations", fun () -> Perf.run ());
   ]
 
 let run_all () =
@@ -42,6 +42,25 @@ let with_domains f domains =
 let cmd_of (name, doc, f) =
   Cmd.v (Cmd.info name ~doc) Term.(const (with_domains f) $ domains_arg)
 
+(* `perf` grows a --smoke flag: only the self-checking experiments (the
+   kernel differential oracle and the ensemble seq-vs-pool digest), still
+   writing BENCH_perf.json for CI to upload. *)
+let smoke_arg =
+  let doc =
+    "Run only the fast self-checking perf experiments and still write \
+     BENCH_perf.json."
+  in
+  Arg.(value & flag & info [ "smoke" ] ~doc)
+
+let perf_cmd =
+  Cmd.v
+    (Cmd.info "perf" ~doc:"P1-P6: performance and ablations")
+    Term.(
+      const (fun domains smoke ->
+          Option.iter Ensemble.set_domains domains;
+          Perf.run ~smoke ())
+      $ domains_arg $ smoke_arg)
+
 let default = Term.(const (with_domains run_all) $ domains_arg)
 
 let () =
@@ -53,4 +72,9 @@ let () =
          and Failure Detectors' (PODC 1999). With no subcommand, runs \
          everything."
   in
-  exit (Cmd.eval (Cmd.group ~default info (List.map cmd_of experiments)))
+  let cmds =
+    List.map cmd_of
+      (List.filter (fun (name, _, _) -> name <> "perf") experiments)
+    @ [ perf_cmd ]
+  in
+  exit (Cmd.eval (Cmd.group ~default info cmds))

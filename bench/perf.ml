@@ -263,6 +263,98 @@ let bechamel () =
     (fun t -> benchmark (Test.make_grouped ~name:"udc" [ t ]))
     [ sim_bench; enum_bench; knowledge_bench ]
 
+(* P6: the bit-packed truth-table kernel vs the reference bool-array
+   evaluator — same system, same formulas, fresh envs. The reference
+   verdicts double as a differential oracle: any disagreement aborts the
+   bench. *)
+let checker_kernel () =
+  Util.header "P6: epistemic checker kernel (packed vs reference oracle)";
+  let module F = Epistemic.Formula in
+  let module C = Epistemic.Checker in
+  (* long-horizon simulator runs: hundreds of ticks per row is the shape
+     the packed representation targets (one machine word covers 63
+     points of a run) *)
+  let n = 6 in
+  let runs =
+    List.map
+      (fun seed ->
+        let r =
+          run_one ~n ~loss:0.6 ~t:2
+            ~oracle:(Detector.Oracles.perfect ~lag:8 ())
+            ~k:8 ~lag:8
+            (module Core.Ack_udc.P)
+            seed
+        in
+        r.Sim.run)
+      (Util.seeds 24)
+  in
+  let sys = Epistemic.System.of_runs runs in
+  let pids = Pid.all n in
+  let g = Pid.Set.of_list pids in
+  let fs =
+    List.concat
+      [
+        (* knowledge ladders and group operators *)
+        List.map (fun p -> F.(knows p (inited alpha0))) pids;
+        List.map
+          (fun p -> F.(knows p (knows ((p + 1) mod n) (inited alpha0))))
+          pids;
+        [
+          F.Ck (g, F.inited alpha0);
+          F.Dk (g, F.crashed 1);
+          F.(everyone g (inited alpha0));
+          F.Prim (F.At_least_crashed (g, 1));
+        ];
+        (* temporal/boolean sweeps over the whole system *)
+        List.concat_map
+          (fun p ->
+            List.map
+              (fun q ->
+                F.(
+                  knows p (crashed q)
+                  ==> eventually (Dk (g, F.crashed q) ||| crashed p)))
+              pids)
+          pids;
+        List.map
+          (fun q ->
+            F.(
+              always (crashed q ==> eventually (knows ((q + 1) mod n)
+                                                  (crashed q)))))
+          pids;
+      ]
+  in
+  (* each round gets a fresh env (cold memo and class masks) so setup
+     cost is charged to both sides; rounds amortize timer noise *)
+  let rounds = 5 in
+  let time make eval =
+    let t0 = Unix.gettimeofday () in
+    let r = ref [] in
+    for _ = 1 to rounds do
+      let env = make sys in
+      r := List.map (eval env) fs
+    done;
+    (Unix.gettimeofday () -. t0, !r)
+  in
+  let packed_wall, packed =
+    time C.make (fun env f -> C.counterexample env f)
+  in
+  let ref_wall, reference =
+    time C.Reference.make (fun env f -> C.Reference.counterexample env f)
+  in
+  if packed <> reference then
+    failwith "checker kernel: packed and reference verdicts differ";
+  record "checker-kernel:packed" ~wall:packed_wall ~runs:None;
+  record "checker-kernel:reference" ~wall:ref_wall ~runs:None;
+  Format.printf "    %-28s %8.4f s@." "packed kernel" packed_wall;
+  Format.printf "    %-28s %8.4f s  (speedup %.2fx)@." "reference evaluator"
+    ref_wall
+    (ref_wall /. packed_wall);
+  Format.printf
+    "    (differential oracle: verdicts identical on %d formulas over %d \
+     points)@."
+    (List.length fs)
+    (Epistemic.System.point_count sys)
+
 (* P5: throughput of the ensemble engine itself — the same seed list
    mapped sequentially and on the domain pool. The digests double as a
    cheap determinism assertion: the parallel map must reproduce the
@@ -301,14 +393,20 @@ let ensemble_throughput () =
   Format.printf
     "    (digests of both maps compared: bit-identical on %d runs)@." nseeds
 
-let run () =
+(* [smoke] keeps only the fast self-checking experiments — the kernel
+   differential and the ensemble determinism assertion — so CI can gate
+   on them and still publish a BENCH_perf.json artifact. *)
+let run ?(smoke = false) () =
   records := [];
-  timed "bechamel" bechamel;
-  timed "message-complexity" ~runs:200 message_complexity;
-  timed "quiet-ablation" ~runs:60 quiet_ablation;
-  timed "latency-vs-loss" ~runs:60 latency_vs_loss;
-  timed "fairness-ablation" ~runs:48 fairness_ablation;
-  timed "lag-sensitivity" ~runs:48 lag_sensitivity;
+  if not smoke then begin
+    timed "bechamel" bechamel;
+    timed "message-complexity" ~runs:200 message_complexity;
+    timed "quiet-ablation" ~runs:60 quiet_ablation;
+    timed "latency-vs-loss" ~runs:60 latency_vs_loss;
+    timed "fairness-ablation" ~runs:48 fairness_ablation;
+    timed "lag-sensitivity" ~runs:48 lag_sensitivity
+  end;
+  checker_kernel ();
   ensemble_throughput ();
   write_json "BENCH_perf.json";
   Format.printf "@.  wrote BENCH_perf.json (%d records; %d domains)@."

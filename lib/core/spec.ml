@@ -90,24 +90,29 @@ let nudc run =
 
 open Epistemic
 
+(* The formulas are interned at construction so repeated checks of the
+   same specification share one memo entry in the checker. *)
+
 let dc1_formula alpha =
   let p = Action_id.owner alpha in
-  Formula.(
-    inited alpha ==> eventually (did p alpha ||| crashed p))
+  Formula.intern
+    Formula.(inited alpha ==> eventually (did p alpha ||| crashed p))
 
 let dc2_formula ~n alpha =
-  Formula.conj
-    (List.concat_map
-       (fun q1 ->
-         List.map
-           (fun q2 ->
-             Formula.(
-               did q1 alpha ==> eventually (did q2 alpha ||| crashed q2)))
-           (Pid.all n))
-       (Pid.all n))
+  Formula.intern
+    (Formula.conj
+       (List.concat_map
+          (fun q1 ->
+            List.map
+              (fun q2 ->
+                Formula.(
+                  did q1 alpha ==> eventually (did q2 alpha ||| crashed q2)))
+              (Pid.all n))
+          (Pid.all n)))
 
 let dc3_formula ~n alpha =
-  Formula.conj
-    (List.map
-       (fun q2 -> Formula.(did q2 alpha ==> inited alpha))
-       (Pid.all n))
+  Formula.intern
+    (Formula.conj
+       (List.map
+          (fun q2 -> Formula.(did q2 alpha ==> inited alpha))
+          (Pid.all n)))

@@ -83,11 +83,13 @@ let check_r2 t =
 
 (* R3 with multiplicity: along each channel (p,q) and message content, the
    number of receives by any tick must not exceed the number of sends by
-   that tick. Scanning receives in tick order against a running send count
-   implements exactly that. *)
+   that tick. Receives of a key occur in one history, hence in ascending
+   tick order (R2), so a monotone cursor into the ascending send-tick
+   array maintains the running send count — O(sends + receives) per key
+   instead of re-filtering the send list at every receive. *)
 let check_r3 t =
   let sends = Hashtbl.create 64 in
-  (* (src,dst,msg) -> tick list, ascending *)
+  (* (src,dst,msg) -> send ticks, ascending *)
   List.iter
     (fun p ->
       List.iter
@@ -100,29 +102,39 @@ let check_r3 t =
           | _ -> ())
         (History.timed_events t.histories.(p)))
     (Pid.all t.n);
-  Hashtbl.iter (fun k v -> Hashtbl.replace sends k (List.rev v)) sends;
+  let sends =
+    let arrays = Hashtbl.create (Hashtbl.length sends) in
+    Hashtbl.iter
+      (fun k v -> Hashtbl.add arrays k (Array.of_list (List.rev v)))
+      sends;
+    arrays
+  in
   let check_receiver q =
-    let consumed = Hashtbl.create 16 in
+    (* per key: (cursor = sends with tick <= last receive seen, consumed) *)
+    let state = Hashtbl.create 16 in
     let rec go = function
       | [] -> Ok ()
       | (e, tick) :: rest -> (
           match e with
           | Event.Recv { src; msg } ->
               let key = (src, q, msg) in
-              let already =
-                Option.value ~default:0 (Hashtbl.find_opt consumed key)
+              let cursor, consumed =
+                Option.value ~default:(0, 0) (Hashtbl.find_opt state key)
               in
-              let available =
-                match Hashtbl.find_opt sends key with
-                | None -> 0
-                | Some ticks ->
-                    List.length (List.filter (fun s -> s <= tick) ticks)
+              let ticks =
+                Option.value ~default:[||] (Hashtbl.find_opt sends key)
               in
-              if already >= available then
+              let cursor = ref cursor in
+              while
+                !cursor < Array.length ticks && ticks.(!cursor) <= tick
+              do
+                incr cursor
+              done;
+              if consumed >= !cursor then
                 errorf "R3 violated: %a receives %a from %a with no send"
                   Pid.pp q Message.pp msg Pid.pp src
               else (
-                Hashtbl.replace consumed key (already + 1);
+                Hashtbl.replace state key (!cursor, consumed + 1);
                 go rest)
           | _ -> go rest)
     in
@@ -148,18 +160,28 @@ let check_r4 t =
     (fun acc p -> match acc with Error _ -> acc | Ok () -> check_one p)
     (Ok ()) (Pid.all t.n)
 
+(* R5 (fairness surrogate on a finite prefix): along each channel
+   (p, q correct) and fairness key, count the sends after the last
+   receive on that key — the {e consecutive unanswered} tail (a receive
+   at tick [t] answers every send of its key at tick [<= t], since the
+   channel does not reorder within a key). An infinite fair channel
+   delivers at least one of every [max_consecutive_drops + 1]
+   consecutive sends, so an unbounded unanswered tail is the finite
+   witness of unfairness. The threshold tolerates
+   [2 * max_consecutive_drops + 1]: up to [k] trailing sends may be
+   legitimately dropped, and up to [k + 1] more may be kept by the
+   channel but still in flight when the prefix ends (horizon
+   truncation), so only a strictly longer tail is a genuine violation. *)
 let check_r5 t ~max_consecutive_drops =
-  let recvs = Hashtbl.create 64 in
-  (* (src,dst,fairness_key) -> recv count *)
+  let last_recv = Hashtbl.create 64 in
+  (* (src,dst,fairness_key) -> last receive tick *)
   List.iter
     (fun q ->
       List.iter
-        (fun (e, _) ->
+        (fun (e, tick) ->
           match e with
           | Event.Recv { src; msg } ->
-              let key = (src, q, Message.fairness_key msg) in
-              let prev = Option.value ~default:0 (Hashtbl.find_opt recvs key) in
-              Hashtbl.replace recvs key (prev + 1)
+              Hashtbl.replace last_recv (src, q, Message.fairness_key msg) tick
           | _ -> ())
         (History.timed_events t.histories.(q)))
     (Pid.all t.n);
@@ -172,35 +194,39 @@ let check_r5 t ~max_consecutive_drops =
             match crash_tick t q with
             | Some _ -> () (* fairness only constrains correct receivers *)
             | None ->
-                let per_key = Hashtbl.create 8 in
+                let unanswered = Hashtbl.create 8 in
+                (* fairness_key -> sends since the key's last receive *)
                 List.iter
-                  (fun (e, _) ->
+                  (fun (e, tick) ->
                     match e with
                     | Event.Send { dst; msg } when Pid.equal dst q ->
                         let k = Message.fairness_key msg in
-                        let prev =
-                          Option.value ~default:0 (Hashtbl.find_opt per_key k)
+                        let answered =
+                          match Hashtbl.find_opt last_recv (p, q, k) with
+                          | Some rt -> tick <= rt
+                          | None -> false
                         in
-                        Hashtbl.replace per_key k (prev + 1)
+                        if answered then Hashtbl.replace unanswered k 0
+                        else
+                          let prev =
+                            Option.value ~default:0
+                              (Hashtbl.find_opt unanswered k)
+                          in
+                          Hashtbl.replace unanswered k (prev + 1)
                     | _ -> ())
                   (History.timed_events t.histories.(p));
                 Hashtbl.iter
-                  (fun k sent ->
-                    if sent > max_consecutive_drops then
-                      let received =
-                        Option.value ~default:0
-                          (Hashtbl.find_opt recvs (p, q, k))
-                      in
-                      if received = 0 then
-                        match !fail with
-                        | Error _ -> ()
-                        | Ok () ->
-                            fail :=
-                              errorf
-                                "R5 violated: %a sent %s to %a %d times, \
-                                 never received"
-                                Pid.pp p k Pid.pp q sent)
-                  per_key)
+                  (fun k tail ->
+                    if tail > (2 * max_consecutive_drops) + 1 then
+                      match !fail with
+                      | Error _ -> ()
+                      | Ok () ->
+                          fail :=
+                            errorf
+                              "R5 violated: %a sent %s to %a %d consecutive \
+                               times unanswered"
+                              Pid.pp p k Pid.pp q tail)
+                  unanswered)
         (Pid.all t.n))
     (Pid.all t.n);
   !fail

@@ -60,15 +60,24 @@ val digest : t -> string
 val check_r2 : t -> (unit, string) result
 
 (** R3: every receive is covered by at least as many earlier-or-same-tick
-    sends of the same message along the same channel. *)
+    sends of the same message along the same channel. Linear in the run:
+    receives are scanned in tick order against a monotone cursor into
+    each channel's ascending send ticks. *)
 val check_r3 : t -> (unit, string) result
 
 (** R4: a crash, if present, is the last event of its history. *)
 val check_r4 : t -> (unit, string) result
 
 (** R5 (finite surrogate): for every channel (p,q) with [q] correct and
-    every fairness class sent more than [max_consecutive_drops] times while
-    [q] had not crashed, at least one receive occurred. *)
+    every fairness class, the number of {e consecutive unanswered} sends —
+    trailing sends after the key's last receive (a receive at tick [t]
+    answers every send of its key at tick [<= t]) — is at most
+    [2 * max_consecutive_drops + 1]. Up to [max_consecutive_drops]
+    trailing sends may be legitimately dropped by a fair channel and up
+    to [max_consecutive_drops + 1] more may still be in flight when the
+    finite prefix ends; a longer unanswered tail witnesses unfairness.
+    Unlike a total-receive count, this flags a channel that delivers once
+    early and then drops forever. *)
 val check_r5 : t -> max_consecutive_drops:int -> (unit, string) result
 
 (** Section 2.4: [init_p(alpha)] appears only in the history of

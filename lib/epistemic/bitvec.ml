@@ -1,0 +1,108 @@
+type t = { len : int; words : int array }
+
+let word_bits = Sys.int_size
+let nwords len = ((len - 1) / word_bits) + 1
+
+(* All word_bits bits set: the tagged representation of -1. *)
+let full = -1
+
+(* Valid-bit mask of the last word. *)
+let last_mask len =
+  let r = len mod word_bits in
+  if r = 0 then full else (1 lsl r) - 1
+
+let create len v =
+  if len <= 0 then invalid_arg "Bitvec.create: non-positive length";
+  let n = nwords len in
+  let words = Array.make n (if v then full else 0) in
+  if v then words.(n - 1) <- last_mask len;
+  { len; words }
+
+let length t = t.len
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Bitvec.get: out of range";
+  t.words.(i / word_bits) land (1 lsl (i mod word_bits)) <> 0
+
+let set t i v =
+  if i < 0 || i >= t.len then invalid_arg "Bitvec.set: out of range";
+  let w = i / word_bits and bit = 1 lsl (i mod word_bits) in
+  if v then t.words.(w) <- t.words.(w) lor bit
+  else t.words.(w) <- t.words.(w) land lnot bit
+
+let from_bit len t0 =
+  match t0 with
+  | None -> create len false
+  | Some t0 when t0 >= len -> create len false
+  | Some t0 when t0 <= 0 -> create len true
+  | Some t0 ->
+      let t = create len true in
+      let w0 = t0 / word_bits in
+      for w = 0 to w0 - 1 do
+        t.words.(w) <- 0
+      done;
+      t.words.(w0) <- t.words.(w0) land lnot ((1 lsl (t0 mod word_bits)) - 1);
+      t
+
+let map2 f a b =
+  if a.len <> b.len then invalid_arg "Bitvec: length mismatch";
+  { len = a.len; words = Array.map2 f a.words b.words }
+
+let logand = map2 ( land )
+let logor = map2 ( lor )
+
+(* Operations built from [lnot] set the invalid bits of the last word;
+   mask them off to restore the invariant. *)
+let masked t =
+  let n = Array.length t.words in
+  t.words.(n - 1) <- t.words.(n - 1) land last_mask t.len;
+  t
+
+let lognot a = masked { len = a.len; words = Array.map lnot a.words }
+let implies a b = masked (map2 (fun x y -> lnot x lor y) a b)
+
+(* In-word suffix OR: bit i becomes the OR of bits i..word_bits-1, by
+   folding higher bits downward (shifts cover the 63-bit payload). *)
+let in_word_suffix_or x =
+  let x = x lor (x lsr 1) in
+  let x = x lor (x lsr 2) in
+  let x = x lor (x lsr 4) in
+  let x = x lor (x lsr 8) in
+  let x = x lor (x lsr 16) in
+  x lor (x lsr 32)
+
+let suffix_or t =
+  let n = Array.length t.words in
+  let words = Array.make n 0 in
+  let carry = ref false in
+  for w = n - 1 downto 0 do
+    let x = t.words.(w) in
+    let valid = if w = n - 1 then last_mask t.len else full in
+    words.(w) <- (if !carry then valid else in_word_suffix_or x);
+    if x <> 0 then carry := true
+  done;
+  { len = t.len; words }
+
+(* AND over a suffix = NOT (OR over the suffix of the complement); the
+   complement is masked, so invalid bits never pollute the scan. *)
+let suffix_and t = lognot (suffix_or (lognot t))
+
+let equal a b = a.len = b.len && Array.for_all2 Int.equal a.words b.words
+
+let first_false t =
+  let n = Array.length t.words in
+  let rec go w =
+    if w >= n then None
+    else
+      let valid = if w = n - 1 then last_mask t.len else full in
+      let z = lnot t.words.(w) land valid in
+      if z = 0 then go (w + 1)
+      else
+        let rec bit i = if z land (1 lsl i) <> 0 then i else bit (i + 1) in
+        Some ((w * word_bits) + bit 0)
+  in
+  go 0
+
+let word t w = t.words.(w)
+let or_word t w m = t.words.(w) <- t.words.(w) lor m
+let to_int_array t = Array.copy t.words

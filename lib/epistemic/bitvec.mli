@@ -1,0 +1,57 @@
+(** Bit-packed truth-table rows.
+
+    A [Bitvec.t] holds one boolean per tick of a run, packed into native
+    [int] words ({!word_bits} bits each, the unboxed OCaml word). The
+    checker keeps one row per run, so every connective is a word-level
+    sweep and the temporal operators are backward word scans instead of
+    per-tick loops.
+
+    Invariant: the bits of the last word above [length] are always zero —
+    every operation re-establishes it, so whole-word comparisons
+    ({!equal}, the checker's digests) are canonical. *)
+
+type t
+
+(** Number of payload bits per word ([Sys.int_size], 63 on 64-bit). *)
+val word_bits : int
+
+(** [create len v]: [len] bits (one per tick), all set to [v].
+    Raises [Invalid_argument] if [len <= 0]. *)
+val create : int -> bool -> t
+
+val length : t -> int
+val get : t -> int -> bool
+val set : t -> int -> bool -> unit
+
+(** [from_bit len t0]: bit [i] is set iff [t0 <= i] — the table of a
+    stable primitive that becomes true at tick [t0] ([None]: never). *)
+val from_bit : int -> int option -> t
+
+(** Pointwise connectives (word-level; operands must have equal length). *)
+
+val logand : t -> t -> t
+val logor : t -> t -> t
+val lognot : t -> t
+val implies : t -> t -> t
+
+(** [suffix_and v]: bit [i] of the result is the AND of bits [i..len-1] —
+    the finite-horizon [Always]. One backward word scan. *)
+val suffix_and : t -> t
+
+(** [suffix_or v]: bit [i] is the OR of bits [i..len-1] — [Eventually]. *)
+val suffix_or : t -> t
+
+val equal : t -> t -> bool
+
+(** Index of the lowest zero bit, if any — the earliest counterexample. *)
+val first_false : t -> int option
+
+(** Raw word access, for the checker's class-mask aggregation. [word v w]
+    is the [w]-th word; [or_word v w m] ORs mask [m] into it. Masks must
+    not set bits beyond [length v]. *)
+
+val word : t -> int -> int
+val or_word : t -> int -> int -> unit
+
+(** A fresh copy of the words, for digests. *)
+val to_int_array : t -> int array

@@ -6,7 +6,15 @@
     (finite-horizon semantics — faithful for stable formulas once runs are
     executed to quiescence, see DESIGN.md). Evaluation is memoized per
     subformula over all points, so checking validity of a formula costs one
-    pass per subformula. *)
+    pass per subformula.
+
+    Representation (see DESIGN.md, "Truth-table representation"): a truth
+    table is one bit-packed {!Bitvec.t} row per run, connectives are
+    word-parallel, and the knowledge operators AND-fold precomputed
+    per-class (run, word, mask) triples. Queries intern their formula
+    ({!Formula.intern}) and memoize by {!Formula.id}, so semantically
+    equal formulas share one table. [env] is safe to share across domains
+    (all queries serialize on an internal lock). *)
 
 type env
 
@@ -38,3 +46,26 @@ val local_to : env -> Formula.t -> Pid.t -> bool
 
 (** [stable env phi]: once true, [phi] stays true ([phi ⇒ □phi] valid). *)
 val stable : env -> Formula.t -> bool
+
+(** Number of memoized truth tables — one per distinct interned
+    subformula evaluated so far. Exposed for the interning regression
+    tests: semantically equal formulas must not split entries. *)
+val memo_entries : env -> int
+
+(** Hex digest of the packed truth table of a formula — bit-identical
+    tables give equal digests, so determinism across domain counts is
+    checkable. *)
+val table_digest : env -> Formula.t -> string
+
+(** The pre-kernel evaluator — plain [bool array array] tables, per-point
+    class passes, structural memo keys. Kept as an independent
+    differential oracle for the kernel (tests and the perf harness); not
+    domain-safe. *)
+module Reference : sig
+  type env
+
+  val make : System.t -> env
+  val holds : env -> Formula.t -> run:int -> tick:int -> bool
+  val valid : env -> Formula.t -> bool
+  val counterexample : env -> Formula.t -> (int * int) option
+end

@@ -126,7 +126,7 @@ let a3 env =
        (fun a ->
          List.iter
            (fun q ->
-             let f = Formula.K (q, Formula.inited a) in
+             let f = Formula.intern (Formula.K (q, Formula.inited a)) in
              for ri = 0 to System.run_count sys - 1 do
                match Run.crash_tick (System.run sys ri) q with
                | None -> ()
@@ -213,7 +213,11 @@ let a2_relaxed ?samples sys =
 let a4_instance ?samples env alpha =
   let sys = Checker.system env in
   let n = System.n sys in
-  let phi = Formula.inited alpha in
+  let phi = Formula.intern (Formula.inited alpha) in
+  (* per-process K_q phi, interned once rather than rebuilt per point *)
+  let kq =
+    Array.init n (fun q -> Formula.intern (Formula.K (q, phi)))
+  in
   let witness_for (ri, m) s =
     let run = System.run sys ri in
     let ok = ref false in
@@ -266,10 +270,8 @@ let a4_instance ?samples env alpha =
            let s =
              List.fold_left
                (fun acc q ->
-                 if
-                   not
-                     (Checker.holds env (Formula.K (q, phi)) ~run:ri ~tick:m)
-                 then Pid.Set.add q acc
+                 if not (Checker.holds env kq.(q) ~run:ri ~tick:m) then
+                   Pid.Set.add q acc
                  else acc)
                Pid.Set.empty (Pid.all n)
            in

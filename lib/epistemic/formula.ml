@@ -70,3 +70,114 @@ let conj = function [] -> True | x :: rest -> List.fold_left ( &&& ) x rest
 let disj = function [] -> False | x :: rest -> List.fold_left ( ||| ) x rest
 
 let everyone g f = conj (List.map (fun p -> K (p, f)) (Pid.Set.elements g))
+
+(* ---- Hash-consing ----------------------------------------------------
+   [t] embeds set-valued payloads ([Pid.Set.t] in [Dk]/[Ck]/
+   [At_least_crashed], [Fact.Set.t]/[Pid.Set.t] inside [Message.t]), so
+   structural equality is NOT semantic equality: equal sets built in
+   different insertion orders have different tree shapes (the hazard
+   {!System} documents for events). Interning maps every formula to a
+   canonical, physically-unique representative with a dense id, giving
+   checkers O(1) sound memo keys.
+
+   Canonical keys: primitives are keyed by their printed form (every set
+   printer emits elements in sorted order, and the per-constructor
+   prefixes make printing injective); composite nodes are keyed by
+   operator + child ids, so a key is O(1) in the subformula count. *)
+
+module Phys = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = ( == )
+  let hash = Hashtbl.hash
+end)
+
+let intern_lock = Mutex.create ()
+let nodes : (string, t * int) Hashtbl.t = Hashtbl.create 256
+
+(* canonical node -> id: the O(1) fast path for already-interned
+   formulas (and their subterms, which are interned by construction) *)
+let ids : int Phys.t = Phys.create 256
+let next_id = ref 0
+
+(* [Set.of_list] sorts and builds a perfectly balanced tree, so equal
+   sets become structurally identical — the stored payloads of canonical
+   nodes are themselves canonical. *)
+let canon_pid_set s = Pid.Set.of_list (Pid.Set.elements s)
+
+let canon_msg = function
+  | Message.Coord_request (a, f) ->
+      Message.Coord_request (a, Fact.Set.of_list (Fact.Set.elements f))
+  | Message.Coord_ack (a, f) ->
+      Message.Coord_ack (a, Fact.Set.of_list (Fact.Set.elements f))
+  | Message.Gossip s -> Message.Gossip (canon_pid_set s)
+  | (Message.Heartbeat _ | Message.Cons_estimate _ | Message.Cons_propose _
+    | Message.Cons_ack _ | Message.Cons_decide _) as m ->
+      m
+
+let canon_prim = function
+  | Sent (p, q, m) -> Sent (p, q, canon_msg m)
+  | Received (q, p, m) -> Received (q, p, canon_msg m)
+  | At_least_crashed (s, k) -> At_least_crashed (canon_pid_set s, k)
+  | (Crashed _ | Did _ | Inited _ | Suspects _) as p -> p
+
+let hashcons key node =
+  match Hashtbl.find_opt nodes key with
+  | Some (canon, id) -> (canon, id)
+  | None ->
+      let id = !next_id in
+      incr next_id;
+      Hashtbl.add nodes key (node, id);
+      Phys.add ids node id;
+      (node, id)
+
+let rec go f =
+  match Phys.find_opt ids f with
+  | Some id -> (f, id)
+  | None -> (
+      match f with
+      | True -> hashcons "T" f
+      | False -> hashcons "F" f
+      | Prim p ->
+          let p = canon_prim p in
+          hashcons (Format.asprintf "P%a" pp_prim p) (Prim p)
+      | Not a ->
+          let a, ia = go a in
+          hashcons (Printf.sprintf "!%d" ia) (Not a)
+      | And (a, b) ->
+          let a, ia = go a in
+          let b, ib = go b in
+          hashcons (Printf.sprintf "&%d,%d" ia ib) (And (a, b))
+      | Or (a, b) ->
+          let a, ia = go a in
+          let b, ib = go b in
+          hashcons (Printf.sprintf "|%d,%d" ia ib) (Or (a, b))
+      | Implies (a, b) ->
+          let a, ia = go a in
+          let b, ib = go b in
+          hashcons (Printf.sprintf ">%d,%d" ia ib) (Implies (a, b))
+      | Always a ->
+          let a, ia = go a in
+          hashcons (Printf.sprintf "A%d" ia) (Always a)
+      | Eventually a ->
+          let a, ia = go a in
+          hashcons (Printf.sprintf "E%d" ia) (Eventually a)
+      | K (p, a) ->
+          let a, ia = go a in
+          hashcons (Printf.sprintf "K%d:%d" p ia) (K (p, a))
+      | Dk (s, a) ->
+          let a, ia = go a in
+          hashcons
+            (Printf.sprintf "D%s:%d" (Pid.Set.to_string s) ia)
+            (Dk (canon_pid_set s, a))
+      | Ck (s, a) ->
+          let a, ia = go a in
+          hashcons
+            (Printf.sprintf "C%s:%d" (Pid.Set.to_string s) ia)
+            (Ck (canon_pid_set s, a)))
+
+let intern f = Mutex.protect intern_lock (fun () -> fst (go f))
+let id f = Mutex.protect intern_lock (fun () -> snd (go f))
+
+let equal a b =
+  Mutex.protect intern_lock (fun () -> snd (go a) = snd (go b))

@@ -42,6 +42,24 @@ type t =
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
 
+(** Hash-consing. [t] embeds set-valued payloads, so structural equality
+    under-identifies semantically equal formulas (equal sets built in
+    different insertion orders compare structurally unequal — the hazard
+    {!System} documents for events). [intern f] returns the canonical,
+    physically-unique representative of [f]: set payloads rebalanced to
+    their canonical shape, subterms shared, and semantically equal
+    formulas mapped to the {e same} node. Thread-safe (the intern table
+    is shared across domains). *)
+val intern : t -> t
+
+(** Dense unique id of [intern f] — equal iff the formulas are
+    semantically equal. O(1) for already-interned formulas; the sound
+    memo key used by {!Checker}. *)
+val id : t -> int
+
+(** Semantic equality, via interning. *)
+val equal : t -> t -> bool
+
 (** Convenience constructors. *)
 
 val crashed : Pid.t -> t

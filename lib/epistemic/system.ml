@@ -3,7 +3,8 @@ type t = {
   indexes : Run_index.t array;
   n : int;
   class_ids : int array array array; (* [p].[run].[tick] *)
-  class_members : (int * int) list array array; (* [p].[class] -> points *)
+  class_members : (int * int) array array array;
+      (* [p].[class] -> points, (run, tick) ascending *)
 }
 
 (* Canonical, injective key for an event: [Event.pp] prints set-valued
@@ -91,9 +92,14 @@ let of_runs run_list =
       done)
     runs;
   let class_members =
+    (* the per-class lists were consed run-major, ticks ascending, so
+       reversing restores ascending point order *)
     Array.init n (fun p ->
         Array.init counts.(p) (fun c ->
-            Option.value ~default:[] (Hashtbl.find_opt members.(p) c)))
+            let pts =
+              Option.value ~default:[] (Hashtbl.find_opt members.(p) c)
+            in
+            Array.of_list (List.rev pts)))
   in
   { runs; indexes; n; class_ids; class_members }
 

@@ -29,8 +29,9 @@ val class_id : t -> Pid.t -> run:int -> tick:int -> int
 (** Number of classes for [p]. *)
 val class_count : t -> Pid.t -> int
 
-(** All points in a class, as [(run, tick)] pairs. *)
-val class_points : t -> Pid.t -> int -> (int * int) list
+(** All points in a class, as [(run, tick)] pairs in ascending run-major
+    order. The returned array is shared — do not mutate. *)
+val class_points : t -> Pid.t -> int -> (int * int) array
 
 (** Iterate over every point of the system. *)
 val iter_points : t -> (run:int -> tick:int -> unit) -> unit

@@ -237,6 +237,120 @@ let run_r3_rejects_early_recv () =
   in
   Alcotest.(check bool) "R3 fails" true (Result.is_error (Run.check_r3 r))
 
+(* R3 property: the monotone-cursor checker agrees with the quadratic
+   reference algorithm (re-filter the send list at every receive) it
+   replaced, on randomly generated two-message channels — both satisfying
+   and violating runs. *)
+let r3_reference run =
+  let n = Run.n run in
+  let sends = Hashtbl.create 64 in
+  List.iter
+    (fun p ->
+      List.iter
+        (fun (e, tick) ->
+          match e with
+          | Event.Send { dst; msg } ->
+              let key = (p, dst, msg) in
+              let prev = Option.value ~default:[] (Hashtbl.find_opt sends key) in
+              Hashtbl.replace sends key (tick :: prev)
+          | _ -> ())
+        (History.timed_events (Run.history run p)))
+    (Pid.all n);
+  Hashtbl.iter (fun k v -> Hashtbl.replace sends k (List.rev v)) sends;
+  let ok = ref true in
+  List.iter
+    (fun q ->
+      let consumed = Hashtbl.create 16 in
+      List.iter
+        (fun (e, tick) ->
+          match e with
+          | Event.Recv { src; msg } ->
+              let key = (src, q, msg) in
+              let already =
+                Option.value ~default:0 (Hashtbl.find_opt consumed key)
+              in
+              let available =
+                match Hashtbl.find_opt sends key with
+                | None -> 0
+                | Some ticks ->
+                    List.length (List.filter (fun s -> s <= tick) ticks)
+              in
+              if already >= available then ok := false
+              else Hashtbl.replace consumed key (already + 1)
+          | _ -> ())
+        (History.timed_events (Run.history run q)))
+    (Pid.all n);
+  !ok
+
+let req2 = Message.Coord_ack (alpha 0 0, Fact.Set.empty)
+
+let r3_cursor_matches_reference =
+  (* one tick-deduplicated event stream per side; the bool picks one of
+     two message contents, so per-key cursors interleave *)
+  let stream = QCheck.(list (pair (int_range 1 40) bool)) in
+  QCheck.Test.make ~name:"R3 cursor agrees with quadratic reference"
+    ~count:500 QCheck.(pair stream stream) (fun (send_spec, recv_spec) ->
+      let dedup l =
+        List.sort_uniq (fun (t1, _) (t2, _) -> compare t1 t2) l
+      in
+      let msg b = if b then req else req2 in
+      let sends =
+        List.map
+          (fun (t, b) -> (Event.Send { dst = 1; msg = msg b }, t))
+          (dedup send_spec)
+      in
+      let recvs =
+        List.map
+          (fun (t, b) -> (Event.Recv { src = 0; msg = msg b }, t))
+          (dedup recv_spec)
+      in
+      let r = mk_run 2 [ (0, sends); (1, recvs) ] in
+      Result.is_ok (Run.check_r3 r) = r3_reference r)
+
+(* R5: the consecutive-unanswered-send count must flag a channel that
+   delivers once early and then drops forever — the case a total receive
+   count is blind to. *)
+let run_r5_early_receive_then_silence () =
+  let sends =
+    List.init 10 (fun i -> (Event.Send { dst = 1; msg = req }, i + 1))
+  in
+  let r =
+    mk_run 2 [ (0, sends); (1, [ (Event.Recv { src = 0; msg = req }, 1) ]) ]
+  in
+  (* 9 unanswered sends after the tick-1 receive > 2*2 + 1 *)
+  Alcotest.(check bool) "R5 fails" true
+    (Result.is_error (Run.check_r5 r ~max_consecutive_drops:2))
+
+let run_r5_tolerates_bounded_tail () =
+  let sends =
+    List.init 6 (fun i -> (Event.Send { dst = 1; msg = req }, i + 1))
+  in
+  let r =
+    mk_run 2 [ (0, sends); (1, [ (Event.Recv { src = 0; msg = req }, 1) ]) ]
+  in
+  (* 5 = 2k+1 trailing sends: within the drop + in-flight allowance *)
+  Alcotest.(check bool) "R5 ok" true
+    (Result.is_ok (Run.check_r5 r ~max_consecutive_drops:2))
+
+let run_r5_late_receive_answers_all () =
+  let sends =
+    List.init 10 (fun i -> (Event.Send { dst = 1; msg = req }, i + 1))
+  in
+  let r =
+    mk_run 2 [ (0, sends); (1, [ (Event.Recv { src = 0; msg = req }, 11) ]) ]
+  in
+  (* a receive at tick 11 answers every earlier send of its key *)
+  Alcotest.(check bool) "R5 ok" true
+    (Result.is_ok (Run.check_r5 r ~max_consecutive_drops:0))
+
+let run_r5_crashed_receiver_exempt () =
+  let sends =
+    List.init 10 (fun i -> (Event.Send { dst = 1; msg = req }, i + 1))
+  in
+  let r = mk_run 2 [ (0, sends); (1, [ (Event.Crash, 1) ]) ] in
+  Alcotest.(check bool) "R5 ok" true
+    (Result.is_ok (Run.check_r5 r ~max_consecutive_drops:0))
+
 let run_init_once () =
   let r =
     mk_run 2
@@ -312,6 +426,7 @@ let qsuite = List.map QCheck_alcotest.to_alcotest
     prng_float_bounds;
     prng_shuffle_permutes;
     channel_bounded_unfairness;
+    r3_cursor_matches_reference;
     sim_runs_well_formed;
   ]
 
@@ -337,6 +452,14 @@ let suite =
     Alcotest.test_case "run: R3 matched" `Quick run_r3_accepts_matched;
     Alcotest.test_case "run: R3 multiplicity" `Quick run_r3_multiplicity;
     Alcotest.test_case "run: R3 early receive" `Quick run_r3_rejects_early_recv;
+    Alcotest.test_case "run: R5 early receive then silence" `Quick
+      run_r5_early_receive_then_silence;
+    Alcotest.test_case "run: R5 bounded tail tolerated" `Quick
+      run_r5_tolerates_bounded_tail;
+    Alcotest.test_case "run: R5 late receive answers all" `Quick
+      run_r5_late_receive_answers_all;
+    Alcotest.test_case "run: R5 crashed receiver exempt" `Quick
+      run_r5_crashed_receiver_exempt;
     Alcotest.test_case "run: init ownership" `Quick run_init_once;
     Alcotest.test_case "run: faulty set" `Quick run_faulty_set;
     Alcotest.test_case "sim: deterministic" `Quick sim_deterministic;

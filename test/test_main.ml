@@ -19,4 +19,5 @@ let () =
       ("kb-programs", Test_kb.suite);
       ("common-knowledge", Test_common_knowledge.suite);
       ("enumerate", Test_enumerate.suite);
+      ("kernel", Test_kernel.suite);
     ]
