@@ -393,9 +393,59 @@ let ensemble_throughput () =
   Format.printf
     "    (digests of both maps compared: bit-identical on %d runs)@." nseeds
 
+(* P7: schedule-explorer throughput. An exhaustive bounded search with a
+   property that never fires (DC3 holds by construction), so the whole
+   move space is enumerated; states/sec is explored runs per second, each
+   one a full simulation plus the journal scan that derives its children.
+   Run sequentially and on the pool; the explored counts double as the
+   explorer's determinism assertion. *)
+let explorer_throughput () =
+  Util.header "P7: schedule explorer throughput (states per second)";
+  let scenario = Core.Adversary.confined_clique ~n:4 ~t:2 ~seed:42L in
+  let problem =
+    {
+      (Explore.Problem.of_scenario scenario) with
+      Explore.Problem.property = Explore.Property.Dc3;
+    }
+  in
+  let search domains =
+    let options =
+      {
+        Explore.Engine.default_options with
+        Explore.Engine.depth = 2;
+        domains = Some domains;
+      }
+    in
+    let t0 = Unix.gettimeofday () in
+    let outcome, stats = Explore.Engine.search ~options problem in
+    (match outcome with
+    | Explore.Engine.Exhausted _ | Explore.Engine.Budget _ -> ()
+    | Explore.Engine.Violation _ ->
+        failwith "explorer perf: DC3 unexpectedly violated");
+    (Unix.gettimeofday () -. t0, stats.Explore.Engine.explored)
+  in
+  let pool = max (Ensemble.domain_count ()) 1 in
+  let seq_wall, explored = search 1 in
+  let par_wall, explored' = search pool in
+  if explored <> explored' then
+    failwith "explorer determinism violated: explored counts differ";
+  record "explorer:domains=1" ~wall:seq_wall ~runs:(Some explored);
+  record
+    (Printf.sprintf "explorer:domains=%d" pool)
+    ~wall:par_wall ~runs:(Some explored);
+  Format.printf "    %-28s %8.0f states/s@." "sequential (1 domain)"
+    (float_of_int explored /. seq_wall);
+  Format.printf "    %-28s %8.0f states/s  (speedup %.2fx)@."
+    (Printf.sprintf "pool (%d domains)" pool)
+    (float_of_int explored /. par_wall)
+    (seq_wall /. par_wall);
+  Format.printf "    (exhaustive to depth 2: %d states, both counts equal)@."
+    explored
+
 (* [smoke] keeps only the fast self-checking experiments — the kernel
-   differential and the ensemble determinism assertion — so CI can gate
-   on them and still publish a BENCH_perf.json artifact. *)
+   differential, the ensemble determinism assertion, and the explorer
+   determinism assertion — so CI can gate on them and still publish a
+   BENCH_perf.json artifact. *)
 let run ?(smoke = false) () =
   records := [];
   if not smoke then begin
@@ -408,6 +458,7 @@ let run ?(smoke = false) () =
   end;
   checker_kernel ();
   ensemble_throughput ();
+  explorer_throughput ();
   write_json "BENCH_perf.json";
   Format.printf "@.  wrote BENCH_perf.json (%d records; %d domains)@."
     (List.length !records)

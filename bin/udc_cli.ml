@@ -183,6 +183,226 @@ let scenarios n seed =
 let depth_arg =
   Arg.(value & opt int 7 & info [ "depth" ] ~doc:"Enumeration horizon.")
 
+(* ---------- explore ---------- *)
+
+let scenario_of_name name ~n ~t ~seed =
+  match name with
+  | "solo" -> Ok (Core.Adversary.solo_performer ~n ~seed)
+  | "confined" -> Ok (Core.Adversary.confined_clique ~n ~t ~seed)
+  | "lying" -> Ok (Core.Adversary.lying_detector ~n ~seed)
+  | "blind" -> Ok (Core.Adversary.blind_detector ~n ~seed)
+  | s ->
+      Error
+        (Printf.sprintf "unknown scenario %S (solo | confined | lying | blind)"
+           s)
+
+let explore scenario t property proto_label n seed search_depth window max_runs
+    domains max_ticks crash_budget adversarial out replay expect =
+  let fail fmt =
+    Printf.ksprintf
+      (fun s ->
+        prerr_endline ("udc explore: " ^ s);
+        exit 2)
+      fmt
+  in
+  match replay with
+  | Some path -> (
+      match Explore.Repro.load path with
+      | Error e -> fail "%s" e
+      | Ok r -> (
+          match Explore.Repro.replay r with
+          | Error e -> fail "replay failed: %s" e
+          | Ok (result, desc) ->
+              Format.printf "problem:   %s (%s, property %s)@."
+                r.Explore.Repro.problem.Explore.Problem.name
+                r.Explore.Repro.problem.Explore.Problem.protocol_label
+                (Explore.Property.to_string
+                   r.Explore.Repro.problem.Explore.Problem.property);
+              Format.printf "replayed:  %d decisions, stopped %a@."
+                (List.length r.Explore.Repro.trace)
+                Sim.pp_stop_reason result.Sim.reason;
+              Format.printf "digest:    %s (verified)@." r.Explore.Repro.digest;
+              Format.printf "violation: %s@." desc))
+  | None ->
+      let problem =
+        match scenario with
+        | Some name -> (
+            match scenario_of_name name ~n ~t ~seed with
+            | Ok s -> Explore.Problem.of_scenario ~max_ticks s
+            | Error e -> fail "%s" e)
+        | None -> (
+            match property with
+            | None -> fail "--property is required without --scenario"
+            | Some p -> (
+                match
+                  ( Explore.Property.of_string p,
+                    Explore.Protocols.instantiate proto_label ~n )
+                with
+                | Error e, _ | _, Error e -> fail "%s" e
+                | Ok property, Ok protocol ->
+                    let config =
+                      {
+                        (Sim.config ~n ~seed) with
+                        Sim.init_plan = Init_plan.one ~owner:0 ~at:1;
+                        max_ticks;
+                        crash_budget;
+                      }
+                    in
+                    Explore.Problem.make ~name:proto_label
+                      ~adversarial_oracle:adversarial ~config ~protocol
+                      ~protocol_label:proto_label property))
+      in
+      Format.printf "exploring %s (%s) for %s, depth <= %d@."
+        problem.Explore.Problem.name problem.Explore.Problem.protocol_label
+        (Explore.Property.to_string problem.Explore.Problem.property)
+        search_depth;
+      let options =
+        {
+          Explore.Engine.default_options with
+          Explore.Engine.depth = search_depth;
+          window;
+          max_runs;
+          domains;
+        }
+      in
+      let outcome, _ = Explore.Engine.search ~options problem in
+      let check_expect_none () =
+        if expect = "violation" then (
+          prerr_endline "udc explore: expected a violation, none found";
+          exit 1)
+      in
+      (match outcome with
+      | Explore.Engine.Exhausted stats ->
+          Format.printf
+            "no violation: move space exhausted (%d runs, depth %d reached)@."
+            stats.Explore.Engine.explored stats.Explore.Engine.depth_reached;
+          check_expect_none ()
+      | Explore.Engine.Budget stats ->
+          Format.printf
+            "no violation within budget (%d runs, depth %d reached)@."
+            stats.Explore.Engine.explored stats.Explore.Engine.depth_reached;
+          check_expect_none ()
+      | Explore.Engine.Violation (w, stats) ->
+          Format.printf "violation found after %d runs at depth %d@."
+            stats.Explore.Engine.explored stats.Explore.Engine.depth_reached;
+          Format.printf "  schedule:  %a@." Explore.Engine.pp_node
+            w.Explore.Engine.node;
+          Format.printf "  violation: %s@." w.Explore.Engine.violation;
+          let shrunk = Explore.Shrink.minimize problem w in
+          Format.printf "shrunk: %d decisions over %d ticks@."
+            shrunk.Explore.Shrink.decisions shrunk.Explore.Shrink.max_ticks;
+          Format.printf "  schedule:  %a@." Explore.Engine.pp_node
+            shrunk.Explore.Shrink.node;
+          Format.printf "  violation: %s@." shrunk.Explore.Shrink.violation;
+          let repro = Explore.Repro.of_shrunk problem shrunk in
+          (match out with
+          | Some path ->
+              Explore.Repro.save path repro;
+              Format.printf "repro written to %s@." path
+          | None -> Format.printf "@.%s" (Explore.Repro.to_string repro));
+          if expect = "none" then (
+            prerr_endline "udc explore: expected no violation, found one";
+            exit 1))
+
+let scenario_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "scenario" ]
+        ~doc:
+          "Rediscover an adversary scenario's violation: solo | confined | \
+           lying | blind.")
+
+let t_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "t" ] ~doc:"Resilience parameter for the confined scenario.")
+
+let property_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "property" ]
+        ~doc:
+          "Property to hunt (without --scenario): dc1 | dc2 | dc3 | udc | \
+           nudc | epistemic-dc2 | detector:CLASS | expect-udc-violated | \
+           expect-dc1-violated.")
+
+let explore_protocol_arg =
+  Arg.(
+    value & opt string "ack"
+    & info [ "protocol"; "p" ]
+        ~doc:
+          "Protocol (without --scenario): nudc | reliable | ack | theta | \
+           heartbeat | majority:T | gen:T.")
+
+let search_depth_arg =
+  Arg.(value & opt int 4 & info [ "depth" ] ~doc:"Maximum move-set size.")
+
+let window_arg =
+  Arg.(
+    value & opt int 600
+    & info [ "window" ] ~doc:"Branch only on the first WINDOW decisions.")
+
+let max_runs_arg =
+  Arg.(value & opt int 20_000 & info [ "max-runs" ] ~doc:"Total run budget.")
+
+let domains_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "domains" ] ~doc:"Ensemble domains for parallel exploration.")
+
+let max_ticks_arg =
+  Arg.(value & opt int 120 & info [ "max-ticks" ] ~doc:"Run horizon.")
+
+let crash_budget_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "crash-budget" ]
+        ~doc:"Decision-driven crashes allowed (without --scenario).")
+
+let adversarial_arg =
+  Arg.(
+    value & flag
+    & info [ "adversarial-oracle" ]
+        ~doc:
+          "Wire the decision-driven failure detector (without --scenario).")
+
+let out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "out" ] ~doc:"Write the shrunk repro file here.")
+
+let replay_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "replay" ] ~doc:"Replay and verify a repro file; no search.")
+
+let expect_arg =
+  Arg.(
+    value
+    & opt (enum [ ("any", "any"); ("violation", "violation"); ("none", "none") ])
+        "any"
+    & info [ "expect" ]
+        ~doc:
+          "Exit nonzero unless the outcome matches: violation (a witness \
+           must be found) | none (the space must be clean) | any.")
+
+let explore_cmd =
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:
+         "Systematically explore schedules for a specification violation, \
+          shrink the witness, and emit a replayable repro file.")
+    Term.(
+      const explore $ scenario_arg $ t_arg $ property_arg
+      $ explore_protocol_arg $ n_arg $ seed_arg $ search_depth_arg $ window_arg
+      $ max_runs_arg $ domains_arg $ max_ticks_arg $ crash_budget_arg
+      $ adversarial_arg $ out_arg $ replay_arg $ expect_arg)
+
 let simulate_cmd =
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run one seeded simulation and check it.")
@@ -209,4 +429,7 @@ let () =
         "Uniform Distributed Coordination workbench (Halpern-Ricciardi, \
          PODC 1999)."
   in
-  exit (Cmd.eval (Cmd.group info [ simulate_cmd; enumerate_cmd; scenarios_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ simulate_cmd; enumerate_cmd; scenarios_cmd; explore_cmd ]))

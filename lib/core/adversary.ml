@@ -5,6 +5,7 @@ type scenario = {
   description : string;
   config : Sim.config;
   protocol : Pid.t -> Protocol.t;
+  protocol_label : string;
   expectation : expectation;
 }
 
@@ -43,6 +44,7 @@ let solo_performer ~n ~seed =
         (n - 1);
     config = cfg;
     protocol = uniform (Majority_udc.make ~t:(n - 1)) n;
+    protocol_label = Printf.sprintf "majority:%d" (n - 1);
     expectation = Udc_violated;
   }
 
@@ -88,6 +90,7 @@ let confined_clique ~n ~t ~seed =
         (Pid.Set.to_string clique);
     config = cfg;
     protocol = uniform (Majority_udc.make ~t) n;
+    protocol_label = Printf.sprintf "majority:%d" t;
     expectation = Udc_violated;
   }
 
@@ -112,6 +115,7 @@ let lying_detector ~n ~seed =
        performs and dies";
     config = cfg;
     protocol = uniform (module Ack_udc.P) n;
+    protocol_label = "ack";
     expectation = Udc_violated;
   }
 
@@ -135,6 +139,7 @@ let blind_detector ~n ~seed =
        comes and the initiator blocks forever";
     config = cfg;
     protocol = uniform (module Ack_udc.P) n;
+    protocol_label = "ack";
     expectation = Dc1_violated;
   }
 
@@ -148,26 +153,28 @@ let all ~n ~seed =
 
 let errorf fmt = Format.kasprintf (fun s -> Error s) fmt
 
-let verify scenario =
-  let result = Sim.execute scenario.config scenario.protocol in
-  let run = result.Sim.run in
-  match scenario.expectation with
+let check_expectation expectation run =
+  match expectation with
   | Udc_violated -> (
       match (Spec.dc2 run, Spec.dc1 run, Spec.dc3 run) with
-      | Ok (), _, _ -> errorf "%s: expected a DC2 violation, run is uniform" scenario.name
+      | Ok (), _, _ -> Error "expected a DC2 violation, run is uniform"
       | Error _, Error e, _ ->
-          errorf "%s: DC1 also failed (%s); expected a pure uniformity \
-                  violation" scenario.name e
-      | Error _, Ok (), Error e ->
-          errorf "%s: DC3 failed unexpectedly (%s)" scenario.name e
-      | Error _, Ok (), Ok () -> Ok ())
+          errorf "DC1 also failed (%s); expected a pure uniformity violation" e
+      | Error _, Ok (), Error e -> errorf "DC3 failed unexpectedly (%s)" e
+      | Error d, Ok (), Ok () -> Ok ("DC2 violated: " ^ d))
   | Dc1_violated -> (
       match Spec.dc1 run with
-      | Ok () -> errorf "%s: expected a DC1 violation, initiator finished" scenario.name
-      | Error _ -> (
+      | Ok () -> Error "expected a DC1 violation, initiator finished"
+      | Error d -> (
           match Spec.dc3 run with
-          | Error e -> errorf "%s: DC3 failed unexpectedly (%s)" scenario.name e
-          | Ok () -> Ok ()))
+          | Error e -> errorf "DC3 failed unexpectedly (%s)" e
+          | Ok () -> Ok ("DC1 violated: " ^ d)))
+
+let verify scenario =
+  let result = Sim.execute scenario.config scenario.protocol in
+  match check_expectation scenario.expectation result.Sim.run with
+  | Ok _ -> Ok ()
+  | Error e -> errorf "%s: %s" scenario.name e
 
 let verify_all scenarios =
   Ensemble.map (fun s -> (s, verify s)) scenarios

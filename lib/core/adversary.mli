@@ -19,6 +19,9 @@ type scenario = {
   description : string;
   config : Sim.config;
   protocol : Pid.t -> Protocol.t;
+  protocol_label : string;
+      (** the protocol in the CLI's syntax (e.g. ["majority:2"], ["ack"]),
+          so the schedule explorer can reconstruct it in repro files *)
   expectation : expectation;
 }
 
@@ -47,6 +50,12 @@ val blind_detector : n:int -> seed:int64 -> scenario
 
 (** All scenarios for a given system size. *)
 val all : n:int -> seed:int64 -> scenario list
+
+(** [check_expectation e run] is [Ok desc] when the run exhibits the
+    expected violation (and only it) and [Error why] otherwise — the
+    run-level predicate behind {!verify}, reused by the schedule explorer
+    to recognise a rediscovered scenario violation. *)
+val check_expectation : expectation -> Run.t -> (string, string) result
 
 (** Run a scenario and check its expectation; [Ok ()] when the expected
     violation (and only it) occurred. *)

@@ -1,7 +1,7 @@
 type in_flight = { src : Pid.t; msg : Message.t; sent_at : int }
 
 type t = {
-  prng : Prng.t;
+  decide : now:int -> src:Pid.t -> dst:Pid.t -> rate:float -> bool;
   mutable loss_rate : float;
   link_loss : (Pid.t * Pid.t, float) Hashtbl.t;
   max_consecutive_drops : int;
@@ -11,7 +11,7 @@ type t = {
   drops : (Pid.t * Pid.t * string, int) Hashtbl.t;
 }
 
-let create ?(link_loss = []) ~n ~prng ~loss_rate ~max_consecutive_drops () =
+let create ?(link_loss = []) ~n ~decide ~loss_rate ~max_consecutive_drops () =
   ignore n;
   if loss_rate < 0.0 || loss_rate > 1.0 then
     invalid_arg "Channel.create: loss_rate";
@@ -20,7 +20,7 @@ let create ?(link_loss = []) ~n ~prng ~loss_rate ~max_consecutive_drops () =
   let overrides = Hashtbl.create 8 in
   List.iter (fun (link, rate) -> Hashtbl.replace overrides link rate) link_loss;
   {
-    prng;
+    decide;
     loss_rate;
     link_loss = overrides;
     max_consecutive_drops;
@@ -35,7 +35,7 @@ let send t ~now ~src ~dst msg =
   in
   let consecutive = Option.value ~default:0 (Hashtbl.find_opt t.drops key) in
   let forced_keep = consecutive >= t.max_consecutive_drops in
-  let drop = (not forced_keep) && Prng.bool t.prng rate in
+  let drop = (not forced_keep) && t.decide ~now ~src ~dst ~rate in
   if drop then (
     Hashtbl.replace t.drops key (consecutive + 1);
     `Dropped)

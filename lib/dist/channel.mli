@@ -15,14 +15,16 @@ type t
 val create :
   ?link_loss:((Pid.t * Pid.t) * float) list ->
   n:int ->
-  prng:Prng.t ->
+  decide:(now:int -> src:Pid.t -> dst:Pid.t -> rate:float -> bool) ->
   loss_rate:float ->
   max_consecutive_drops:int ->
   unit ->
   t
 (** [link_loss] overrides the loss rate on specific (src, dst) links — the
     targeted unreliability the lower-bound adversaries use to confine
-    knowledge of an action to a doomed clique. *)
+    knowledge of an action to a doomed clique. [decide] is consulted for
+    each send that is not a forced keep (typically
+    [Decision.drop] on the run's decision source, or a PRNG coin). *)
 
 (** [send t ~now ~src ~dst msg] records a send. The channel decides whether
     the message is kept in flight or lost. *)

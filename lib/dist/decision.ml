@@ -1,0 +1,302 @@
+type t =
+  | Order of int array
+  | Deliver of bool
+  | Pick of int
+  | Drop of bool
+  | Crash of bool
+  | Suspect of int
+
+let equal a b =
+  match (a, b) with
+  | Order x, Order y -> x = y
+  | Deliver x, Deliver y | Drop x, Drop y | Crash x, Crash y -> Bool.equal x y
+  | Pick x, Pick y | Suspect x, Suspect y -> Int.equal x y
+  | _ -> false
+
+let pp ppf = function
+  | Order a ->
+      Format.fprintf ppf "order(%s)"
+        (String.concat "." (Array.to_list (Array.map string_of_int a)))
+  | Deliver b -> Format.fprintf ppf "deliver(%b)" b
+  | Pick k -> Format.fprintf ppf "pick(%d)" k
+  | Drop b -> Format.fprintf ppf "drop(%b)" b
+  | Crash b -> Format.fprintf ppf "crash(%b)" b
+  | Suspect k -> Format.fprintf ppf "suspect(%d)" k
+
+let bit b = if b then "1" else "0"
+
+let decision_to_string = function
+  | Order a ->
+      "O" ^ String.concat "." (Array.to_list (Array.map string_of_int a))
+  | Deliver b -> "D" ^ bit b
+  | Pick k -> "P" ^ string_of_int k
+  | Drop b -> "X" ^ bit b
+  | Crash b -> "C" ^ bit b
+  | Suspect k -> "S" ^ string_of_int k
+
+let trace_to_string tr = String.concat ";" (List.map decision_to_string tr)
+
+let decision_of_string s =
+  let payload () = String.sub s 1 (String.length s - 1) in
+  let bool_payload k =
+    match payload () with
+    | "1" -> Ok (k true)
+    | "0" -> Ok (k false)
+    | p -> Error (Printf.sprintf "expected 0/1 after %c, got %S" s.[0] p)
+  in
+  let int_payload k =
+    match int_of_string_opt (payload ()) with
+    | Some i when i >= 0 -> Ok (k i)
+    | _ -> Error (Printf.sprintf "expected an index after %c in %S" s.[0] s)
+  in
+  if String.length s < 2 then Error (Printf.sprintf "truncated decision %S" s)
+  else
+    match s.[0] with
+    | 'O' -> (
+        let parts = String.split_on_char '.' (payload ()) in
+        let ints = List.map int_of_string_opt parts in
+        if List.exists Option.is_none ints then
+          Error (Printf.sprintf "bad permutation in %S" s)
+        else Ok (Order (Array.of_list (List.map Option.get ints))))
+    | 'D' -> bool_payload (fun b -> Deliver b)
+    | 'P' -> int_payload (fun k -> Pick k)
+    | 'X' -> bool_payload (fun b -> Drop b)
+    | 'C' -> bool_payload (fun b -> Crash b)
+    | 'S' -> int_payload (fun k -> Suspect k)
+    | c -> Error (Printf.sprintf "unknown decision kind %C" c)
+
+let trace_of_string s =
+  let items =
+    List.filter (fun x -> x <> "") (String.split_on_char ';' (String.trim s))
+  in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | x :: rest -> (
+        match decision_of_string x with
+        | Ok d -> go (d :: acc) rest
+        | Error e -> Error e)
+  in
+  go [] items
+
+type query =
+  | Q_order of { n : int }
+  | Q_deliver of { dst : Pid.t; backlog : int }
+  | Q_pick of { dst : Pid.t; keys : int array }
+  | Q_drop of { src : Pid.t; dst : Pid.t }
+  | Q_crash of { pid : Pid.t; events : int }
+  | Q_suspect of { pid : Pid.t; arity : int }
+
+type entry = { tick : int; query : query; taken : t }
+
+exception Divergence of string
+
+type mode =
+  | Random of { prng : Prng.t; chan : Prng.t }
+  | Scripted of {
+      plan : (int, t) Hashtbl.t;
+      sticky : bool;
+      silenced : (Pid.t * Pid.t, unit) Hashtbl.t;
+    }
+  | Replay of { mutable rest : t list }
+  | Guided of { mutable rest : t list; mutable diverged : bool }
+
+type source = {
+  mode : mode;
+  record : bool;
+  mutable made : int;
+  mutable entries : entry list; (* newest first *)
+}
+
+let random ?(record = false) ~seed () =
+  let prng = Prng.create seed in
+  let chan = Prng.split prng in
+  { mode = Random { prng; chan }; record; made = 0; entries = [] }
+
+let scripted ?(plan = []) ?(silence = []) ?(sticky_drops = true) () =
+  let tbl = Hashtbl.create (List.length plan * 2) in
+  List.iter (fun (i, d) -> Hashtbl.replace tbl i d) plan;
+  let silenced = Hashtbl.create 8 in
+  List.iter (fun link -> Hashtbl.replace silenced link ()) silence;
+  {
+    mode = Scripted { plan = tbl; sticky = sticky_drops; silenced };
+    record = true;
+    made = 0;
+    entries = [];
+  }
+
+let replay tr =
+  { mode = Replay { rest = tr }; record = true; made = 0; entries = [] }
+
+let guided tr =
+  {
+    mode = Guided { rest = tr; diverged = false };
+    record = true;
+    made = 0;
+    entries = [];
+  }
+
+let count s = s.made
+let trace s = List.rev_map (fun e -> e.taken) s.entries
+let journal s = Array.of_list (List.rev s.entries)
+
+let commit s ~tick query taken =
+  if s.record then s.entries <- { tick; query; taken } :: s.entries;
+  s.made <- s.made + 1
+
+let planned s =
+  match s.mode with
+  | Scripted { plan; _ } -> Hashtbl.find_opt plan s.made
+  | _ -> None
+
+(* Pop the next recorded decision for a replaying source. [Replay] raises
+   on a kind mismatch or an exhausted trace; [Guided] switches permanently
+   to the defaults instead. [accept] returns [None] to reject. *)
+let replayed s ~kind ~(accept : t -> 'a option) : 'a option option =
+  (* outer None: not a replaying source; inner None: diverged *)
+  match s.mode with
+  | Replay r -> (
+      match r.rest with
+      | [] ->
+          raise
+            (Divergence
+               (Printf.sprintf "trace exhausted at decision #%d (%s)" s.made
+                  kind))
+      | d :: rest -> (
+          match accept d with
+          | Some v ->
+              r.rest <- rest;
+              Some (Some v)
+          | None ->
+              raise
+                (Divergence
+                   (Format.asprintf
+                      "decision #%d: trace has %a where the run asks for %s"
+                      s.made pp d kind))))
+  | Guided g ->
+      if g.diverged then Some None
+      else (
+        match g.rest with
+        | [] ->
+            g.diverged <- true;
+            Some None
+        | d :: rest -> (
+            match accept d with
+            | Some v ->
+                g.rest <- rest;
+                Some (Some v)
+            | None ->
+                g.diverged <- true;
+                Some None))
+  | Random _ | Scripted _ -> None
+
+let order s ~tick a =
+  let n = Array.length a in
+  let identity () = Array.iteri (fun i _ -> a.(i) <- i) a in
+  (match s.mode with
+  | Random { prng; _ } -> Prng.shuffle prng a
+  | Scripted _ -> (
+      identity ();
+      match planned s with
+      | Some (Order p) when Array.length p = n -> Array.blit p 0 a 0 n
+      | _ -> ())
+  | Replay _ | Guided _ -> (
+      let accept = function
+        | Order p when Array.length p = n -> Some p
+        | _ -> None
+      in
+      match replayed s ~kind:"order" ~accept with
+      | Some (Some p) -> Array.blit p 0 a 0 n
+      | Some None | None -> identity ()));
+  commit s ~tick (Q_order { n }) (Order (Array.copy a))
+
+let deliver s ~tick ~dst ~backlog ~p =
+  let taken =
+    match s.mode with
+    | Random { prng; _ } -> Prng.bool prng p
+    | Scripted _ -> (
+        match planned s with Some (Deliver b) -> b | _ -> true)
+    | Replay _ | Guided _ -> (
+        let accept = function Deliver b -> Some b | _ -> None in
+        match replayed s ~kind:"deliver" ~accept with
+        | Some (Some b) -> b
+        | Some None | None -> true)
+  in
+  commit s ~tick (Q_deliver { dst; backlog }) (Deliver taken);
+  taken
+
+let pick s ~tick ~dst ~keys ~arity =
+  let clamp k = if k >= 0 && k < arity then k else 0 in
+  let taken =
+    match s.mode with
+    | Random { prng; _ } -> Prng.int prng arity
+    | Scripted _ -> (
+        match planned s with Some (Pick k) -> clamp k | _ -> 0)
+    | Replay _ | Guided _ -> (
+        let accept = function
+          | Pick k when k >= 0 && k < arity -> Some k
+          | _ -> None
+        in
+        match replayed s ~kind:"pick" ~accept with
+        | Some (Some k) -> k
+        | Some None | None -> 0)
+  in
+  if s.record then
+    commit s ~tick (Q_pick { dst; keys = keys () }) (Pick taken)
+  else s.made <- s.made + 1;
+  taken
+
+let drop s ~tick ~src ~dst ~rate =
+  let taken =
+    match s.mode with
+    | Random { chan; _ } -> Prng.bool chan rate
+    | Scripted { sticky; silenced; _ } -> (
+        let link = (src, dst) in
+        if Hashtbl.mem silenced link then true
+        else
+          match planned s with
+          | Some (Drop b) ->
+              if b && sticky then Hashtbl.replace silenced link ();
+              b
+          | _ -> false)
+    | Replay _ | Guided _ -> (
+        let accept = function Drop b -> Some b | _ -> None in
+        match replayed s ~kind:"drop" ~accept with
+        | Some (Some b) -> b
+        | Some None | None -> false)
+  in
+  commit s ~tick (Q_drop { src; dst }) (Drop taken);
+  taken
+
+let crash s ~tick ~pid ~events =
+  let taken =
+    match s.mode with
+    | Random _ -> false
+    | Scripted _ -> (
+        match planned s with Some (Crash b) -> b | _ -> false)
+    | Replay _ | Guided _ -> (
+        let accept = function Crash b -> Some b | _ -> None in
+        match replayed s ~kind:"crash" ~accept with
+        | Some (Some b) -> b
+        | Some None | None -> false)
+  in
+  commit s ~tick (Q_crash { pid; events }) (Crash taken);
+  taken
+
+let suspect s ~tick ~pid ~arity =
+  let clamp k = if k >= 0 && k < arity then k else 0 in
+  let taken =
+    match s.mode with
+    | Random _ -> 0
+    | Scripted _ -> (
+        match planned s with Some (Suspect k) -> clamp k | _ -> 0)
+    | Replay _ | Guided _ -> (
+        let accept = function
+          | Suspect k when k >= 0 && k < arity -> Some k
+          | _ -> None
+        in
+        match replayed s ~kind:"suspect" ~accept with
+        | Some (Some k) -> k
+        | Some None | None -> 0)
+  in
+  commit s ~tick (Q_suspect { pid; arity }) (Suspect taken);
+  taken

@@ -15,6 +15,7 @@ type config = {
   drain_margin : int;
   goal : goal;
   blackout_after_do : bool;
+  crash_budget : int;
 }
 
 let config ~n ~seed =
@@ -32,6 +33,7 @@ let config ~n ~seed =
     drain_margin = 12;
     goal = All_alive_performed;
     blackout_after_do = false;
+    crash_budget = 0;
   }
 
 type result = {
@@ -47,7 +49,7 @@ let pp_stop_reason ppf = function
 
 type machine = {
   cfg : config;
-  prng : Prng.t;
+  source : Decision.source;
   channel : Channel.t;
   hists : History.t array;
   states : Protocol.t array;
@@ -56,6 +58,7 @@ type machine = {
   mutable pending_faults : Fault_plan.entry list;
   mutable any_do : bool;
   mutable blackout_done : bool;
+  mutable crash_budget_left : int;
   done_actions : Action_id.Set.t array; (* per pid, for After_did triggers *)
   mutable now : int;
 }
@@ -141,12 +144,23 @@ let protocol_step m p =
       if not m.crashed.(dst) then
         ignore (Channel.send m.channel ~now:m.now ~src:p ~dst msg)
 
+(* Explorer-granted crash: queried only while the config's crash budget has
+   anything left, so configs with the default [crash_budget = 0] never make
+   the query and their decision traces keep their historical shape. *)
+let decision_crash m p =
+  m.crash_budget_left > 0
+  && Decision.crash m.source ~tick:m.now ~pid:p
+       ~events:(History.length m.hists.(p))
+  &&
+  (m.crash_budget_left <- m.crash_budget_left - 1;
+   true)
+
 (* One scheduling slot for process p. Priorities: crash, then initiation,
    then a changed failure-detector report, then forced (overdue) delivery,
    then a coin flip between delivering a message and a protocol step. *)
 let schedule_process m p =
   if m.crashed.(p) then ()
-  else if fault_due m p then crash_process m p
+  else if fault_due m p || decision_crash m p then crash_process m p
   else
     match pending_init m p with
     | Some entry ->
@@ -181,7 +195,10 @@ let schedule_process m p =
                 let p_deliver =
                   Float.min 0.9 (0.5 +. (0.08 *. float_of_int backlog))
                 in
-                if Prng.bool m.prng p_deliver then
+                if
+                  Decision.deliver m.source ~tick:m.now ~dst:p ~backlog
+                    ~p:p_deliver
+                then
                   let overdue =
                     match Channel.oldest_in_flight m.channel ~dst:p with
                     | Some (_, _, sent_at) as x
@@ -191,7 +208,18 @@ let schedule_process m p =
                   in
                   match overdue with
                   | Some delivery -> deliver_message m p delivery
-                  | None -> deliver_message m p (Prng.pick m.prng deliverable)
+                  | None ->
+                      let keys () =
+                        Array.of_list
+                          (List.map
+                             (fun (src, msg, _) -> Hashtbl.hash (src, msg))
+                             deliverable)
+                      in
+                      let i =
+                        Decision.pick m.source ~tick:m.now ~dst:p ~keys
+                          ~arity:backlog
+                      in
+                      deliver_message m p (List.nth deliverable i)
                 else protocol_step m p))
 
 let goal_holds m =
@@ -236,15 +264,21 @@ let system_quiescent m =
       | Fault_plan.After_any_do -> not m.any_do)
     m.pending_faults
 
-let execute cfg make_process =
-  let prng = Prng.create cfg.seed in
-  let channel_prng = Prng.split prng in
+let execute ?decisions cfg make_process =
+  let source =
+    match decisions with
+    | Some s -> s
+    | None -> Decision.random ~seed:cfg.seed ()
+  in
+  let decide ~now ~src ~dst ~rate =
+    Decision.drop source ~tick:now ~src ~dst ~rate
+  in
   let m =
     {
       cfg;
-      prng;
+      source;
       channel =
-        Channel.create ~link_loss:cfg.link_loss ~n:cfg.n ~prng:channel_prng
+        Channel.create ~link_loss:cfg.link_loss ~n:cfg.n ~decide
           ~loss_rate:cfg.loss_rate
           ~max_consecutive_drops:cfg.max_consecutive_drops ();
       hists = Array.make cfg.n History.empty;
@@ -254,6 +288,7 @@ let execute cfg make_process =
       pending_faults = Fault_plan.entries cfg.fault_plan;
       any_do = false;
       blackout_done = false;
+      crash_budget_left = cfg.crash_budget;
       done_actions = Array.make cfg.n Action_id.Set.empty;
       now = 0;
     }
@@ -264,7 +299,7 @@ let execute cfg make_process =
   (try
      for tick = 1 to cfg.max_ticks do
        m.now <- tick;
-       Prng.shuffle m.prng order;
+       Decision.order m.source ~tick order;
        Array.iter (fun p -> schedule_process m p) order;
        if cfg.blackout_after_do && m.any_do && not m.blackout_done then (
          Channel.drop_all_in_flight m.channel;
@@ -286,5 +321,13 @@ let execute cfg make_process =
     final_states = m.states;
   }
 
-let execute_uniform cfg proto =
-  execute cfg (fun p -> Protocol.make proto ~n:cfg.n ~me:p)
+let execute_uniform ?decisions cfg proto =
+  execute ?decisions cfg (fun p -> Protocol.make proto ~n:cfg.n ~me:p)
+
+let record cfg make_process =
+  let source = Decision.random ~record:true ~seed:cfg.seed () in
+  let res = execute ~decisions:source cfg make_process in
+  (res, Decision.trace source)
+
+let replay ~trace cfg make_process =
+  execute ~decisions:(Decision.replay trace) cfg make_process

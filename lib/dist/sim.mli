@@ -46,6 +46,12 @@ type config = {
       (** adversary move: the instant the first [do] event occurs, every
           in-flight message is lost (legal: fairness only constrains
           infinite behaviour) *)
+  crash_budget : int;
+      (** how many decision-driven crashes the run's {!Decision.source} may
+          grant (on top of the fault plan). With the default [0] no crash
+          decision is ever queried, so traces of existing configurations
+          keep their historical shape; the explorer raises it to let the
+          search place crashes itself. *)
 }
 
 (** Sensible defaults: no losses, no faults, no oracle, goal
@@ -59,10 +65,24 @@ type result = {
 }
 
 (** [execute cfg make_process] runs the system where process [p] executes
-    [make_process p]. *)
-val execute : config -> (Pid.t -> Protocol.t) -> result
+    [make_process p]. [decisions] supplies every nondeterministic choice;
+    it defaults to [Decision.random ~seed:cfg.seed ()], which reproduces
+    the historical PRNG behaviour bit-identically. *)
+val execute :
+  ?decisions:Decision.source -> config -> (Pid.t -> Protocol.t) -> result
 
 (** All processes run the same protocol. *)
-val execute_uniform : config -> (module Protocol.S) -> result
+val execute_uniform :
+  ?decisions:Decision.source -> config -> (module Protocol.S) -> result
+
+(** Run with a recording random source and return the decision trace
+    alongside the result. [replay ~trace] on the same configuration
+    reproduces the run bit-identically. *)
+val record : config -> (Pid.t -> Protocol.t) -> result * Decision.t list
+
+(** Re-execute a recorded trace (strict: raises {!Decision.Divergence} if
+    the trace does not fit the configuration). *)
+val replay :
+  trace:Decision.t list -> config -> (Pid.t -> Protocol.t) -> result
 
 val pp_stop_reason : Format.formatter -> stop_reason -> unit

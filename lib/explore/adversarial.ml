@@ -1,0 +1,13 @@
+let oracle ~n source =
+  let sets = Array.make n Pid.Set.empty in
+  let poll p (view : Oracle.view) =
+    let k = Decision.suspect source ~tick:view.Oracle.now ~pid:p ~arity:(n + 1) in
+    if k = 0 then None
+    else
+      let q = k - 1 in
+      sets.(p) <-
+        (if Pid.Set.mem q sets.(p) then Pid.Set.remove q sets.(p)
+         else Pid.Set.add q sets.(p));
+      Some (Report.std sets.(p))
+  in
+  { Oracle.name = "adversarial"; poll }

@@ -1,0 +1,14 @@
+(** The decision-driven failure detector.
+
+    Instead of a fixed oracle implementation, suspicion reports become
+    explorable nondeterminism: each poll of process [p] asks the run's
+    {!Decision.source} for a move with arity [n + 1] — [0] means no
+    report, [q + 1] toggles [p]'s suspicion of process [q] and reports the
+    new set. Under the scripted default (always [0]) the oracle is silent;
+    the explorer's deviations inject exactly the false suspicions the
+    lower-bound adversaries need (e.g. the lying detector of Theorem 3.6).
+
+    The oracle holds per-run mutable state, so build a fresh one (wired to
+    that run's source) for every execution — {!Problem.run} does. *)
+
+val oracle : n:int -> Decision.source -> Oracle.t

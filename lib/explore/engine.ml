@@ -1,0 +1,263 @@
+type move = Silence of Pid.t * Pid.t | Deviate of int * Decision.t
+
+let pp_move ppf = function
+  | Silence (src, dst) -> Format.fprintf ppf "silence %d->%d" src dst
+  | Deviate (i, d) -> Format.fprintf ppf "%a@@%d" Decision.pp d i
+
+type node = {
+  silences : (Pid.t * Pid.t) list; (* ascending by (src, dst) *)
+  devs : (int * Decision.t) list; (* ascending by decision index *)
+}
+
+let root = { silences = []; devs = [] }
+
+let moves node =
+  List.map (fun l -> Silence (fst l, snd l)) node.silences
+  @ List.map (fun (i, d) -> Deviate (i, d)) node.devs
+
+let depth_of node = List.length node.silences + List.length node.devs
+
+let pp_node ppf node =
+  match moves node with
+  | [] -> Format.pp_print_string ppf "(default schedule)"
+  | ms ->
+      Format.pp_print_list
+        ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+        pp_move ppf ms
+
+type options = {
+  depth : int;
+  window : int;
+  domains : int option;
+  max_runs : int;
+  crash_points : int;
+  pick_points : int;
+  suspect_points : int;
+  suspect_stride : int;
+  branch_silences : bool;
+  branch_crashes : bool;
+  branch_picks : bool;
+  branch_deliver : bool;
+  branch_suspects : bool option;
+}
+
+let default_options =
+  {
+    depth = 4;
+    window = 600;
+    domains = None;
+    max_runs = 20_000;
+    crash_points = 8;
+    pick_points = 6;
+    suspect_points = 2;
+    suspect_stride = 3;
+    branch_silences = true;
+    branch_crashes = true;
+    branch_picks = true;
+    branch_deliver = false;
+    branch_suspects = None;
+  }
+
+type stats = { explored : int; depth_reached : int }
+
+type witness = {
+  node : node;
+  trace : Decision.t list;
+  result : Sim.result;
+  violation : string;
+}
+
+type outcome = Violation of witness * stats | Exhausted of stats | Budget of stats
+
+(* Candidate extensions of a node, derived from the journal of its own run.
+   Canonical move order keeps the search over combinations rather than
+   permutations: silences (which act from tick 0 and so commute with
+   everything) are added first, in ascending link order; indexed deviations
+   are added in ascending decision-index order. Each family is pruned:
+   - silences only for links that carried an undropped send in the window;
+   - crash deviations only where the victim's history changed since its
+     previous crash query (crashing a silent process later is equivalent),
+     capped per victim;
+   - pick deviations only for alternatives with a distinct content key
+     (sleep-set-style: delivering an identical message commutes);
+   - suspicion deviations capped per process and spaced by ticks. *)
+let children problem opts node (journal : Decision.entry array) =
+  if depth_of node >= opts.depth then []
+  else begin
+    let last_dev = List.fold_left (fun _ (i, _) -> i) (-1) node.devs in
+    let limit = min opts.window (Array.length journal) in
+    let out = ref [] in
+    let emit m = out := m :: !out in
+    if opts.branch_silences && node.devs = [] then begin
+      let last_sil =
+        match List.rev node.silences with l :: _ -> Some l | [] -> None
+      in
+      let seen = Hashtbl.create 8 in
+      for i = 0 to limit - 1 do
+        match (journal.(i).Decision.query, journal.(i).Decision.taken) with
+        | Decision.Q_drop { src; dst }, Decision.Drop false ->
+            let link = (src, dst) in
+            if
+              (not (Hashtbl.mem seen link))
+              && match last_sil with None -> true | Some l -> compare l link < 0
+            then begin
+              Hashtbl.add seen link ();
+              emit (Silence (src, dst))
+            end
+        | _ -> ()
+      done
+    end;
+    if opts.branch_crashes then begin
+      let last_events = Hashtbl.create 8 and count = Hashtbl.create 8 in
+      for i = 0 to limit - 1 do
+        match (journal.(i).Decision.query, journal.(i).Decision.taken) with
+        | Decision.Q_crash { pid; events }, Decision.Crash false ->
+            let fresh =
+              match Hashtbl.find_opt last_events pid with
+              | Some e -> e <> events
+              | None -> true
+            in
+            Hashtbl.replace last_events pid events;
+            if fresh && i > last_dev then begin
+              let c = Option.value ~default:0 (Hashtbl.find_opt count pid) in
+              if c < opts.crash_points then begin
+                Hashtbl.replace count pid (c + 1);
+                emit (Deviate (i, Decision.Crash true))
+              end
+            end
+        | _ -> ()
+      done
+    end;
+    let branch_suspects =
+      Option.value ~default:problem.Problem.adversarial_oracle
+        opts.branch_suspects
+    in
+    if branch_suspects then begin
+      let count = Hashtbl.create 8 and last_tick = Hashtbl.create 8 in
+      for i = 0 to limit - 1 do
+        match (journal.(i).Decision.query, journal.(i).Decision.taken) with
+        | Decision.Q_suspect { pid; arity }, Decision.Suspect 0
+          when i > last_dev ->
+            let spaced =
+              match Hashtbl.find_opt last_tick pid with
+              | Some t -> journal.(i).Decision.tick >= t + opts.suspect_stride
+              | None -> true
+            in
+            let c = Option.value ~default:0 (Hashtbl.find_opt count pid) in
+            if spaced && c < opts.suspect_points then begin
+              Hashtbl.replace last_tick pid journal.(i).Decision.tick;
+              Hashtbl.replace count pid (c + 1);
+              for q = 0 to arity - 2 do
+                if q <> pid then emit (Deviate (i, Decision.Suspect (q + 1)))
+              done
+            end
+        | _ -> ()
+      done
+    end;
+    if opts.branch_picks then begin
+      let points = ref 0 in
+      for i = 0 to limit - 1 do
+        match (journal.(i).Decision.query, journal.(i).Decision.taken) with
+        | Decision.Q_pick { keys; _ }, Decision.Pick k
+          when i > last_dev && Array.length keys > 1 && !points < opts.pick_points
+          ->
+            incr points;
+            let seen = ref [ keys.(k) ] in
+            Array.iteri
+              (fun j key ->
+                if j <> k && not (List.mem key !seen) then begin
+                  seen := key :: !seen;
+                  emit (Deviate (i, Decision.Pick j))
+                end)
+              keys
+        | _ -> ()
+      done
+    end;
+    if opts.branch_deliver then begin
+      let points = ref 0 in
+      for i = 0 to limit - 1 do
+        match (journal.(i).Decision.query, journal.(i).Decision.taken) with
+        | Decision.Q_deliver _, Decision.Deliver true
+          when i > last_dev && !points < opts.pick_points ->
+            incr points;
+            emit (Deviate (i, Decision.Deliver false))
+        | _ -> ()
+      done
+    end;
+    List.rev !out
+  end
+
+let extend node = function
+  | Silence (src, dst) -> { node with silences = node.silences @ [ (src, dst) ] }
+  | Deviate (i, d) -> { node with devs = node.devs @ [ (i, d) ] }
+
+let eval problem opts node =
+  let result, source =
+    Problem.run problem ~plan:node.devs ~silence:node.silences
+  in
+  match Problem.violation problem result with
+  | Some desc -> (Some desc, [])
+  | None -> (None, children problem opts node (Decision.journal source))
+
+let rec split_at k = function
+  | [] -> ([], [])
+  | l when k <= 0 -> ([], l)
+  | x :: rest ->
+      let a, b = split_at (k - 1) rest in
+      (x :: a, b)
+
+let chunk_size = 256
+
+let search ?(options = default_options) problem =
+  let explored = ref 0 in
+  let stats depth = { explored = !explored; depth_reached = depth } in
+  let witness node desc depth =
+    let result, source =
+      Problem.run problem ~plan:node.devs ~silence:node.silences
+    in
+    ( Violation
+        ({ node; trace = Decision.trace source; result; violation = desc }, stats depth),
+      stats depth )
+  in
+  (* Evaluate a level in deterministic chunks on the domain pool; the first
+     violating node in frontier order wins, independent of domain count. *)
+  let rec level frontier kids_acc =
+    match frontier with
+    | [] -> `Done (List.concat (List.rev kids_acc), false)
+    | _ when options.max_runs - !explored <= 0 -> `Done ([], true)
+    | _ ->
+        let now, rest =
+          split_at (min chunk_size (options.max_runs - !explored)) frontier
+        in
+        let results =
+          Ensemble.map ?domains:options.domains
+            (fun node -> eval problem options node)
+            now
+        in
+        explored := !explored + List.length now;
+        let hit =
+          List.find_opt
+            (fun (_, (v, _)) -> Option.is_some v)
+            (List.combine now results)
+        in
+        (match hit with
+        | Some (node, (Some desc, _)) -> `Found (node, desc)
+        | Some (_, (None, _)) -> assert false
+        | None ->
+            let kids =
+              List.concat
+                (List.map2
+                   (fun node (_, exts) -> List.map (extend node) exts)
+                   now results)
+            in
+            level rest (kids :: kids_acc))
+  in
+  let rec go depth frontier =
+    match level frontier [] with
+    | `Found (node, desc) -> witness node desc depth
+    | `Done (_, true) -> (Budget (stats depth), stats depth)
+    | `Done ([], false) -> (Exhausted (stats depth), stats depth)
+    | `Done (kids, false) -> go (depth + 1) kids
+  in
+  let outcome, s = go 0 [ root ] in
+  (outcome, s)

@@ -1,0 +1,72 @@
+(** Bounded systematic schedule exploration.
+
+    The explorer searches over {e move sets}, not raw traces: a node is a
+    set of persistent silences (links lossy from tick 0) plus a list of
+    indexed deviations from the scripted default schedule (crash here,
+    suspect there, pick that message instead). Because every process
+    retransmits, only such persistent moves can change the outcome of a
+    long-horizon run — transient drops are erased by the next resend — so
+    the move-set space is exponentially smaller than the raw schedule
+    space while still reaching every violation the paper's adversaries
+    exhibit.
+
+    Search is breadth-first by move count (so witnesses are
+    minimal-depth), with candidate moves derived from the journal of each
+    node's own run and pruned sleep-set-style: deviations that commute
+    with the taken schedule (delivering an identical message, crashing a
+    process whose history has not changed) are never branched on.
+
+    Levels are evaluated on the deterministic {!Ensemble} pool in
+    fixed-size chunks scanned in frontier order, so the witness found is
+    independent of [domains]. *)
+
+type move =
+  | Silence of Pid.t * Pid.t  (** link lossy from the start of the run *)
+  | Deviate of int * Decision.t  (** override decision index [i] *)
+
+val pp_move : Format.formatter -> move -> unit
+
+type node = {
+  silences : (Pid.t * Pid.t) list;  (** ascending by [(src, dst)] *)
+  devs : (int * Decision.t) list;  (** ascending by decision index *)
+}
+
+val root : node
+val moves : node -> move list
+val depth_of : node -> int
+val pp_node : Format.formatter -> node -> unit
+
+type options = {
+  depth : int;  (** maximum move-set size *)
+  window : int;  (** branch only on the first [window] decision indices *)
+  domains : int option;  (** ensemble domains; [None] = library default *)
+  max_runs : int;  (** total run budget *)
+  crash_points : int;  (** crash branch points per victim *)
+  pick_points : int;  (** pick / deliver branch points per node *)
+  suspect_points : int;  (** suspicion branch points per process *)
+  suspect_stride : int;  (** minimum ticks between suspicion points *)
+  branch_silences : bool;
+  branch_crashes : bool;
+  branch_picks : bool;
+  branch_deliver : bool;  (** off by default: subsumed by picks + R5 *)
+  branch_suspects : bool option;
+      (** [None] follows [Problem.adversarial_oracle] *)
+}
+
+val default_options : options
+
+type stats = { explored : int; depth_reached : int }
+
+type witness = {
+  node : node;
+  trace : Decision.t list;  (** full decision trace; replays bit-identically *)
+  result : Sim.result;
+  violation : string;
+}
+
+type outcome =
+  | Violation of witness * stats
+  | Exhausted of stats  (** the bounded space contains no violation *)
+  | Budget of stats  (** [max_runs] exhausted before the space *)
+
+val search : ?options:options -> Problem.t -> outcome * stats

@@ -1,0 +1,86 @@
+type t =
+  | Dc1
+  | Dc2
+  | Dc3
+  | Udc
+  | Nudc
+  | Expect of Core.Adversary.expectation
+  | Detector of Detector.Spec.cls
+  | Epistemic_dc2
+
+let to_string = function
+  | Dc1 -> "dc1"
+  | Dc2 -> "dc2"
+  | Dc3 -> "dc3"
+  | Udc -> "udc"
+  | Nudc -> "nudc"
+  | Expect Core.Adversary.Udc_violated -> "expect-udc-violated"
+  | Expect Core.Adversary.Dc1_violated -> "expect-dc1-violated"
+  | Detector Detector.Spec.Perfect -> "detector:perfect"
+  | Detector Detector.Spec.Strong -> "detector:strong"
+  | Detector Detector.Spec.Weak -> "detector:weak"
+  | Detector Detector.Spec.Impermanent_strong -> "detector:impermanent-strong"
+  | Detector Detector.Spec.Impermanent_weak -> "detector:impermanent-weak"
+  | Epistemic_dc2 -> "epistemic-dc2"
+
+let all =
+  [
+    Dc1;
+    Dc2;
+    Dc3;
+    Udc;
+    Nudc;
+    Expect Core.Adversary.Udc_violated;
+    Expect Core.Adversary.Dc1_violated;
+    Detector Detector.Spec.Perfect;
+    Detector Detector.Spec.Strong;
+    Detector Detector.Spec.Weak;
+    Detector Detector.Spec.Impermanent_strong;
+    Detector Detector.Spec.Impermanent_weak;
+    Epistemic_dc2;
+  ]
+
+let of_string s =
+  match List.find_opt (fun p -> to_string p = s) all with
+  | Some p -> Ok p
+  | None ->
+      Error
+        (Printf.sprintf "unknown property %S (expected one of: %s)" s
+           (String.concat " | " (List.map to_string all)))
+
+let of_violation = function Ok () -> None | Error e -> Some e
+
+(* The epistemic route: check the DC2 validity statement on the packed
+   checker over the single-run system; a counterexample point is a
+   violation witness. Heavier than the direct run predicate, but it
+   exercises exactly the checker the enumerated systems use. *)
+let epistemic_dc2 run =
+  match Run.initiated run with
+  | [] -> None
+  | initiated ->
+      let env = Epistemic.Checker.make (Epistemic.System.of_runs [ run ]) in
+      List.find_map
+        (fun (alpha, _) ->
+          let f = Core.Spec.dc2_formula ~n:(Run.n run) alpha in
+          match Epistemic.Checker.counterexample env f with
+          | Some (_, tick) ->
+              Some
+                (Format.asprintf
+                   "epistemic DC2 counterexample for %s at tick %d"
+                   (Action_id.to_string alpha) tick)
+          | None -> None)
+        initiated
+
+let violation t run =
+  match t with
+  | Dc1 -> of_violation (Core.Spec.dc1 run)
+  | Dc2 -> of_violation (Core.Spec.dc2 run)
+  | Dc3 -> of_violation (Core.Spec.dc3 run)
+  | Udc -> of_violation (Core.Spec.udc run)
+  | Nudc -> of_violation (Core.Spec.nudc run)
+  | Expect e -> (
+      match Core.Adversary.check_expectation e run with
+      | Ok desc -> Some desc
+      | Error _ -> None)
+  | Detector cls -> of_violation (Detector.Spec.satisfies cls run)
+  | Epistemic_dc2 -> epistemic_dc2 run

@@ -1,0 +1,27 @@
+(** What the explorer checks at each terminal run.
+
+    A property names a violation the search is hunting for. Plain
+    specification properties ([Dc1] .. [Nudc], detector classes) flag any
+    run where the specification fails; [Expect] recognises exactly an
+    adversary scenario's expected violation (and only it), which is what
+    scenario rediscovery asserts; [Epistemic_dc2] routes the uniformity
+    check through the packed epistemic model checker instead of the direct
+    run predicate. *)
+
+type t =
+  | Dc1
+  | Dc2
+  | Dc3
+  | Udc
+  | Nudc
+  | Expect of Core.Adversary.expectation
+  | Detector of Detector.Spec.cls
+  | Epistemic_dc2
+
+val to_string : t -> string
+val of_string : string -> (t, string) result
+val all : t list
+
+(** [violation t run] is [Some description] when the run violates the
+    property (for [Expect], when it exhibits the expected violation). *)
+val violation : t -> Run.t -> string option

@@ -1,0 +1,12 @@
+(** Protocol names, shared between the CLI, repro files, and tests.
+
+    The syntax is the CLI's: [nudc | reliable | ack | theta | heartbeat |
+    majority:T | gen:T]. Repro files written by the shrinker store the
+    protocol under this syntax so a counterexample is replayable from the
+    file alone. *)
+
+val parse : string -> ((module Protocol.S), string) result
+
+(** [instantiate label ~n] is the uniform instantiation usable as
+    [Sim.execute]'s process factory. *)
+val instantiate : string -> n:int -> (Pid.t -> Protocol.t, string) result

@@ -1,0 +1,32 @@
+(** Human-readable, replayable counterexample files.
+
+    A repro file is a self-contained record of a shrunk violation:
+    [key: value] lines carrying the full problem definition (protocol
+    label, property, configuration, workload) plus the violation
+    description, the run digest, and the exact decision trace. The moves
+    are included as comments for the reader; the {e trace} is the
+    authoritative part — {!replay} re-executes it strictly and verifies
+    both the digest and the violation, so a stale or hand-edited file
+    fails loudly instead of "reproducing" something else.
+
+    Repro files only describe scripted problems (no ambient loss rates or
+    fault plans) — which is the only kind the explorer searches. *)
+
+type t = {
+  problem : Problem.t;
+  moves : string list;  (** informational, from the shrunk move set *)
+  violation : string;
+  digest : string;  (** [Run.digest] of the recorded violating run *)
+  trace : Decision.t list;
+}
+
+val of_shrunk : Problem.t -> Shrink.shrunk -> t
+val to_string : t -> string
+val save : string -> t -> unit
+val of_string : string -> (t, string) result
+val load : string -> (t, string) result
+
+(** Strict replay + verification: returns the result and the violation
+    description, or an error if the trace diverges, the digest differs,
+    or the run no longer violates. *)
+val replay : t -> (Sim.result * string, string) result

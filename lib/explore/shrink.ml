@@ -1,0 +1,165 @@
+type shrunk = {
+  node : Engine.node;
+  max_ticks : int;
+  trace : Decision.t list;
+  result : Sim.result;
+  violation : string;
+  decisions : int;
+}
+
+let violates problem ~max_ticks (node : Engine.node) =
+  let result, source =
+    Problem.run problem ~max_ticks ~plan:node.Engine.devs
+      ~silence:node.Engine.silences
+  in
+  match Problem.violation problem result with
+  | Some desc -> Some (desc, result, source)
+  | None -> None
+
+(* Greedily drop moves one at a time until no single removal preserves the
+   violation ("drop fewer messages, crash fewer processes"). *)
+let remove_moves problem ~max_ticks node =
+  let without_sil l (node : Engine.node) =
+    { node with Engine.silences = List.filter (fun x -> x <> l) node.silences }
+  in
+  let without_dev d (node : Engine.node) =
+    { node with Engine.devs = List.filter (fun x -> x <> d) node.devs }
+  in
+  let rec fix (node : Engine.node) =
+    let candidates =
+      List.map (fun l -> without_sil l node) node.Engine.silences
+      @ List.map (fun d -> without_dev d node) node.Engine.devs
+    in
+    match
+      List.find_opt (fun c -> violates problem ~max_ticks c <> None) candidates
+    with
+    | Some smaller -> fix smaller
+    | None -> node
+  in
+  fix node
+
+(* For each crash deviation, try to postpone it ("crash later"): re-run the
+   schedule without that crash, scan the resulting journal for later crash
+   queries on the same victim, and keep the latest one that still violates. *)
+let crash_later problem ~max_ticks (node : Engine.node) =
+  let _, source =
+    Problem.run problem ~max_ticks ~plan:node.Engine.devs
+      ~silence:node.Engine.silences
+  in
+  let journal = Decision.journal source in
+  let pid_of i =
+    if i >= Array.length journal then None
+    else
+      match journal.(i).Decision.query with
+      | Decision.Q_crash { pid; _ } -> Some pid
+      | _ -> None
+  in
+  let postpone (node : Engine.node) (i, d) pid =
+    let without =
+      { node with Engine.devs = List.filter (fun x -> x <> (i, d)) node.devs }
+    in
+    let _, src =
+      Problem.run problem ~max_ticks ~plan:without.Engine.devs
+        ~silence:without.Engine.silences
+    in
+    let laters = ref [] in
+    Array.iteri
+      (fun j e ->
+        match e.Decision.query with
+        | Decision.Q_crash { pid = p; _ } when p = pid && j > i ->
+            laters := j :: !laters
+        | _ -> ())
+      (Decision.journal src);
+    (* [laters] is descending: try the latest crash point first *)
+    List.find_map
+      (fun j ->
+        let devs =
+          List.sort
+            (fun (a, _) (b, _) -> compare a b)
+            ((j, d) :: without.Engine.devs)
+        in
+        let cand = { without with Engine.devs = devs } in
+        match violates problem ~max_ticks cand with
+        | Some _ -> Some cand
+        | None -> None)
+      !laters
+  in
+  List.fold_left
+    (fun node (i, d) ->
+      match d with
+      | Decision.Crash true -> (
+          match pid_of i with
+          | None -> node
+          | Some pid -> (
+              match postpone node (i, d) pid with
+              | Some better -> better
+              | None -> node))
+      | _ -> node)
+    node node.Engine.devs
+
+(* The earliest horizon that is still an honest witness: every decisive
+   event of the violating run (init, do, crash) must have happened, so the
+   truncation cannot manufacture a violation out of a benign schedule. *)
+let decisive_floor run =
+  let floor_tick = ref 1 in
+  let bump = function
+    | Some t -> if t + 1 > !floor_tick then floor_tick := t + 1
+    | None -> ()
+  in
+  let pids = List.init (Run.n run) Fun.id in
+  List.iter
+    (fun (alpha, t) ->
+      bump (Some t);
+      List.iter (fun p -> bump (Run.do_tick run p alpha)) pids)
+    (Run.initiated run);
+  List.iter (fun p -> bump (Run.crash_tick run p)) pids;
+  !floor_tick
+
+(* Binary-search the smallest still-violating horizon in
+   [decisive_floor, max_ticks] ("shorten the run"). *)
+let shrink_horizon problem ~max_ticks node =
+  match violates problem ~max_ticks node with
+  | None -> max_ticks
+  | Some (_, result, _) ->
+      let lo = ref (decisive_floor result.Sim.run) and hi = ref max_ticks in
+      if !lo > !hi then max_ticks
+      else begin
+        while !lo < !hi do
+          let mid = (!lo + !hi) / 2 in
+          if violates problem ~max_ticks:mid node <> None then hi := mid
+          else lo := mid + 1
+        done;
+        if violates problem ~max_ticks:!lo node <> None then !lo else max_ticks
+      end
+
+let minimize problem (w : Engine.witness) =
+  let max_ticks = problem.Problem.config.Sim.max_ticks in
+  let node = remove_moves problem ~max_ticks w.Engine.node in
+  let node = crash_later problem ~max_ticks node in
+  let node = remove_moves problem ~max_ticks node in
+  let horizon = shrink_horizon problem ~max_ticks node in
+  match violates problem ~max_ticks:horizon node with
+  | Some (desc, result, source) ->
+      let trace = Decision.trace source in
+      {
+        node;
+        max_ticks = horizon;
+        trace;
+        result;
+        violation = desc;
+        decisions = List.length trace;
+      }
+  | None -> (
+      (* horizon search should have verified; fall back to the full horizon *)
+      match violates problem ~max_ticks node with
+      | Some (desc, result, source) ->
+          let trace = Decision.trace source in
+          {
+            node;
+            max_ticks;
+            trace;
+            result;
+            violation = desc;
+            decisions = List.length trace;
+          }
+      | None -> invalid_arg "Shrink.minimize: witness does not violate")

@@ -1,0 +1,29 @@
+(** Greedy counterexample minimization.
+
+    Three passes over an {!Engine.witness}:
+
+    + {b drop moves} — remove silences and deviations one at a time while
+      the violation persists, to a fixpoint;
+    + {b crash later} — postpone each surviving crash deviation to the
+      latest crash point of the same victim that still violates;
+    + {b shorten the run} — binary-search the smallest horizon that still
+      violates, bounded below by the last decisive event (init / do /
+      crash) of the violating run so truncation cannot manufacture a
+      spurious finite-horizon violation.
+
+    Every candidate is re-executed and re-checked (including run
+    well-formedness), so the result is always a genuine violation of the
+    same property. *)
+
+type shrunk = {
+  node : Engine.node;  (** minimized move set *)
+  max_ticks : int;  (** minimized horizon *)
+  trace : Decision.t list;  (** exact replay trace at the shrunk horizon *)
+  result : Sim.result;
+  violation : string;
+  decisions : int;  (** [List.length trace] *)
+}
+
+(** Raises [Invalid_argument] if the witness does not actually violate
+    (it always does for witnesses produced by {!Engine.search}). *)
+val minimize : Problem.t -> Engine.witness -> shrunk

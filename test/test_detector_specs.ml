@@ -147,16 +147,11 @@ let suspects_at_cases () =
    quieter than the baseline. *)
 let quiet_variant () =
   let sends proto seed =
-    let cfg = Sim.config ~n:5 ~seed in
     let cfg =
-      {
-        cfg with
-        Sim.loss_rate = 0.3;
-        oracle = Detector.Oracles.perfect ~lag:1 ();
-        fault_plan = Fault_plan.crash_at [ (1, 8) ];
-        init_plan = Init_plan.staggered ~n:5 ~actions_per_process:1 ~spacing:3;
-        max_ticks = 3000;
-      }
+      Helpers.config ~loss:0.3
+        ~oracle:(Detector.Oracles.perfect ~lag:1 ())
+        ~faults:(Fault_plan.crash_at [ (1, 8) ])
+        ~n:5 ~seed ()
     in
     let r = Sim.execute_uniform cfg proto in
     (match Core.Spec.udc r.Sim.run with
@@ -194,16 +189,10 @@ let g_standard_detectors () =
       let oracle =
         Detector.Oracles.g_standard (Detector.Oracles.perfect ~lag:1 ())
       in
-      let cfg = Sim.config ~n:5 ~seed in
       let cfg =
-        {
-          cfg with
-          Sim.loss_rate = 0.3;
-          oracle;
-          fault_plan = Fault_plan.crash_at [ (1, 8); (3, 12) ];
-          init_plan = Init_plan.staggered ~n:5 ~actions_per_process:1 ~spacing:3;
-          max_ticks = 3000;
-        }
+        Helpers.config ~loss:0.3 ~oracle
+          ~faults:(Fault_plan.crash_at [ (1, 8); (3, 12) ])
+          ~n:5 ~seed ()
       in
       let r = Sim.execute_uniform cfg (module Core.Ack_udc.P) in
       (* the run really contains complement-form reports *)

@@ -134,9 +134,13 @@ let outbox_replace_recurring () =
 
 (* ---------- Channel ---------- *)
 
+let prng_decide seed =
+  let prng = Prng.create seed in
+  fun ~now:_ ~src:_ ~dst:_ ~rate -> Prng.bool prng rate
+
 let channel_lossless_delivers () =
   let ch =
-    Channel.create ~n:2 ~prng:(Prng.create 1L) ~loss_rate:0.0
+    Channel.create ~n:2 ~decide:(prng_decide 1L) ~loss_rate:0.0
       ~max_consecutive_drops:4 ()
   in
   let m = Message.Coord_request (alpha 0 0, Fact.Set.empty) in
@@ -150,7 +154,7 @@ let channel_bounded_unfairness =
     QCheck.(pair int64 (int_range 0 6))
     (fun (seed, k) ->
       let ch =
-        Channel.create ~n:2 ~prng:(Prng.create seed) ~loss_rate:1.0
+        Channel.create ~n:2 ~decide:(prng_decide seed) ~loss_rate:1.0
           ~max_consecutive_drops:k ()
       in
       let m = Message.Coord_request (alpha 0 0, Fact.Set.empty) in
@@ -166,7 +170,7 @@ let channel_link_override () =
   let ch =
     Channel.create
       ~link_loss:[ ((0, 1), 1.0) ]
-      ~n:3 ~prng:(Prng.create 1L) ~loss_rate:0.0 ~max_consecutive_drops:1000 ()
+      ~n:3 ~decide:(prng_decide 1L) ~loss_rate:0.0 ~max_consecutive_drops:1000 ()
   in
   let m = Message.Coord_request (alpha 0 0, Fact.Set.empty) in
   Alcotest.(check bool) "0->1 lossy" true
@@ -374,26 +378,13 @@ let run_faulty_set () =
   Alcotest.(check bool) "not yet" false (Run.crashed_by r 0 3)
 
 (* Every simulator-produced run is well-formed: a broad property over
-   random configurations. *)
+   random configurations AND random protocols (shared generators in
+   {!Helpers}). *)
 let sim_runs_well_formed =
   QCheck.Test.make ~name:"simulator output satisfies R1-R5" ~count:30
-    QCheck.(triple int64 (int_range 2 6) (int_range 0 80))
-    (fun (seed, n, loss_pct) ->
-      let loss = float_of_int loss_pct /. 100.0 in
-      let prng = Prng.create seed in
-      let t = Prng.int prng n in
-      let cfg = Sim.config ~n ~seed in
-      let cfg =
-        {
-          cfg with
-          Sim.loss_rate = loss;
-          fault_plan = Fault_plan.random prng ~n ~t ~max_tick:30;
-          init_plan = Init_plan.staggered ~n ~actions_per_process:1 ~spacing:2;
-          oracle = Detector.Oracles.perfect ();
-          max_ticks = 1500;
-        }
-      in
-      let r = Sim.execute_uniform cfg (module Core.Ack_udc.P) in
+    QCheck.int64
+    (fun seed ->
+      let cfg, r = Helpers.random_result seed in
       Result.is_ok
         (Run.check_well_formed r.Sim.run
            ~max_consecutive_drops:cfg.Sim.max_consecutive_drops))

@@ -15,16 +15,10 @@ let udc_rows : (string * (int64 -> Run.t)) list =
   let simulate ~loss ~oracle_of proto seed =
     let n = 5 in
     let prng = Prng.create seed in
-    let cfg = Sim.config ~n ~seed in
     let cfg =
-      {
-        cfg with
-        Sim.loss_rate = loss;
-        oracle = oracle_of ();
-        fault_plan = Fault_plan.random prng ~n ~t:2 ~max_tick:20;
-        init_plan = Init_plan.staggered ~n ~actions_per_process:1 ~spacing:3;
-        max_ticks = 2000;
-      }
+      Helpers.config ~loss ~oracle:(oracle_of ())
+        ~faults:(Fault_plan.random prng ~n ~t:2 ~max_tick:20)
+        ~max_ticks:2000 ~n ~seed ()
     in
     (Sim.execute_uniform cfg proto).Sim.run
   in

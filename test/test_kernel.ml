@@ -122,16 +122,12 @@ let enum_envs =
 let sim_envs =
   lazy
     (let run_of seed crash_at =
-       let cfg = Sim.config ~n:3 ~seed in
        let cfg =
-         {
-           cfg with
-           Sim.loss_rate = 0.3;
-           fault_plan = Fault_plan.crash_at crash_at;
-           init_plan = Init_plan.one ~owner:0 ~at:1;
-           oracle = Detector.Oracles.perfect ();
-           max_ticks = 40;
-         }
+         Helpers.config ~loss:0.3
+           ~oracle:(Detector.Oracles.perfect ())
+           ~faults:(Fault_plan.crash_at crash_at)
+           ~init_plan:(Init_plan.one ~owner:0 ~at:1) ~max_ticks:40 ~n:3 ~seed
+           ()
        in
        (Sim.execute_uniform cfg (module Core.Ack_udc.P)).Sim.run
      in

@@ -108,16 +108,13 @@ let small_env seed =
   let n = 3 in
   let runs =
     List.init 3 (fun i ->
-        let cfg = Sim.config ~n ~seed:(Int64.add seed (Int64.of_int i)) in
         let cfg =
-          {
-            cfg with
-            Sim.loss_rate = 0.3;
-            oracle = Detector.Oracles.perfect ();
-            fault_plan = Fault_plan.random prng ~n ~t:1 ~max_tick:8;
-            init_plan = Init_plan.one ~owner:0 ~at:1;
-            max_ticks = 300;
-          }
+          Helpers.config ~loss:0.3
+            ~oracle:(Detector.Oracles.perfect ())
+            ~faults:(Fault_plan.random prng ~n ~t:1 ~max_tick:8)
+            ~init_plan:(Init_plan.one ~owner:0 ~at:1) ~max_ticks:300 ~n
+            ~seed:(Int64.add seed (Int64.of_int i))
+            ()
         in
         (Sim.execute_uniform cfg (module Core.Ack_udc.P)).Sim.run)
   in

@@ -20,4 +20,5 @@ let () =
       ("common-knowledge", Test_common_knowledge.suite);
       ("enumerate", Test_enumerate.suite);
       ("kernel", Test_kernel.suite);
+      ("explore", Test_explore.suite);
     ]

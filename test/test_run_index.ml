@@ -209,37 +209,9 @@ let cross_check run =
 (* -- random runs --------------------------------------------------------- *)
 
 (* A run from a random workload: size, faults, loss, oracle and protocol
-   all drawn from the seed. *)
+   all drawn from the seed (shared generators in {!Helpers}). *)
 let random_run seed =
-  let prng = Prng.create (Int64.of_int (seed * 2654435761 + 1)) in
-  let n = 3 + (seed mod 4) in
-  let t = seed mod n in
-  let loss = [| 0.0; 0.2; 0.5 |].(seed mod 3) in
-  let oracle =
-    match seed mod 4 with
-    | 0 -> Oracle.none
-    | 1 -> Detector.Oracles.perfect ~lag:(seed mod 3) ()
-    | 2 -> Detector.Oracles.strong ~seed:(Int64.of_int seed) ()
-    | _ -> Detector.Oracles.gen_exact ()
-  in
-  let proto =
-    match seed mod 3 with
-    | 0 -> (module Core.Nudc.P : Protocol.S)
-    | 1 -> (module Core.Ack_udc.P)
-    | _ -> Core.Majority_udc.make ~t:(max t 1)
-  in
-  let cfg = Sim.config ~n ~seed:(Int64.of_int ((seed * 7919) + 3)) in
-  let cfg =
-    {
-      cfg with
-      Sim.loss_rate = loss;
-      oracle;
-      fault_plan = Fault_plan.random prng ~n ~t ~max_tick:20;
-      init_plan = Init_plan.staggered ~n ~actions_per_process:1 ~spacing:3;
-      max_ticks = 600;
-    }
-  in
-  (Sim.execute_uniform cfg proto).Sim.run
+  Helpers.random_run ~max_ticks:600 (Int64.of_int ((seed * 7919) + 3))
 
 let qcheck_index_agrees =
   QCheck.Test.make ~count:25 ~name:"index agrees with naive timed_events scan"

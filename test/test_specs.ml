@@ -100,16 +100,11 @@ let formulas_agree_with_checkers () =
     (fun seed ->
       let prng = Prng.create seed in
       let n = 3 in
-      let cfg = Sim.config ~n ~seed in
       let cfg =
-        {
-          cfg with
-          Sim.loss_rate = 0.3;
-          oracle = Detector.Oracles.perfect ();
-          fault_plan = Fault_plan.random prng ~n ~t:1 ~max_tick:10;
-          init_plan = Init_plan.one ~owner:0 ~at:1;
-          max_ticks = 800;
-        }
+        Helpers.config ~loss:0.3
+          ~oracle:(Detector.Oracles.perfect ())
+          ~faults:(Fault_plan.random prng ~n ~t:1 ~max_tick:10)
+          ~init_plan:(Init_plan.one ~owner:0 ~at:1) ~max_ticks:800 ~n ~seed ()
       in
       let r = (Sim.execute_uniform cfg (module Core.Ack_udc.P)).Sim.run in
       (* a single-run system: validity of the DC formulas there = the
