@@ -47,19 +47,26 @@ let cmd_of (name, doc, f) =
    writing BENCH_perf.json for CI to upload. *)
 let smoke_arg =
   let doc =
-    "Run only the fast self-checking perf experiments and still write \
-     BENCH_perf.json."
+    "Run only the fast self-checking perf experiments (including the \
+     explorer parallel-scaling gate) and still write BENCH_perf.json."
   in
   Arg.(value & flag & info [ "smoke" ] ~doc)
+
+let pool_stats_arg =
+  let doc =
+    "Print the persistent domain pool's counters (spawns, jobs, tasks, \
+     per-worker busy/idle time) after the experiments."
+  in
+  Arg.(value & flag & info [ "pool-stats" ] ~doc)
 
 let perf_cmd =
   Cmd.v
     (Cmd.info "perf" ~doc:"P1-P6: performance and ablations")
     Term.(
-      const (fun domains smoke ->
+      const (fun domains smoke pool_stats ->
           Option.iter Ensemble.set_domains domains;
-          Perf.run ~smoke ())
-      $ domains_arg $ smoke_arg)
+          Perf.run ~smoke ~pool_stats ())
+      $ domains_arg $ smoke_arg $ pool_stats_arg)
 
 let default = Term.(const (with_domains run_all) $ domains_arg)
 

@@ -21,12 +21,42 @@ let timed name ?runs f =
   f ();
   record name ~wall:(Unix.gettimeofday () -. t0) ~runs
 
+(* experiment names are data, not format strings: escape them or a name
+   with a quote/backslash silently corrupts the whole JSON document *)
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_floats a =
+  String.concat ", "
+    (List.map (Printf.sprintf "%.3f") (Array.to_list a))
+
 let write_json path =
   let oc = open_out path in
   let pr fmt = Printf.fprintf oc fmt in
   pr "{\n";
   pr "  \"domains\": %d,\n" (Ensemble.domain_count ());
   pr "  \"recommended_domains\": %d,\n" (Domain.recommended_domain_count ());
+  let s = Ensemble.stats () in
+  pr "  \"pool\": {\"size\": %d, \"spawned\": %d, \"jobs\": %d, \
+     \"pool_tasks\": %d, \"seq_tasks\": %d, \"busy_s\": [%s], \
+     \"idle_s\": [%s]},\n"
+    s.Ensemble.pool_size s.Ensemble.spawned s.Ensemble.jobs
+    s.Ensemble.pool_tasks s.Ensemble.seq_tasks
+    (json_floats s.Ensemble.busy_s)
+    (json_floats s.Ensemble.idle_s);
   pr "  \"experiments\": [\n";
   let items = List.rev !records in
   let last = List.length items - 1 in
@@ -39,7 +69,8 @@ let write_json path =
               (if wall > 0.0 then float_of_int r /. wall else 0.0)
         | None -> ""
       in
-      pr "    {\"name\": \"%s\", \"wall_s\": %.3f%s}%s\n" name wall extra
+      pr "    {\"name\": \"%s\", \"wall_s\": %.3f%s}%s\n" (json_escape name)
+        wall extra
         (if i = last then "" else ","))
     items;
   pr "  ]\n}\n";
@@ -399,7 +430,7 @@ let ensemble_throughput () =
    one a full simulation plus the journal scan that derives its children.
    Run sequentially and on the pool; the explored counts double as the
    explorer's determinism assertion. *)
-let explorer_throughput () =
+let explorer_throughput ~gate () =
   Util.header "P7: schedule explorer throughput (states per second)";
   let scenario = Core.Adversary.confined_clique ~n:4 ~t:2 ~seed:42L in
   let problem =
@@ -440,13 +471,29 @@ let explorer_throughput () =
     (float_of_int explored /. par_wall)
     (seq_wall /. par_wall);
   Format.printf "    (exhaustive to depth 2: %d states, both counts equal)@."
-    explored
+    explored;
+  (* the scaling gate that keeps the PR-3 regression (domains=2 ran the
+     explorer 2.2x slower than domains=1, because every 256-node chunk
+     spawned and joined fresh domains) from ever coming back. Only
+     meaningful where there is parallel hardware to scale onto: on a
+     single-core runner extra domains time-share one core and the ratio
+     measures the OS scheduler, not the dispatch path. *)
+  if
+    gate && pool >= 2
+    && Domain.recommended_domain_count () >= 2
+    && par_wall > 1.10 *. seq_wall
+  then
+    failwith
+      (Printf.sprintf
+         "explorer parallel scaling regressed: domains=%d took %.3fs vs \
+          %.3fs at domains=1 (> 10%% slower)"
+         pool par_wall seq_wall)
 
 (* [smoke] keeps only the fast self-checking experiments — the kernel
    differential, the ensemble determinism assertion, and the explorer
    determinism assertion — so CI can gate on them and still publish a
    BENCH_perf.json artifact. *)
-let run ?(smoke = false) () =
+let run ?(smoke = false) ?(pool_stats = false) () =
   records := [];
   if not smoke then begin
     timed "bechamel" bechamel;
@@ -458,8 +505,12 @@ let run ?(smoke = false) () =
   end;
   checker_kernel ();
   ensemble_throughput ();
-  explorer_throughput ();
+  (* the smoke job gates on parallel scaling so the spawn-per-call
+     regression stays fixed forever *)
+  explorer_throughput ~gate:smoke ();
   write_json "BENCH_perf.json";
+  if pool_stats then
+    Format.printf "@.  %a@." Ensemble.pp_stats (Ensemble.stats ());
   Format.printf "@.  wrote BENCH_perf.json (%d records; %d domains)@."
     (List.length !records)
     (Ensemble.domain_count ())

@@ -197,7 +197,7 @@ let scenario_of_name name ~n ~t ~seed =
            s)
 
 let explore scenario t property proto_label n seed search_depth window max_runs
-    domains max_ticks crash_budget adversarial out replay expect =
+    domains max_ticks crash_budget adversarial out replay expect pool_stats =
   let fail fmt =
     Printf.ksprintf
       (fun s ->
@@ -266,6 +266,8 @@ let explore scenario t property proto_label n seed search_depth window max_runs
         }
       in
       let outcome, _ = Explore.Engine.search ~options problem in
+      if pool_stats then
+        Format.printf "%a@." Ensemble.pp_stats (Ensemble.stats ());
       let check_expect_none () =
         if expect = "violation" then (
           prerr_endline "udc explore: expected a violation, none found";
@@ -381,6 +383,14 @@ let replay_arg =
     & opt (some string) None
     & info [ "replay" ] ~doc:"Replay and verify a repro file; no search.")
 
+let pool_stats_arg =
+  Arg.(
+    value & flag
+    & info [ "pool-stats" ]
+        ~doc:
+          "Print the persistent domain pool's counters (spawns, jobs, \
+           tasks, per-worker busy/idle time) after the search.")
+
 let expect_arg =
   Arg.(
     value
@@ -401,7 +411,7 @@ let explore_cmd =
       const explore $ scenario_arg $ t_arg $ property_arg
       $ explore_protocol_arg $ n_arg $ seed_arg $ search_depth_arg $ window_arg
       $ max_runs_arg $ domains_arg $ max_ticks_arg $ crash_budget_arg
-      $ adversarial_arg $ out_arg $ replay_arg $ expect_arg)
+      $ adversarial_arg $ out_arg $ replay_arg $ expect_arg $ pool_stats_arg)
 
 let simulate_cmd =
   Cmd.v

@@ -50,7 +50,17 @@ let equal_timed a b =
        (fun (e, t) (e', t') -> Int.equal t t' && Event.equal e e')
        a.rev b.rev
 
-let hash_events h = Hashtbl.hash (List.map fst h.rev)
+(* A seeded FNV-style fold over *all* events. [Hashtbl.hash] on the event
+   list only traverses a bounded prefix (~10 meaningful nodes), so
+   histories differing only in later events collided systematically —
+   exactly the long-run shape the epistemic indexers feed in. Each event
+   is small, so per-event [Hashtbl.hash] sees it whole; the fold order is
+   fixed (newest first), keeping the hash consistent with
+   [equal_events]. *)
+let hash_events h =
+  List.fold_left
+    (fun acc (e, _) -> (acc lxor Hashtbl.hash e) * 0x01000193 land max_int)
+    0x811c9dc5 h.rev
 
 let pp ppf h =
   Format.fprintf ppf "[%a]"

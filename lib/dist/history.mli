@@ -51,7 +51,10 @@ val equal_events : t -> t -> bool
 val equal_timed : t -> t -> bool
 
 (** A hash of the event sequence (ticks ignored), consistent with
-    [equal_events]; used to index points of a system by local state. *)
+    [equal_events]; used to index points of a system by local state.
+    Computed by a seeded fold over {e every} event — not [Hashtbl.hash]
+    on the list, whose bounded traversal would systematically collide
+    histories that differ only in later events. *)
 val hash_events : t -> int
 
 val pp : Format.formatter -> t -> unit

@@ -150,6 +150,10 @@ module Cache = Ephemeron.K1.Make (struct
   type nonrec t = Run.t
 
   let equal = ( == )
+
+  (* [Hashtbl.hash] is collision-tolerant here: entries are keyed by
+     physical identity, so a hash collision between distinct runs only
+     lengthens one bucket's chain — it can never alias two runs. *)
   let hash = Hashtbl.hash
 end)
 

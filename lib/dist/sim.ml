@@ -209,6 +209,15 @@ let schedule_process m p =
                   match overdue with
                   | Some delivery -> deliver_message m p delivery
                   | None ->
+                      (* [Hashtbl.hash] here is collision-tolerant: keys
+                         only decide which pick alternatives the explorer
+                         treats as equal (sleep-set pruning). A collision
+                         merges two genuinely distinct deliveries — it can
+                         narrow the bounded search, never corrupt a
+                         verdict — and a (src, msg) pair is shallow enough
+                         for the bounded traversal to cover it. Contrast
+                         [History.hash_events], where collisions were
+                         systematic and had to be fixed. *)
                       let keys () =
                         Array.of_list
                           (List.map

@@ -39,6 +39,7 @@ type options = {
   branch_picks : bool;
   branch_deliver : bool;
   branch_suspects : bool option;
+  chunk : int;
 }
 
 let default_options =
@@ -56,6 +57,7 @@ let default_options =
     branch_picks = true;
     branch_deliver = false;
     branch_suspects = None;
+    chunk = 256;
   }
 
 type stats = { explored : int; depth_reached : int }
@@ -199,14 +201,15 @@ let eval problem opts node =
   | Some desc -> (Some desc, [])
   | None -> (None, children problem opts node (Decision.journal source))
 
-let rec split_at k = function
-  | [] -> ([], [])
-  | l when k <= 0 -> ([], l)
-  | x :: rest ->
-      let a, b = split_at (k - 1) rest in
-      (x :: a, b)
-
-let chunk_size = 256
+(* tail-recursive: BFS frontiers reach hundreds of thousands of nodes at
+   depth >= 2, where the naive recursion overflowed the stack *)
+let split_at k l =
+  let rec go k acc = function
+    | rest when k <= 0 -> (List.rev acc, rest)
+    | [] -> (List.rev acc, [])
+    | x :: rest -> go (k - 1) (x :: acc) rest
+  in
+  go k [] l
 
 let search ?(options = default_options) problem =
   let explored = ref 0 in
@@ -227,7 +230,7 @@ let search ?(options = default_options) problem =
     | _ when options.max_runs - !explored <= 0 -> `Done ([], true)
     | _ ->
         let now, rest =
-          split_at (min chunk_size (options.max_runs - !explored)) frontier
+          split_at (min options.chunk (options.max_runs - !explored)) frontier
         in
         let results =
           Ensemble.map ?domains:options.domains

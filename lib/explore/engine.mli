@@ -51,6 +51,12 @@ type options = {
   branch_deliver : bool;  (** off by default: subsumed by picks + R5 *)
   branch_suspects : bool option;
       (** [None] follows [Problem.adversarial_oracle] *)
+  chunk : int;
+      (** nodes evaluated per {!Ensemble} job. The witness is
+          chunk-size-independent — chunks partition the frontier in order
+          and each is scanned in frontier order, so the first violating
+          node of the BFS prefix wins for every chunking; only how far
+          past the witness [explored] counts can differ. *)
 }
 
 val default_options : options
@@ -70,3 +76,8 @@ type outcome =
   | Budget of stats  (** [max_runs] exhausted before the space *)
 
 val search : ?options:options -> Problem.t -> outcome * stats
+
+(** [split_at k l] = [(first k elements, the rest)]. Tail-recursive —
+    frontiers reach hundreds of thousands of nodes. Exposed for the
+    regression test. *)
+val split_at : int -> 'a list -> 'a list * 'a list

@@ -82,6 +82,35 @@ let history_equal_ignores_ticks () =
   Alcotest.(check bool) "tick-insensitive" true (History.equal_events a b);
   Alcotest.(check int) "same hash" (History.hash_events a) (History.hash_events b)
 
+let history_hash_covers_all_events () =
+  (* regression: [Hashtbl.hash] on the event list only traverses a
+     bounded prefix, so histories differing only past ~event 10 collided
+     systematically. Build two 20-event histories that differ only at
+     event index 12. *)
+  let mk divergent_tag =
+    List.fold_left
+      (fun h i ->
+        let tag = if i = 12 then divergent_tag else i in
+        History.append h (Event.Do (alpha 0 tag)) ~tick:(i + 1))
+      History.empty
+      (List.init 20 Fun.id)
+  in
+  let a = mk 12 and b = mk 999 in
+  Alcotest.(check bool) "sequences differ" false (History.equal_events a b);
+  Alcotest.(check bool)
+    "histories differing only at index 12 hash differently" false
+    (History.hash_events a = History.hash_events b);
+  (* and equal sequences still agree, ticks ignored *)
+  let c =
+    List.fold_left
+      (fun h i -> History.append h (Event.Do (alpha 0 i)) ~tick:((i + 1) * 3))
+      History.empty
+      (List.init 20 Fun.id)
+  in
+  Alcotest.(check int)
+    "equal sequences, equal hash" (History.hash_events (mk 12))
+    (History.hash_events c)
+
 (* ---------- Outbox ---------- *)
 
 let outbox_fifo () =
@@ -430,6 +459,8 @@ let suite =
     Alcotest.test_case "history: cut prefixes" `Quick history_prefix;
     Alcotest.test_case "history: tick-insensitive equality" `Quick
       history_equal_ignores_ticks;
+    Alcotest.test_case "history: hash covers all events" `Quick
+      history_hash_covers_all_events;
     Alcotest.test_case "outbox: one-shot FIFO" `Quick outbox_fifo;
     Alcotest.test_case "outbox: recurring pacing" `Quick outbox_recurring_paced;
     Alcotest.test_case "outbox: one-shots first" `Quick outbox_oneshot_priority;

@@ -133,8 +133,77 @@ let test_fold_order () =
            ~init:[] Fun.id xs))
     [ 1; 4 ]
 
+(* ---------- the persistent pool: combinators stay bit-identical to the
+   sequential fold across repeated reuse of one pool ---------- *)
+
+exception Prop_boom of int
+
+(* one reusable oracle per combinator: the parallel result (or raised
+   exception) must equal the sequential one on the same inputs *)
+let outcome f = match f () with v -> Ok v | exception e -> Error e
+
+let pooled_equals_sequential =
+  QCheck.Test.make
+    ~name:"pooled map/exists/find_map/fold = sequential (incl. errors)"
+    ~count:40
+    QCheck.(
+      triple (list_of_size Gen.(int_range 0 60) small_int) (int_range 2 5)
+        (int_range 2 30))
+    (fun (xs, domains, modulus) ->
+      (* [f] raises on a data-dependent subset, so some generated cases
+         exercise the earliest-failure path and some the clean path *)
+      let f x = if x mod modulus = modulus - 1 then raise (Prop_boom x) else x * x in
+      let pred x = x mod modulus = 0 in
+      let fm x = if x mod modulus = 1 then Some (x * 3) else None in
+      outcome (fun () -> Ensemble.map ~domains f xs)
+      = outcome (fun () -> List.map f xs)
+      && outcome (fun () -> Ensemble.exists ~domains pred xs)
+         = outcome (fun () -> List.exists pred xs)
+      && outcome (fun () -> Ensemble.find_map ~domains fm xs)
+         = outcome (fun () -> List.find_map fm xs)
+      && outcome (fun () ->
+             Ensemble.fold ~domains ~f:(fun acc x -> acc + x) ~init:0 f xs)
+         = outcome (fun () -> List.fold_left (fun acc x -> acc + f x) 0 xs))
+
+let test_pool_reuse_no_stale_state () =
+  (* interleave witnessing searches (which set their stop flag) with full
+     maps on the same persistent pool: a stale stop or claim counter from
+     a previous job would truncate a later map *)
+  for round = 1 to 100 do
+    let xs = List.init 64 (fun i -> i + round) in
+    Alcotest.(check bool)
+      "exists finds its witness" true
+      (Ensemble.exists ~domains:4 (fun x -> x = round + 7) xs);
+    Alcotest.(check (list int))
+      (Printf.sprintf "round %d map complete" round)
+      (List.map (fun x -> x * 2) xs)
+      (Ensemble.map ~domains:4 (fun x -> x * 2) xs)
+  done
+
+let test_spawn_count_bounded () =
+  (* hundreds of pooled jobs must reuse the same few workers: the
+     spawn-per-call design spawned (domains-1) fresh domains per map *)
+  for _ = 1 to 50 do
+    ignore (Ensemble.map ~domains:4 succ (List.init 32 Fun.id))
+  done;
+  let s = Ensemble.stats () in
+  Alcotest.(check bool)
+    "at least the 50 jobs just dispatched" true
+    (s.Ensemble.jobs >= 50);
+  Alcotest.(check int)
+    "one spawn per live worker, ever" s.Ensemble.pool_size s.Ensemble.spawned;
+  (* nothing in the whole test binary asks for more than
+     max (the ~domains:5 ceiling of the QCheck property above)
+         (the configured default) *)
+  let bound = max 5 (Ensemble.domain_count ()) - 1 in
+  Alcotest.(check bool)
+    (Printf.sprintf "spawned %d <= pool bound %d" s.Ensemble.spawned bound)
+    true
+    (s.Ensemble.spawned <= bound)
+
 let suite =
-  [
+  List.map QCheck_alcotest.to_alcotest [ pooled_equals_sequential ]
+  @ [
     Alcotest.test_case "same seed, same digest" `Quick
       test_same_seed_same_digest;
     Alcotest.test_case "4 domains = 1 domain (Table 1 UDC rows)" `Slow
@@ -145,4 +214,8 @@ let suite =
       test_exists_and_find_map;
     Alcotest.test_case "earliest error wins" `Quick test_earliest_error_wins;
     Alcotest.test_case "fold preserves order" `Quick test_fold_order;
+    Alcotest.test_case "pool reuse leaves no stale state" `Quick
+      test_pool_reuse_no_stale_state;
+    Alcotest.test_case "spawn count bounded by pool size" `Quick
+      test_spawn_count_bounded;
   ]

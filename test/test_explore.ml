@@ -209,6 +209,28 @@ let rediscover (name, strict_shrink, mk) () =
                [ (); (); (); () ]))
         [ 1; 4 ]
 
+(* ---------- chunking ---------- *)
+
+let split_large_frontier () =
+  (* regression: the naive non-tail-recursive split overflowed the stack
+     on the frontiers BFS builds at depth >= 2 (tens of thousands of
+     nodes); 200k is comfortably past any default stack *)
+  let n = 200_000 in
+  let frontier = List.init n Fun.id in
+  let a, b = Explore.Engine.split_at 150_000 frontier in
+  Alcotest.(check int) "prefix length" 150_000 (List.length a);
+  Alcotest.(check int) "suffix length" (n - 150_000) (List.length b);
+  Alcotest.(check (option int)) "prefix starts at 0" (Some 0) (List.nth_opt a 0);
+  Alcotest.(check (option int))
+    "suffix starts where the prefix ends" (Some 150_000) (List.nth_opt b 0);
+  (* boundary shapes *)
+  let a, b = Explore.Engine.split_at 0 frontier in
+  Alcotest.(check int) "k=0: empty prefix" 0 (List.length a);
+  Alcotest.(check int) "k=0: all in suffix" n (List.length b);
+  let a, b = Explore.Engine.split_at (n + 1) frontier in
+  Alcotest.(check int) "k>len: all in prefix" n (List.length a);
+  Alcotest.(check int) "k>len: empty suffix" 0 (List.length b)
+
 (* ---------- repro files ---------- *)
 
 let repro_roundtrip () =
@@ -315,6 +337,8 @@ let suite =
       Alcotest.test_case "guided source falls back" `Quick guided_fallback;
       Alcotest.test_case "recording does not perturb the run" `Quick
         record_matches_plain_execute;
+      Alcotest.test_case "split_at survives a 200k frontier" `Quick
+        split_large_frontier;
       Alcotest.test_case "repro file round-trips" `Quick repro_roundtrip;
       Alcotest.test_case "reliable protocol: space certified clean" `Quick
         reliable_clean;
