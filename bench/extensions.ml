@@ -154,7 +154,7 @@ let sampled () =
       max_nodes = 20_000_000;
     }
   in
-  let out = Enumerate.runs cfg (module Core.Nudc.P) in
+  let out = Enumerate.runs_exn cfg (module Core.Nudc.P) in
   let full = out.Enumerate.runs in
   Format.printf
     "    full system: %d runs (exhaustive: %b), protocol nUDC, no detector@."
@@ -257,7 +257,10 @@ let common_knowledge () =
   (* two processes: each level of the hierarchy costs one more delivered
      message, so the ladder fits in an enumerable horizon *)
   let n = 2 in
-  let cfg = Enumerate.config ~n ~depth:10 in
+  (* depth 11: one tick deeper than the seed could reach — the frontier
+     enumerator's FNV keys made the extra level affordable (see
+     EXPERIMENTS.md E16 for the measured numbers) *)
+  let cfg = Enumerate.config ~n ~depth:11 in
   let cfg =
     {
       cfg with
@@ -269,7 +272,7 @@ let common_knowledge () =
   in
   (* the ack protocol: acknowledgments are what buy higher knowledge
      levels (receiving ack(alpha) teaches "q knows init") *)
-  let out = Enumerate.runs cfg (module Core.Ack_udc.P) in
+  let out = Enumerate.runs_exn cfg (module Core.Ack_udc.P) in
   let sys = Epistemic.System.of_runs out.Enumerate.runs in
   let env = Epistemic.Checker.make sys in
   let g = Pid.Set.full n in

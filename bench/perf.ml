@@ -12,9 +12,13 @@ let mean l =
 (* Machine-readable records: every section reports its wall time and (when
    meaningful) how many simulated runs it contains; [run] dumps them to
    BENCH_perf.json for the CI/driver to pick up. *)
-let records : (string * float * int option) list ref = ref []
+(* [extra] is a raw JSON fragment (", \"k\": v" ...) appended to the
+   experiment's record — enumeration reports nodes/sec and dedup rates
+   this way without widening every other record *)
+let records : (string * float * int option * string) list ref = ref []
 
-let record name ~wall ~runs = records := (name, wall, runs) :: !records
+let record ?(extra = "") name ~wall ~runs =
+  records := (name, wall, runs, extra) :: !records
 
 let timed name ?runs f =
   let t0 = Unix.gettimeofday () in
@@ -51,26 +55,28 @@ let write_json path =
   pr "  \"recommended_domains\": %d,\n" (Domain.recommended_domain_count ());
   let s = Ensemble.stats () in
   pr "  \"pool\": {\"size\": %d, \"spawned\": %d, \"jobs\": %d, \
-     \"pool_tasks\": %d, \"seq_tasks\": %d, \"busy_s\": [%s], \
-     \"idle_s\": [%s]},\n"
+     \"pool_tasks\": %d, \"seq_tasks\": %d, \"caller_tasks\": %d, \
+     \"worker_tasks\": [%s], \"busy_s\": [%s], \"idle_s\": [%s]},\n"
     s.Ensemble.pool_size s.Ensemble.spawned s.Ensemble.jobs
-    s.Ensemble.pool_tasks s.Ensemble.seq_tasks
+    s.Ensemble.pool_tasks s.Ensemble.seq_tasks s.Ensemble.caller_tasks
+    (String.concat ", "
+       (List.map string_of_int (Array.to_list s.Ensemble.worker_tasks)))
     (json_floats s.Ensemble.busy_s)
     (json_floats s.Ensemble.idle_s);
   pr "  \"experiments\": [\n";
   let items = List.rev !records in
   let last = List.length items - 1 in
   List.iteri
-    (fun i (name, wall, runs) ->
-      let extra =
+    (fun i (name, wall, runs, extra) ->
+      let rate =
         match runs with
         | Some r ->
             Printf.sprintf ", \"runs\": %d, \"runs_per_sec\": %.2f" r
               (if wall > 0.0 then float_of_int r /. wall else 0.0)
         | None -> ""
       in
-      pr "    {\"name\": \"%s\", \"wall_s\": %.3f%s}%s\n" (json_escape name)
-        wall extra
+      pr "    {\"name\": \"%s\", \"wall_s\": %.3f%s%s}%s\n" (json_escape name)
+        wall rate extra
         (if i = last then "" else ","))
     items;
   pr "  ]\n}\n";
@@ -424,6 +430,82 @@ let ensemble_throughput () =
   Format.printf
     "    (digests of both maps compared: bit-identical on %d runs)@." nseeds
 
+(* P8: exhaustive-enumeration throughput, the frontier-parallel explorer
+   behind every theorem-level experiment. The digests double as the
+   determinism gate: the run set must be bit-identical at every domain
+   count (same run_key digests, same canonical order), and a deliberately
+   tiny node budget must raise [Truncated] rather than return a silent
+   under-approximation. *)
+let enumeration ~smoke () =
+  Util.header "P8: exhaustive enumeration (frontier-parallel, FNV keys)";
+  let depth = if smoke then 6 else 7 in
+  let cfg = Enumerate.config ~n:3 ~depth in
+  let cfg =
+    {
+      cfg with
+      Enumerate.max_crashes = 2;
+      init_plan = Init_plan.one ~owner:0 ~at:1;
+      oracle_mode = Enumerate.Perfect_reports;
+      max_nodes = 20_000_000;
+    }
+  in
+  let proto = Core.Fip.make ~trust_reports:true (module Core.Ack_udc.P) in
+  let time domains =
+    let t0 = Unix.gettimeofday () in
+    let out = Enumerate.runs ~domains cfg proto in
+    (Unix.gettimeofday () -. t0, out)
+  in
+  let pool = max (Ensemble.domain_count ()) 2 in
+  let seq_wall, seq = time 1 in
+  let par_wall, par = time pool in
+  if not (String.equal (Enumerate.digest seq.Enumerate.runs)
+            (Enumerate.digest par.Enumerate.runs))
+  then failwith "enumeration determinism violated: run digests differ";
+  let report name wall (out : Enumerate.outcome) =
+    let st = out.Enumerate.stats in
+    let nodes = st.Enumerate.nodes in
+    let hit_rate =
+      float_of_int st.Enumerate.dedup_hits
+      /. float_of_int (max 1 (nodes + st.Enumerate.dedup_hits))
+    in
+    record name ~wall
+      ~runs:(Some (List.length out.Enumerate.runs))
+      ~extra:
+        (Printf.sprintf
+           ", \"nodes\": %d, \"nodes_per_sec\": %.0f, \"dedup_hits\": %d, \
+            \"dedup_hit_rate\": %.4f, \"prefix_nodes\": %d, \"subtrees\": %d"
+           nodes
+           (if wall > 0.0 then float_of_int nodes /. wall else 0.0)
+           st.Enumerate.dedup_hits hit_rate st.Enumerate.prefix_nodes
+           st.Enumerate.subtrees)
+  in
+  report "enumeration:domains=1" seq_wall seq;
+  report (Printf.sprintf "enumeration:domains=%d" pool) par_wall par;
+  let st = seq.Enumerate.stats in
+  Format.printf "    %-28s %8.0f nodes/s@." "sequential (1 domain)"
+    (float_of_int st.Enumerate.nodes /. seq_wall);
+  Format.printf "    %-28s %8.0f nodes/s  (speedup %.2fx)@."
+    (Printf.sprintf "pool (%d domains)" pool)
+    (float_of_int st.Enumerate.nodes /. par_wall)
+    (seq_wall /. par_wall);
+  Format.printf
+    "    (digest-identical run sets: %d runs, %d nodes, %d dedup hits, %d \
+     subtrees)@."
+    (List.length seq.Enumerate.runs)
+    st.Enumerate.nodes st.Enumerate.dedup_hits st.Enumerate.subtrees;
+  (* the loud-truncation gate: an impossible budget must raise, never
+     silently under-approximate the system *)
+  let tiny = { cfg with Enumerate.max_nodes = 10 } in
+  (match Enumerate.runs_exn tiny proto with
+  | exception Enumerate.Truncated _ -> ()
+  | _ -> failwith "enumeration truncation gate: runs_exn did not raise");
+  let out = Enumerate.runs tiny proto in
+  if out.Enumerate.exhaustive then
+    failwith "enumeration truncation gate: tiny budget claims exhaustive";
+  Format.printf
+    "    (truncation gate: max_nodes=10 raises Truncated and reports \
+     exhaustive=false)@."
+
 (* P7: schedule-explorer throughput. An exhaustive bounded search with a
    property that never fires (DC3 holds by construction), so the whole
    move space is enumerated; states/sec is explored runs per second, each
@@ -505,6 +587,9 @@ let run ?(smoke = false) ?(pool_stats = false) () =
   end;
   checker_kernel ();
   ensemble_throughput ();
+  (* enumeration rides the smoke job too: the digest match across domain
+     counts and the loud-truncation gate are cheap and self-checking *)
+  enumeration ~smoke ();
   (* the smoke job gates on parallel scaling so the spawn-per-call
      regression stays fixed forever *)
   explorer_throughput ~gate:smoke ();

@@ -15,7 +15,10 @@ let enumerate ?(n = 3) ?(depth = 7) ?(crashes = 2)
       max_nodes = 20_000_000;
     }
   in
-  (Enumerate.runs cfg proto).Enumerate.runs
+  (* [runs_exn]: the theorems quantify over all runs, so a truncated
+     enumeration must abort the bench, not silently under-approximate
+     knowledge (the E14 failure mode) *)
+  (Enumerate.runs_exn cfg proto).Enumerate.runs
 
 let udc_env =
   lazy

@@ -145,7 +145,8 @@ let simulate n seed loss crashes actions proto oracle verbose diagram =
   verdict "UDC (DC1-DC3):" (Core.Spec.udc run);
   verdict "nUDC (DC1,DC2',DC3):" (Core.Spec.nudc run)
 
-let enumerate n depth crashes =
+let enumerate n depth crashes domains max_nodes stats =
+  Option.iter Ensemble.set_domains domains;
   let cfg = Enumerate.config ~n ~depth in
   let cfg =
     {
@@ -153,22 +154,36 @@ let enumerate n depth crashes =
       Enumerate.max_crashes = crashes;
       init_plan = Init_plan.one ~owner:0 ~at:1;
       oracle_mode = Enumerate.Perfect_reports;
-      max_nodes = 20_000_000;
+      max_nodes;
     }
   in
-  let out =
-    Enumerate.runs cfg (Core.Fip.make ~trust_reports:true (module Core.Ack_udc.P))
-  in
-  let sys = Epistemic.System.of_runs out.Enumerate.runs in
-  Format.printf "runs: %d (exhaustive: %b), points: %d@."
-    (Epistemic.System.run_count sys)
-    out.Enumerate.exhaustive
-    (Epistemic.System.point_count sys);
-  let udc_clean =
-    List.length
-      (List.filter (fun r -> Result.is_ok (Core.Spec.udc r)) out.Enumerate.runs)
-  in
-  Format.printf "UDC-clean runs: %d@." udc_clean
+  match
+    Enumerate.runs_exn cfg
+      (Core.Fip.make ~trust_reports:true (module Core.Ack_udc.P))
+  with
+  | exception Enumerate.Truncated { nodes; max_nodes } ->
+      (* loud: a truncated enumeration is a sample, not the system, so
+         none of the summary numbers below would mean what they claim *)
+      Format.eprintf
+        "enumeration truncated after %d nodes (--max-nodes %d); refusing to \
+         summarise a partial system@."
+        nodes max_nodes;
+      exit 3
+  | out ->
+      let sys = Epistemic.System.of_runs out.Enumerate.runs in
+      Format.printf "runs: %d (exhaustive: %b), points: %d@."
+        (Epistemic.System.run_count sys)
+        out.Enumerate.exhaustive
+        (Epistemic.System.point_count sys);
+      Format.printf "digest: %s@." (Enumerate.digest out.Enumerate.runs);
+      if stats then Format.printf "%a@." Enumerate.pp_stats out.Enumerate.stats;
+      let udc_clean =
+        List.length
+          (List.filter
+             (fun r -> Result.is_ok (Core.Spec.udc r))
+             out.Enumerate.runs)
+      in
+      Format.printf "UDC-clean runs: %d@." udc_clean
 
 let scenarios n seed =
   List.iter
@@ -420,11 +435,32 @@ let simulate_cmd =
       const simulate $ n_arg $ seed_arg $ loss_arg $ crashes_arg $ actions_arg
       $ protocol_arg $ oracle_arg $ verbose_arg $ diagram_arg)
 
+let max_nodes_arg =
+  Arg.(
+    value
+    & opt int 20_000_000
+    & info [ "max-nodes" ]
+        ~doc:
+          "Exploration node budget. Exceeding it aborts with exit code 3: a \
+           truncated enumeration is a sample, not the system.")
+
+let enum_stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:
+          "Print exploration counters (nodes, prefix/subtree split, dedup \
+           hit-rate).")
+
 let enumerate_cmd =
   Cmd.v
     (Cmd.info "enumerate"
-       ~doc:"Exhaustively enumerate a bounded system and summarise it.")
-    Term.(const enumerate $ n_arg $ depth_arg $ crashes_arg)
+       ~doc:
+         "Exhaustively enumerate a bounded system and summarise it. The run \
+          set and its digest are bit-identical for every --domains value.")
+    Term.(
+      const enumerate $ n_arg $ depth_arg $ crashes_arg $ domains_arg
+      $ max_nodes_arg $ enum_stats_arg)
 
 let scenarios_cmd =
   Cmd.v

@@ -110,7 +110,9 @@ let generate ~n ~depth ~max_crashes ~alpha ~table =
       max_nodes = 20_000_000;
     }
   in
-  let out = Enumerate.runs cfg (shell ~alpha ~table) in
+  (* [runs_exn]: a truncated system would make the guard evaluation — and
+     hence the generated program — silently unsound *)
+  let out = Enumerate.runs_exn cfg (shell ~alpha ~table) in
   Epistemic.Checker.make (Epistemic.System.of_runs out.Enumerate.runs)
 
 (* One guard evaluation per indistinguishability class: K_p guards are

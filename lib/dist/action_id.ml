@@ -13,6 +13,7 @@ let compare a b =
   | 0 -> Int.compare a.tag b.tag
   | c -> c
 
+let hash t = Fnv.mix (Fnv.mix Fnv.seed (Pid.hash t.owner)) t.tag
 let pp ppf t = Format.fprintf ppf "a%d.%d" t.owner t.tag
 let to_string t = Format.asprintf "%a" pp t
 

@@ -13,6 +13,9 @@ val owner : t -> Pid.t
 val tag : t -> int
 val equal : t -> t -> bool
 val compare : t -> t -> int
+
+(** Structural hash, consistent with [equal]. *)
+val hash : t -> int
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
 

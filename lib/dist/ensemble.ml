@@ -36,14 +36,22 @@ type job = {
   tickets : int Atomic.t; (* participation tickets; the caller holds 0 *)
 }
 
+(* returns the number of items this participant executed, for the
+   per-worker share counters *)
 let claim_loop job =
   let continue = ref true in
+  let executed = ref 0 in
   while !continue do
     if Atomic.get job.stop then continue := false
     else
       let i = Atomic.fetch_and_add job.next 1 in
-      if i >= job.len then continue := false else job.work i
-  done
+      if i >= job.len then continue := false
+      else begin
+        job.work i;
+        incr executed
+      end
+  done;
+  !executed
 
 (* The persistent pool (Domainslib-style): workers are spawned lazily on
    the first parallel call, grow monotonically to the largest size ever
@@ -72,6 +80,8 @@ type pool = {
   mutable busy_s : float array;
   mutable idle_s : float array;
   mutable idle_since : float array;
+  mutable worker_tasks : int array;
+  mutable caller_tasks : int; (* pool-job items run on the caller's domain *)
   mutable spawned : int;
   mutable jobs : int;
   mutable pool_tasks : int;
@@ -91,6 +101,8 @@ let the_pool =
     busy_s = [||];
     idle_s = [||];
     idle_since = [||];
+    worker_tasks = [||];
+    caller_tasks = 0;
     spawned = 0;
     jobs = 0;
     pool_tasks = 0;
@@ -115,9 +127,10 @@ let rec worker_loop pool idx done_gen =
         pool.idle_s.(idx) <- pool.idle_s.(idx) +. (t0 -. pool.idle_since.(idx));
         Mutex.unlock pool.lock;
         let ticket = Atomic.fetch_and_add job.tickets 1 in
-        if ticket < job.quota then claim_loop job;
+        let executed = if ticket < job.quota then claim_loop job else 0 in
         let t1 = now () in
         Mutex.lock pool.lock;
+        pool.worker_tasks.(idx) <- pool.worker_tasks.(idx) + executed;
         pool.busy_s.(idx) <- pool.busy_s.(idx) +. (t1 -. t0);
         pool.idle_since.(idx) <- t1;
         pool.unfinished <- pool.unfinished - 1;
@@ -134,6 +147,7 @@ let worker pool idx done_gen () =
   worker_loop pool idx done_gen
 
 let grow_array a n = Array.append a (Array.make (n - Array.length a) 0.0)
+let grow_iarray a n = Array.append a (Array.make (n - Array.length a) 0)
 
 (* grow the pool to [n] workers; [pool.lock] held, no job in flight *)
 let ensure_workers pool n =
@@ -141,6 +155,7 @@ let ensure_workers pool n =
     pool.busy_s <- grow_array pool.busy_s n;
     pool.idle_s <- grow_array pool.idle_s n;
     pool.idle_since <- grow_array pool.idle_since n;
+    pool.worker_tasks <- grow_iarray pool.worker_tasks n;
     for idx = pool.nworkers to n - 1 do
       pool.idle_since.(idx) <- now ();
       pool.workers <- Domain.spawn (worker pool idx pool.generation) :: pool.workers;
@@ -199,12 +214,13 @@ let run_on_pool ~quota ~stop ~len work =
     pool.jobs <- pool.jobs + 1;
     Condition.broadcast pool.work_ready;
     Mutex.unlock pool.lock;
-    claim_loop job;
+    let executed = claim_loop job in
     Mutex.lock pool.lock;
     while pool.unfinished > 0 do
       Condition.wait pool.work_done pool.lock
     done;
     pool.job <- None;
+    pool.caller_tasks <- pool.caller_tasks + executed;
     pool.pool_tasks <- pool.pool_tasks + min (Atomic.get job.next) job.len;
     Mutex.unlock pool.lock
   end
@@ -237,6 +253,8 @@ type stats = {
   seq_tasks : int;
   busy_s : float array;
   idle_s : float array;
+  worker_tasks : int array;
+  caller_tasks : int;
 }
 
 let stats () =
@@ -260,6 +278,8 @@ let stats () =
       seq_tasks = Atomic.get seq_tasks;
       busy_s = Array.sub pool.busy_s 0 pool.nworkers;
       idle_s;
+      worker_tasks = Array.sub pool.worker_tasks 0 pool.nworkers;
+      caller_tasks = pool.caller_tasks;
     }
   in
   Mutex.unlock pool.lock;
@@ -273,10 +293,13 @@ let pp_stats ppf s =
     s.spawned s.jobs
     (if s.jobs = 1 then "" else "s")
     s.pool_tasks s.seq_tasks;
+  if s.pool_tasks > 0 then
+    Format.fprintf ppf "caller share: %d task%s@," s.caller_tasks
+      (if s.caller_tasks = 1 then "" else "s");
   Array.iteri
     (fun i busy ->
-      Format.fprintf ppf "worker %d: busy %.3fs, idle %.3fs@," i busy
-        s.idle_s.(i))
+      Format.fprintf ppf "worker %d: busy %.3fs, idle %.3fs, %d tasks@," i
+        busy s.idle_s.(i) s.worker_tasks.(i))
     s.busy_s;
   Format.fprintf ppf "@]"
 

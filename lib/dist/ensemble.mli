@@ -75,6 +75,8 @@ type stats = {
   seq_tasks : int;  (** tasks executed on the sequential path *)
   busy_s : float array;  (** per-worker wall seconds spent claiming/running *)
   idle_s : float array;  (** per-worker wall seconds spent parked *)
+  worker_tasks : int array;  (** pool-job tasks claimed per worker *)
+  caller_tasks : int;  (** pool-job tasks run on the caller's own domain *)
 }
 
 val stats : unit -> stats

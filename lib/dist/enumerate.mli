@@ -2,18 +2,45 @@
 
     The knowledge operators of the paper quantify over {e all} runs of a
     system, so checks of the knowledge-theoretic results (Props 3.4/3.5,
-    Thms 3.6/4.3) need the actual generated system, not a sample. This
-    module enumerates every run of a protocol in a bounded context: one
-    event per global step (sequential interleavings — a sub-adversary of
-    the general model), at most [max_crashes] crashes inserted at arbitrary
-    points (condition A1's failure independence), messages deliverable at
-    any later step or never (unreliable channels: an undelivered message is
-    a lost message, which is what A2 requires), and optional deterministic
-    failure-detector report points.
+    Thms 3.6/4.3) need the actual generated system, not a sample — E14
+    demonstrates that evaluating them on a sampled subset overclaims
+    knowledge. This module enumerates every run of a protocol in a
+    bounded context: one event per global step (sequential interleavings
+    — a sub-adversary of the general model), at most [max_crashes]
+    crashes inserted at arbitrary points (condition A1's failure
+    independence), messages deliverable at any later step or never
+    (unreliable channels: an undelivered message is a lost message, which
+    is what A2 requires), and optional deterministic failure-detector
+    report points.
 
-    Interleavings that differ only by global idle steps are omitted: local
-    histories ignore ticks, so idle padding creates no new local states and
-    hence no new knowledge distinctions (see DESIGN.md). *)
+    Interleavings that differ only by global idle steps are omitted:
+    local histories ignore ticks, so idle padding creates no new local
+    states and hence no new knowledge distinctions (see DESIGN.md).
+
+    Because exhaustiveness is load-bearing, truncation is loud:
+    {!outcome} carries exploration counters and theorem-level callers go
+    through {!runs_exn}, which raises {!Truncated} instead of returning a
+    silent under-approximation.
+
+    {2 Execution}
+
+    The enumerator is a frontier-based parallel explorer on the
+    {!Ensemble} pool: the shared prefix is expanded breadth-first
+    (deduplicating within each level) until a level is at least
+    [frontier] wide, then each frontier node's subtree is explored
+    depth-first as an independent pool task under a deterministic slice
+    of the node budget, and the per-subtree run sets are merged
+    sequentially in subtree order. The frontier width is a configuration
+    constant, never derived from the pool size — so the emitted run set
+    (runs, canonical order, digest) is {b bit-identical for every domain
+    count}, including [domains = 1]. See DESIGN.md "Exhaustive
+    enumeration" for the disjoint-subtree argument.
+
+    Node and run keys are FNV fingerprints over canonical components
+    ({!Fnv}, {!Event.hash}) resolved by structural equality on collision
+    — not [Marshal]+[Digest], which re-serialised every node from
+    scratch and keyed equal-but-differently-shaped set payloads apart
+    (so two structurally equal runs could both survive deduplication). *)
 
 type oracle_mode =
   | No_oracle
@@ -33,13 +60,14 @@ type dedup =
           interior points; exponentially larger *)
   | Untimed
       (** node-merging heuristic: exploration states with equal untimed
-          histories are merged, yielding a much smaller {e sub-sample} of
-          the exact system (every emitted run also occurs, up to tick
-          relabelling, in the timed mode). It is NOT a lossless reduction:
-          it under-approximates interior points, and — because protocols
-          pace retransmissions by tick — can drop whole run contents.
-          Use it only for scale demos; every theorem-level check uses
-          [Timed]. See DESIGN.md. *)
+          histories are merged, and emitted runs are deduplicated by
+          event content (one representative per untimed run). The result
+          is a much smaller {e sub-sample} of the exact system (every
+          emitted run also occurs, up to tick relabelling, in the timed
+          mode). It is NOT a lossless reduction: it under-approximates
+          interior points, and — because protocols pace retransmissions
+          by tick — can drop whole run contents. Use it only for scale
+          demos; every theorem-level check uses [Timed]. See DESIGN.md. *)
 
 type config = {
   n : int;
@@ -49,12 +77,60 @@ type config = {
   oracle_mode : oracle_mode;
   max_nodes : int;  (** exploration cap; exceeding it truncates *)
   dedup : dedup;
+  frontier : int;
+      (** target width of the BFS frontier fanned out to the pool. Part
+          of the run-set semantics in [Untimed] mode (it fixes where the
+          tick-relabelling quotient is taken), so it is a configuration
+          constant — never derived from the pool size. *)
 }
 
+(** Defaults: no crashes, no oracle, empty init plan, [max_nodes] = 2M,
+    [Timed] dedup, [frontier] = 128. *)
 val config : n:int -> depth:int -> config
 
-type outcome = { runs : Run.t list; exhaustive : bool }
+(** Exploration counters. [nodes] counts explored node visits including
+    duplicate hits ([prefix_nodes] of them in the sequential BFS prefix);
+    [dedup_hits] counts visits absorbed by a visited table or by the
+    run-level deduplication. *)
+type stats = {
+  nodes : int;
+  dedup_hits : int;
+  prefix_nodes : int;
+  subtrees : int;
+  truncated_subtrees : int;
+  subtree_nodes : int array;  (** per-subtree node counts, frontier order *)
+}
 
-(** [runs cfg proto] enumerates the system generated by [proto] in the
-    context [cfg]. Distinct runs only. *)
-val runs : config -> (module Protocol.S) -> outcome
+type outcome = { runs : Run.t list; exhaustive : bool; stats : stats }
+
+exception Truncated of { nodes : int; max_nodes : int }
+
+(** [runs ?domains cfg proto] enumerates the system generated by [proto]
+    in the context [cfg]. Distinct runs only, in a canonical sort order
+    (lexicographic per-process timed events); bit-identical for every
+    [?domains] (default: the pool's configured size). *)
+val runs : ?domains:int -> config -> (module Protocol.S) -> outcome
+
+(** Like {!runs}, but raises {!Truncated} when the outcome is not
+    exhaustive. Every theorem-level caller (bench, examples, the
+    knowledge-based program construction) goes through this: a truncated
+    system must fail loudly, not be checked as if complete. *)
+val runs_exn : ?domains:int -> config -> (module Protocol.S) -> outcome
+
+(** Stable hex digest of a run list, computed from a canonical printed
+    form of the timed events (not [Marshal]: structurally equal run lists
+    digest equal whatever the in-memory shape of their set payloads).
+    Digest equality between [domains = 1] and [domains = k] is the
+    determinism contract asserted by the perf smoke gate. *)
+val digest : Run.t list -> string
+
+val pp_stats : Format.formatter -> stats -> unit
+
+(** The pre-parallel single-table sequential depth-first enumerator,
+    kept as a differential oracle for the tests (precedent:
+    [Checker.Reference]). Shares the move grammar and the structural
+    keys with the frontier enumerator; in [Timed] mode the run sets must
+    match exactly. *)
+module Reference : sig
+  val runs : config -> (module Protocol.S) -> outcome
+end

@@ -32,6 +32,14 @@ let compare a b =
 
 let equal a b = compare a b = 0
 
+let hash = function
+  | Send { dst; msg } -> Fnv.mix (Fnv.mix 1 (Pid.hash dst)) (Message.hash msg)
+  | Recv { src; msg } -> Fnv.mix (Fnv.mix 2 (Pid.hash src)) (Message.hash msg)
+  | Do a -> Fnv.mix 3 (Action_id.hash a)
+  | Init a -> Fnv.mix 4 (Action_id.hash a)
+  | Crash -> Fnv.mix 5 0
+  | Suspect r -> Fnv.mix 6 (Report.hash r)
+
 let pp ppf = function
   | Send { dst; msg } -> Format.fprintf ppf "send(%a,%a)" Pid.pp dst Message.pp msg
   | Recv { src; msg } -> Format.fprintf ppf "recv(%a,%a)" Pid.pp src Message.pp msg

@@ -15,6 +15,12 @@ type t =
 
 val equal : t -> t -> bool
 val compare : t -> t -> int
+
+(** Structural hash, consistent with [equal] (see {!Fnv}): message
+    payloads are hashed canonically, so equal events hash equal whatever
+    the in-memory shape of their set components. *)
+val hash : t -> int
+
 val pp : Format.formatter -> t -> unit
 
 val is_crash : t -> bool

@@ -16,6 +16,11 @@ let compare a b =
 
 let equal a b = compare a b = 0
 
+let hash = function
+  | Inited a -> Fnv.mix 1 (Action_id.hash a)
+  | Did (p, a) -> Fnv.mix (Fnv.mix 2 (Pid.hash p)) (Action_id.hash a)
+  | Crashed p -> Fnv.mix 3 (Pid.hash p)
+
 let pp ppf = function
   | Inited a -> Format.fprintf ppf "init(%a)" Action_id.pp a
   | Did (p, a) -> Format.fprintf ppf "did(%a,%a)" Pid.pp p Action_id.pp a
@@ -39,4 +44,8 @@ module Set = struct
     fold
       (fun f acc -> match f with Crashed p -> Pid.Set.add p acc | _ -> acc)
       s Pid.Set.empty
+
+  (* fold over elements, not the tree: equal sets built through different
+     insertion orders must hash equal *)
+  let hash s = fold (fun f acc -> Fnv.mix acc (hash f)) s Fnv.seed
 end

@@ -13,6 +13,10 @@ type t =
 
 val equal : t -> t -> bool
 val compare : t -> t -> int
+
+(** Structural hash, consistent with [equal]. *)
+val hash : t -> int
+
 val pp : Format.formatter -> t -> unit
 
 module Set : sig
@@ -22,4 +26,7 @@ module Set : sig
 
   (** Crash facts contained in the set. *)
   val crashed : t -> Pid.Set.t
+
+  (** Shape-independent hash, consistent with [equal]. *)
+  val hash : t -> int
 end

@@ -1,0 +1,2 @@
+let seed = 0x811c9dc5
+let mix acc x = (acc lxor x) * 0x01000193 land max_int

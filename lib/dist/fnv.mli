@@ -1,0 +1,18 @@
+(** The seeded FNV-1a-style fold used for structural hashing.
+
+    Every hash in this library that must be {e consistent with a
+    [compare]} (histories, events, messages, enumeration node keys) is a
+    fold of [mix] over canonical components, starting from [seed].
+    Folding over canonical components — set {e elements} in ascending
+    order rather than the balanced tree that happens to hold them — is
+    what [Hashtbl.hash] and [Marshal] cannot give us: both serialise the
+    tree shape, so two equal sets built by different insertion orders
+    hash apart. A hash that disagrees with [equal] silently disables
+    deduplication keyed on it (and, worse, lets structurally equal runs
+    coexist in an "deduplicated" run set). *)
+
+val seed : int
+
+(** [mix acc x] folds one component into the accumulator; result is
+    non-negative ([land max_int]). *)
+val mix : int -> int -> int

@@ -53,14 +53,18 @@ let equal_timed a b =
 (* A seeded FNV-style fold over *all* events. [Hashtbl.hash] on the event
    list only traverses a bounded prefix (~10 meaningful nodes), so
    histories differing only in later events collided systematically —
-   exactly the long-run shape the epistemic indexers feed in. Each event
-   is small, so per-event [Hashtbl.hash] sees it whole; the fold order is
-   fixed (newest first), keeping the hash consistent with
-   [equal_events]. *)
+   exactly the long-run shape the epistemic indexers feed in. Per-event
+   hashing is [Event.hash], not [Hashtbl.hash]: the latter serialises the
+   tree shape of set payloads, so equal events built through different
+   insertion orders would hash apart and disagree with [equal_events].
+   The fold order is fixed (newest first). *)
 let hash_events h =
+  List.fold_left (fun acc (e, _) -> Fnv.mix acc (Event.hash e)) Fnv.seed h.rev
+
+let hash_timed_events h =
   List.fold_left
-    (fun acc (e, _) -> (acc lxor Hashtbl.hash e) * 0x01000193 land max_int)
-    0x811c9dc5 h.rev
+    (fun acc (e, t) -> Fnv.mix (Fnv.mix acc t) (Event.hash e))
+    Fnv.seed h.rev
 
 let pp ppf h =
   Format.fprintf ppf "[%a]"

@@ -52,9 +52,15 @@ val equal_timed : t -> t -> bool
 
 (** A hash of the event sequence (ticks ignored), consistent with
     [equal_events]; used to index points of a system by local state.
-    Computed by a seeded fold over {e every} event — not [Hashtbl.hash]
-    on the list, whose bounded traversal would systematically collide
-    histories that differ only in later events. *)
+    Computed by a seeded fold of {!Event.hash} over {e every} event — not
+    [Hashtbl.hash] on the list, whose bounded traversal would
+    systematically collide histories that differ only in later events,
+    and whose shape-sensitivity would hash equal set payloads apart. *)
 val hash_events : t -> int
+
+(** Like {!hash_events} with the ticks mixed in: consistent with
+    [equal_timed]. This is the per-history ingredient of the enumerator's
+    [Timed] node keys. *)
+val hash_timed_events : t -> int
 
 val pp : Format.formatter -> t -> unit

@@ -37,6 +37,18 @@ let compare a b =
 
 let equal a b = compare a b = 0
 
+let hash = function
+  | Coord_request (a, f) ->
+      Fnv.mix (Fnv.mix 1 (Action_id.hash a)) (Fact.Set.hash f)
+  | Coord_ack (a, f) -> Fnv.mix (Fnv.mix 2 (Action_id.hash a)) (Fact.Set.hash f)
+  | Gossip s -> Fnv.mix 3 (Pid.Set.hash s)
+  | Heartbeat seq -> Fnv.mix 4 seq
+  | Cons_estimate { round; value; ts } ->
+      Fnv.mix (Fnv.mix (Fnv.mix 5 round) value) ts
+  | Cons_propose { round; value } -> Fnv.mix (Fnv.mix 6 round) value
+  | Cons_ack { round; ok } -> Fnv.mix (Fnv.mix 7 round) (Bool.to_int ok)
+  | Cons_decide { value } -> Fnv.mix 8 value
+
 let pp ppf = function
   | Coord_request (a, f) ->
       if Fact.Set.is_empty f then Format.fprintf ppf "req(%a)" Action_id.pp a

@@ -26,6 +26,12 @@ type t =
 
 val equal : t -> t -> bool
 val compare : t -> t -> int
+
+(** Structural hash, consistent with [equal]: piggybacked fact sets are
+    hashed by their elements, not by the tree shape [Marshal] and
+    [Hashtbl.hash] would see. *)
+val hash : t -> int
+
 val pp : Format.formatter -> t -> unit
 
 (** [fairness_key m] identifies [m] for channel fairness: R5 is stated per

@@ -20,6 +20,10 @@ module Set = struct
   let to_string s = Format.asprintf "%a" pp s
   let full n = of_list (List.init n (fun i -> i))
   let complement n s = diff (full n) s
+
+  (* fold over elements, not the tree: equal sets built through different
+     insertion orders must hash equal *)
+  let hash s = fold (fun p acc -> Fnv.mix acc p) s Fnv.seed
 end
 
 module Map = Map.Make (Int)

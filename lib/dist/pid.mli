@@ -25,6 +25,9 @@ module Set : sig
 
   (** [complement n s] is [full n] minus [s]. *)
   val complement : int -> t -> t
+
+  (** Shape-independent hash, consistent with [equal]. *)
+  val hash : t -> int
 end
 
 module Map : Map.S with type key = t

@@ -19,6 +19,11 @@ let compare a b =
 
 let equal a b = compare a b = 0
 
+let hash = function
+  | Std s -> Fnv.mix 1 (Pid.Set.hash s)
+  | Gen (s, k) -> Fnv.mix (Fnv.mix 2 (Pid.Set.hash s)) k
+  | Correct_set c -> Fnv.mix 3 (Pid.Set.hash c)
+
 let pp ppf = function
   | Std s -> Format.fprintf ppf "suspect%a" Pid.Set.pp s
   | Gen (s, k) -> Format.fprintf ppf "suspect(%a,>=%d)" Pid.Set.pp s k

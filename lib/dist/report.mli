@@ -24,6 +24,10 @@ val gen : Pid.Set.t -> int -> t
 
 val equal : t -> t -> bool
 val compare : t -> t -> int
+
+(** Structural hash, consistent with [equal]. *)
+val hash : t -> int
+
 val pp : Format.formatter -> t -> unit
 
 (** [suspects r] is the suspicion set a standard report denotes: [S] for

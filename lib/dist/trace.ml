@@ -1,23 +1,41 @@
+(* Channels are keyed structurally: keying by the printed form
+   ([Format.asprintf "%a" Message.pp]) would cross-match any two distinct
+   messages whose renderings collide — matching must not depend on
+   pretty-printer injectivity. *)
+module Channel_map = Map.Make (struct
+  type t = Pid.t * Pid.t * Message.t
+
+  let compare (s, d, m) (s', d', m') =
+    match Pid.compare s s' with
+    | 0 -> ( match Pid.compare d d' with 0 -> Message.compare m m' | c -> c)
+    | c -> c
+end)
+
 (* Pair each receive with the earliest unmatched send of the same
    (src, dst, content): the same FIFO discipline as the R3 checker. *)
 let match_messages run =
   let idx = Run_index.of_run run in
   let n = Run.n run in
-  let sends = Hashtbl.create 64 in
-  (* (src,dst,msg) -> (tick, id option ref) list, chronological *)
-  let counter = ref 0 in
+  (* (src,dst,msg) -> (tick, id option ref) list; accumulated newest
+     first (cons, not the quadratic [l @ [x]]), reversed once when
+     sealed *)
+  let sends = ref Channel_map.empty in
   List.iter
     (fun p ->
       Array.iter
         (fun (e, tick) ->
           match e with
           | Event.Send { dst; msg } ->
-              let key = (p, dst, Format.asprintf "%a" Message.pp msg) in
-              let prev = Option.value ~default:[] (Hashtbl.find_opt sends key) in
-              Hashtbl.replace sends key (prev @ [ (tick, ref None) ])
+              sends :=
+                Channel_map.update (p, dst, msg)
+                  (fun prev ->
+                    Some ((tick, ref None) :: Option.value ~default:[] prev))
+                  !sends
           | _ -> ())
         (Run_index.events idx p))
     (Pid.all n);
+  let sends = Channel_map.map List.rev !sends in
+  let counter = ref 0 in
   (* send side lookup: (p, tick) -> id; recv side: (q, tick) -> id *)
   let send_ids = Hashtbl.create 64 and recv_ids = Hashtbl.create 64 in
   List.iter
@@ -26,13 +44,12 @@ let match_messages run =
         (fun (e, tick) ->
           match e with
           | Event.Recv { src; msg } -> (
-              let key = (src, q, Format.asprintf "%a" Message.pp msg) in
-              match Hashtbl.find_opt sends key with
+              match Channel_map.find_opt (src, q, msg) sends with
               | None -> ()
               | Some entries -> (
                   match
                     List.find_opt
-                      (fun (st, id) -> !id = None && st <= tick)
+                      (fun (st, id) -> Option.is_none !id && st <= tick)
                       entries
                   with
                   | None -> ()
@@ -72,13 +89,14 @@ let pp ppf run =
   (* events per (tick, pid) *)
   let cells = Hashtbl.create 64 in
   let ticks = ref [] in
+  let idx = Run_index.of_run run in
   List.iter
     (fun p ->
       Array.iter
         (fun ((_, tick) as te) ->
           Hashtbl.replace cells (tick, p) (describe p te);
           ticks := tick :: !ticks)
-        (Run_index.events (Run_index.of_run run) p))
+        (Run_index.events idx p))
     (Pid.all n);
   let ticks = List.sort_uniq Int.compare !ticks in
   Format.fprintf ppf "%6s" "tick";

@@ -7,3 +7,13 @@
 
 val pp : Format.formatter -> Run.t -> unit
 val to_string : Run.t -> string
+
+(** The send/receive pairing behind the rendering, exposed for the
+    regression tests: each receive is matched to the earliest unmatched
+    send of the same (src, dst, content) channel — the FIFO discipline of
+    the R3 checker — with channels keyed {e structurally}
+    ([Message.compare]), not by printed form. Returns [(send_ids,
+    recv_ids)]: maps from (process, tick) of the send/receive event to
+    the shared message number. *)
+val match_messages :
+  Run.t -> (Pid.t * int, int) Hashtbl.t * (Pid.t * int, int) Hashtbl.t

@@ -7,11 +7,16 @@ type t = {
       (* [p].[class] -> points, (run, tick) ascending *)
 }
 
-(* Canonical, injective key for an event: [Event.pp] prints set-valued
-   payloads in sorted element order, so structurally different but equal
-   sets map to the same key (structural equality on [Set.t] values would
-   not). *)
-let event_key e = Format.asprintf "%a" Event.pp e
+(* Events are interned through [Event.compare], which is canonical over
+   set-valued payloads (structurally different but equal sets compare
+   equal). Keying by the printed form [Format.asprintf "%a" Event.pp]
+   worked only as long as the pretty-printer happened to be injective —
+   a property nothing enforced; [compare] is injective by definition. *)
+module Event_map = Map.Make (struct
+  type t = Event.t
+
+  let compare = Event.compare
+end)
 
 let of_runs run_list =
   let runs = Array.of_list run_list in
@@ -21,14 +26,15 @@ let of_runs run_list =
     (fun r -> if Run.n r <> n then invalid_arg "System.of_runs: mixed arity")
     runs;
   let indexes = Array.map Run_index.of_run runs in
-  let event_ids = Hashtbl.create 256 in
+  let event_ids = ref Event_map.empty in
+  let next_event_id = ref 0 in
   let intern_event e =
-    let key = event_key e in
-    match Hashtbl.find_opt event_ids key with
+    match Event_map.find_opt e !event_ids with
     | Some id -> id
     | None ->
-        let id = Hashtbl.length event_ids in
-        Hashtbl.add event_ids key id;
+        let id = !next_event_id in
+        incr next_event_id;
+        event_ids := Event_map.add e id !event_ids;
         id
   in
   let class_ids = Array.init n (fun _ -> Array.make (Array.length runs) [||]) in

@@ -189,11 +189,26 @@ let children problem opts node (journal : Decision.entry array) =
     List.rev !out
   end
 
-let extend node = function
-  | Silence (src, dst) -> { node with silences = node.silences @ [ (src, dst) ] }
-  | Deviate (i, d) -> { node with devs = node.devs @ [ (i, d) ] }
+(* Search nodes accumulate their moves newest-first (a cons per child
+   instead of the quadratic [l @ [x]] tail-append); [seal] reverses into
+   the public ascending-order {!node} exactly once, when the node is
+   evaluated. *)
+type snode = {
+  rev_silences : (Pid.t * Pid.t) list;
+  rev_devs : (int * Decision.t) list;
+}
 
-let eval problem opts node =
+let snode_root = { rev_silences = []; rev_devs = [] }
+
+let seal s =
+  { silences = List.rev s.rev_silences; devs = List.rev s.rev_devs }
+
+let extend s = function
+  | Silence (src, dst) -> { s with rev_silences = (src, dst) :: s.rev_silences }
+  | Deviate (i, d) -> { s with rev_devs = (i, d) :: s.rev_devs }
+
+let eval problem opts snode =
+  let node = seal snode in
   let result, source =
     Problem.run problem ~plan:node.devs ~silence:node.silences
   in
@@ -214,7 +229,8 @@ let split_at k l =
 let search ?(options = default_options) problem =
   let explored = ref 0 in
   let stats depth = { explored = !explored; depth_reached = depth } in
-  let witness node desc depth =
+  let witness snode desc depth =
+    let node = seal snode in
     let result, source =
       Problem.run problem ~plan:node.devs ~silence:node.silences
     in
@@ -262,5 +278,5 @@ let search ?(options = default_options) problem =
     | `Done ([], false) -> (Exhausted (stats depth), stats depth)
     | `Done (kids, false) -> go (depth + 1) kids
   in
-  let outcome, s = go 0 [ root ] in
+  let outcome, s = go 0 [ snode_root ] in
   (outcome, s)

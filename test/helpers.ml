@@ -82,3 +82,41 @@ let well_formed ?(k = 8) run =
   check_ok "well-formed" (Run.check_well_formed run ~max_consecutive_drops:k)
 
 let seeds count = List.init count (fun i -> Int64.of_int ((i * 7919) + 13))
+
+(* Random *enumeration* workloads for the frontier-enumerator QCheck
+   tests: a small bounded context — protocol, oracle mode, dedup mode,
+   crash budget and frontier width — drawn deterministically from a seed
+   so a failure prints a replayable counterexample. *)
+let random_enum_setup seed =
+  let prng = Prng.create seed in
+  let n = 2 + Prng.int prng 2 in
+  let label, proto =
+    match Prng.int prng 4 with
+    | 0 -> ("nudc", (module Core.Nudc.P : Protocol.S))
+    | 1 -> ("reliable", (module Core.Reliable_udc.P : Protocol.S))
+    | 2 -> ("ack", (module Core.Ack_udc.P : Protocol.S))
+    | _ ->
+        ("fip-ack", Core.Fip.make ~trust_reports:true (module Core.Ack_udc.P))
+  in
+  let oracle_mode =
+    match Prng.int prng 3 with
+    | 0 -> Enumerate.No_oracle
+    | 1 -> Enumerate.Perfect_reports
+    | _ -> Enumerate.Lying_reports (Prng.int prng n)
+  in
+  let cfg = Enumerate.config ~n ~depth:(4 + Prng.int prng 2) in
+  let cfg =
+    {
+      cfg with
+      Enumerate.max_crashes = Prng.int prng 3;
+      init_plan = Init_plan.one ~owner:0 ~at:1;
+      oracle_mode;
+      dedup =
+        (if Prng.int prng 2 = 0 then Enumerate.Timed else Enumerate.Untimed);
+      (* frontier 1 makes the root itself the frontier — one subtree, no
+         shared prefix — exercising the degenerate decomposition *)
+      frontier = [| 1; 8; 64 |].(Prng.int prng 3);
+      max_nodes = 20_000_000;
+    }
+  in
+  (label, proto, cfg)

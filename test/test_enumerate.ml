@@ -116,11 +116,250 @@ let trace_rendering () =
   in
   Alcotest.(check int) "one lost send" 1 lost_count
 
+(* ---------- the frontier-parallel enumerator ---------- *)
+
+(* The determinism contract: the run set — digests of the canonically
+   sorted runs — is bit-identical at every domain count, exhaustive or
+   truncated, for every mode. The frontier split never depends on the
+   pool size, so this is exact equality, not set equality. *)
+let parallel_determinism =
+  QCheck.Test.make ~name:"enumerate: domains {1,2,4} give identical run sets"
+    ~count:12 QCheck.int64 (fun seed ->
+      let label, proto, cfg = Helpers.random_enum_setup seed in
+      let out1 = Enumerate.runs ~domains:1 cfg proto in
+      let d1 = Enumerate.digest out1.Enumerate.runs in
+      List.iter
+        (fun domains ->
+          let out = Enumerate.runs ~domains cfg proto in
+          if out.Enumerate.exhaustive <> out1.Enumerate.exhaustive then
+            QCheck.Test.fail_reportf
+              "%s: exhaustive flag differs at domains=%d" label domains;
+          let d = Enumerate.digest out.Enumerate.runs in
+          if not (String.equal d d1) then
+            QCheck.Test.fail_reportf
+              "%s: digest differs at domains=%d (%s vs %s)" label domains d d1)
+        [ 2; 4 ];
+      (* forced truncation: clamp the budget below what the full space
+         needs and require the same (truncated) run set at every domain
+         count — loud truncation must not cost determinism *)
+      if out1.Enumerate.stats.Enumerate.nodes > 8 then begin
+        let tiny =
+          { cfg with Enumerate.max_nodes =
+              out1.Enumerate.stats.Enumerate.nodes / 2 }
+        in
+        let t1 = Enumerate.runs ~domains:1 tiny proto in
+        if t1.Enumerate.exhaustive then
+          QCheck.Test.fail_reportf "%s: clamped budget still exhaustive" label;
+        (match Enumerate.runs_exn ~domains:1 tiny proto with
+        | exception Enumerate.Truncated _ -> ()
+        | _ ->
+            QCheck.Test.fail_reportf "%s: runs_exn did not raise on truncation"
+              label);
+        let td = Enumerate.digest t1.Enumerate.runs in
+        List.iter
+          (fun domains ->
+            let t = Enumerate.runs ~domains tiny proto in
+            if
+              t.Enumerate.exhaustive
+              || not (String.equal (Enumerate.digest t.Enumerate.runs) td)
+            then
+              QCheck.Test.fail_reportf
+                "%s: truncated run set differs at domains=%d" label domains)
+          [ 2; 4 ]
+      end;
+      true)
+
+(* Differential oracle: in [Timed] mode the frontier decomposition is a
+   pure repartition of the original single-table DFS — distinct frontier
+   nodes root disjoint subtrees — so the run set must equal the
+   reference's exactly. *)
+let reference_differential =
+  QCheck.Test.make
+    ~name:"enumerate: frontier run set = sequential reference (Timed)"
+    ~count:10 QCheck.int64 (fun seed ->
+      let label, proto, cfg = Helpers.random_enum_setup seed in
+      let cfg = { cfg with Enumerate.dedup = Enumerate.Timed } in
+      let out = Enumerate.runs ~domains:2 cfg proto in
+      let ref_out = Enumerate.Reference.runs cfg proto in
+      if
+        not
+          (String.equal
+             (Enumerate.digest out.Enumerate.runs)
+             (Enumerate.digest ref_out.Enumerate.runs))
+      then
+        QCheck.Test.fail_reportf "%s: frontier and reference run sets differ"
+          label;
+      true)
+
+(* The E14 system under the untimed quotient, pinned. The original
+   enumerator (step in the untimed key, Marshal node/run keys) emitted
+   197 runs here of which only 103 were distinct — 94 duplicates from
+   keying structurally equal runs apart by the in-memory shape of their
+   set payloads. The rewrite emits exactly the 103 distinct contents
+   (measured differentially against the original before its removal);
+   dropping [step] from the untimed key merges nothing on this system. *)
+let untimed_e14_pinned () =
+  let cfg = Enumerate.config ~n:3 ~depth:8 in
+  let cfg =
+    {
+      cfg with
+      Enumerate.max_crashes = 2;
+      init_plan = Init_plan.one ~owner:0 ~at:1;
+      oracle_mode = Enumerate.No_oracle;
+      max_nodes = 20_000_000;
+      dedup = Enumerate.Untimed;
+    }
+  in
+  let out = Enumerate.runs_exn cfg (module Core.Nudc.P) in
+  let runs = out.Enumerate.runs in
+  Alcotest.(check int) "runs" 103 (List.length runs);
+  let contents = Hashtbl.create 128 in
+  List.iter
+    (fun r ->
+      let key =
+        String.concat "|"
+          (List.map
+             (fun p ->
+               String.concat ";"
+                 (List.map
+                    (fun e -> Format.asprintf "%a" Event.pp e)
+                    (History.events (Run.history r p))))
+             (Pid.all (Run.n r)))
+      in
+      Hashtbl.replace contents key ())
+    runs;
+  Alcotest.(check int) "all contents distinct" 103 (Hashtbl.length contents)
+
+(* ---------- structural message matching in traces ---------- *)
+
+(* FIFO discipline with retransmission: two sends of the same content on
+   one channel, two receives — the first receive must pair with the
+   first send, the second with the second. *)
+let trace_fifo_matching () =
+  let req = Message.Coord_request (alpha0, Fact.Set.empty) in
+  let hists =
+    [|
+      List.fold_left
+        (fun h (e, tick) -> History.append h e ~tick)
+        History.empty
+        [
+          (Event.Send { dst = 1; msg = req }, 1);
+          (Event.Send { dst = 1; msg = req }, 3);
+        ];
+      List.fold_left
+        (fun h (e, tick) -> History.append h e ~tick)
+        History.empty
+        [
+          (Event.Recv { src = 0; msg = req }, 4);
+          (Event.Recv { src = 0; msg = req }, 6);
+        ];
+    |]
+  in
+  let run = Run.make ~n:2 ~horizon:8 hists in
+  let send_ids, recv_ids = Trace.match_messages run in
+  let get tbl k =
+    match Hashtbl.find_opt tbl k with
+    | Some id -> id
+    | None -> Alcotest.fail "expected a match id"
+  in
+  Alcotest.(check int) "send@1 pairs with recv@4" (get send_ids (0, 1))
+    (get recv_ids (1, 4));
+  Alcotest.(check int) "send@3 pairs with recv@6" (get send_ids (0, 3))
+    (get recv_ids (1, 6));
+  Alcotest.(check bool) "the two pairs are distinct" true
+    (get send_ids (0, 1) <> get send_ids (0, 3))
+
+(* Two *distinct* messages on the same (src, dst) channel — same action,
+   different piggybacked fact sets. Matching is structural, so each
+   receive must pair with the send of its own content even though the
+   channel, tick order and action coincide. *)
+let trace_structural_keys () =
+  let f = Fact.Set.add (Fact.Inited alpha0) Fact.Set.empty in
+  let m_plain = Message.Coord_request (alpha0, Fact.Set.empty) in
+  let m_rich = Message.Coord_request (alpha0, f) in
+  let hists =
+    [|
+      List.fold_left
+        (fun h (e, tick) -> History.append h e ~tick)
+        History.empty
+        [
+          (Event.Send { dst = 1; msg = m_plain }, 1);
+          (Event.Send { dst = 1; msg = m_rich }, 2);
+        ];
+      (* the rich copy arrives first: printed-form or channel-only keys
+         would hand it the tick-1 plain send *)
+      List.fold_left
+        (fun h (e, tick) -> History.append h e ~tick)
+        History.empty
+        [ (Event.Recv { src = 0; msg = m_rich }, 4) ];
+    |]
+  in
+  let run = Run.make ~n:2 ~horizon:6 hists in
+  let send_ids, recv_ids = Trace.match_messages run in
+  Alcotest.(check bool) "plain send unmatched" true
+    (Option.is_none (Hashtbl.find_opt send_ids (0, 1)));
+  (match (Hashtbl.find_opt send_ids (0, 2), Hashtbl.find_opt recv_ids (1, 4)) with
+  | Some s, Some r -> Alcotest.(check int) "rich send pairs with rich recv" s r
+  | _ -> Alcotest.fail "rich copy should be matched");
+  (* and the rendering marks exactly one send as lost *)
+  let rendered = Trace.to_string run in
+  let lost =
+    List.length
+      (List.filter
+         (fun line ->
+           let nl = String.length "(lost)" and hl = String.length line in
+           let rec go i =
+             i + nl <= hl && (String.sub line i nl = "(lost)" || go (i + 1))
+           in
+           go 0)
+         (String.split_on_char '\n' rendered))
+  in
+  Alcotest.(check int) "one lost send" 1 lost
+
+(* ---------- canonical hashing ---------- *)
+
+(* The property the FNV scheme exists for: structurally equal sets hash
+   equal whatever insertion order built them. (The generic
+   [Hashtbl.hash] walks the AVL tree shape, which is insertion-order
+   dependent — the root cause of the duplicate-run bug this PR fixes.) *)
+let hash_shape_independence =
+  QCheck.Test.make ~name:"Pid.Set/Message hashing is shape-independent"
+    ~count:200
+    QCheck.(small_list small_nat)
+    (fun xs ->
+      let xs = List.map (fun x -> x mod 17) xs in
+      let fwd =
+        List.fold_left (fun s p -> Pid.Set.add p s) Pid.Set.empty xs
+      in
+      let bwd =
+        List.fold_left (fun s p -> Pid.Set.add p s) Pid.Set.empty
+          (List.rev xs)
+      in
+      let sorted =
+        Pid.Set.of_list (List.sort_uniq Int.compare xs)
+      in
+      if Pid.Set.hash fwd <> Pid.Set.hash bwd then
+        QCheck.Test.fail_reportf "Pid.Set.hash depends on insertion order";
+      if Pid.Set.hash fwd <> Pid.Set.hash sorted then
+        QCheck.Test.fail_reportf "Pid.Set.hash depends on construction";
+      let mf = Message.Gossip fwd and mb = Message.Gossip bwd in
+      if Message.hash mf <> Message.hash mb then
+        QCheck.Test.fail_reportf "Message.hash depends on payload shape";
+      true)
+
 let suite =
   [
     Alcotest.test_case "quotient: smaller, content subset" `Slow
       quotient_is_smaller_content_subset;
     Alcotest.test_case "quotient: run-level verdicts sound" `Slow
       run_level_verdicts_agree;
+    Alcotest.test_case "untimed E14 system pinned (103 distinct runs)" `Slow
+      untimed_e14_pinned;
     Alcotest.test_case "trace rendering" `Quick trace_rendering;
+    Alcotest.test_case "trace: FIFO matching under retransmission" `Quick
+      trace_fifo_matching;
+    Alcotest.test_case "trace: structural channel keys" `Quick
+      trace_structural_keys;
   ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [ parallel_determinism; reference_differential; hash_shape_independence ]
