@@ -430,6 +430,74 @@ let ensemble_throughput () =
   Format.printf
     "    (digests of both maps compared: bit-identical on %d runs)@." nseeds
 
+(* P10: the flat (struct-of-arrays) run-representation gate. Throughput
+   and allocation of the simulator hot path, plus two self-checking
+   digest gates: (a) run digests are bit-identical at domains 1, 2 and 4
+   (arena reuse on pool workers cannot leak state between seeds), and
+   (b) the first two digests equal values pinned from the legacy
+   cons-list representation before the flattening — the rewrite is
+   byte-compatible with history, not merely self-consistent. *)
+let legacy_digests =
+  (* Run.digest under the pre-flattening list representation, for the
+     first two Util.seeds (n=6, t=2, loss=0.3, perfect oracle) *)
+  [
+    (31L, "359e71a8e54d5a4429599d3ae3dfba20");
+    (104760L, "77cc4f29e72ccf80ab1e486dc3706f99");
+  ]
+
+let flat_run_representation () =
+  Util.header
+    "P10: flat run representation (throughput, allocation, digest gates)";
+  let nseeds = 16 in
+  let seeds = Util.seeds nseeds in
+  let sim seed =
+    let cfg =
+      Util.udc_config ~n:6 ~t:2 ~loss:0.3
+        ~oracle:(Detector.Oracles.perfect ()) seed
+    in
+    Run.digest (Sim.execute cfg (Util.uniform (module Core.Ack_udc.P) cfg)).Sim.run
+  in
+  (* sequential pass: wall time and minor allocation per run *)
+  let mw0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  let seq_digests = List.map sim seeds in
+  let seq_wall = Unix.gettimeofday () -. t0 in
+  let minor_per_run = (Gc.minor_words () -. mw0) /. float_of_int nseeds in
+  (* gate (a): pool digests bit-identical at several domain counts *)
+  List.iter
+    (fun domains ->
+      let digests = Ensemble.run ~domains ~seeds sim in
+      if not (List.equal String.equal seq_digests digests) then
+        failwith
+          (Printf.sprintf
+             "flat representation: digests at --domains %d differ from \
+              sequential"
+             domains))
+    [ 1; 2; 4 ];
+  (* gate (b): pinned legacy digests *)
+  List.iter
+    (fun (seed, expect) ->
+      let got = sim seed in
+      if not (String.equal got expect) then
+        failwith
+          (Printf.sprintf
+             "flat representation: digest for seed %Ld is %s; the legacy \
+              representation produced %s"
+             seed got expect))
+    legacy_digests;
+  record "flat-representation" ~wall:seq_wall ~runs:(Some nseeds)
+    ~extra:
+      (Printf.sprintf
+         ", \"minor_words_per_run\": %.0f, \"digest_domains\": [1, 2, 4], \
+          \"legacy_digest_gate\": true"
+         minor_per_run);
+  Format.printf "    %-28s %8.2f runs/s@." "throughput (sequential)"
+    (float_of_int nseeds /. seq_wall);
+  Format.printf "    %-28s %8.0f minor words/run@." "allocation" minor_per_run;
+  Format.printf
+    "    (digests bit-identical at --domains 1, 2, 4 and equal to the \
+     pinned legacy-representation digests)@."
+
 (* P8: exhaustive-enumeration throughput, the frontier-parallel explorer
    behind every theorem-level experiment. The digests double as the
    determinism gate: the run set must be bit-identical at every domain
@@ -587,6 +655,10 @@ let run ?(smoke = false) ?(pool_stats = false) () =
   end;
   checker_kernel ();
   ensemble_throughput ();
+  (* the flat-representation gate rides the smoke job: CI fails if run
+     digests drift from the legacy representation or across domain
+     counts *)
+  flat_run_representation ();
   (* enumeration rides the smoke job too: the digest match across domain
      counts and the loud-truncation gate are cheap and self-checking *)
   enumeration ~smoke ();

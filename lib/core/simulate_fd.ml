@@ -16,34 +16,38 @@ let transform env ~run:ri ~report =
   let n = Run.n r in
   let horizon = Run.horizon r in
   let transform_process p =
-    let timed =
-      List.filter
-        (fun (e, _) -> not (Event.is_failure_detector e))
-        (Array.to_list (Run_index.events idx p))
-    in
+    let timed = Run_index.events idx p in
+    let len = Array.length timed in
     let crash_tick = Run.crash_tick r p in
     let alive_at m =
       match crash_tick with None -> true | Some tc -> tc > m
     in
-    let rec go h m timed =
-      if m > horizon then h
-      else
-        (* odd tick 2m+1: constructed report, while alive at m *)
-        let h =
-          if alive_at m then
-            History.append h (Event.Suspect (report p m)) ~tick:((2 * m) + 1)
-          else h
-        in
-        (* even tick 2m+2: the original event of tick m+1, if any *)
-        let h, timed =
-          match timed with
-          | (e, tick) :: rest when tick = m + 1 ->
-              (History.append h e ~tick:((2 * m) + 2), rest)
-          | _ -> (h, timed)
-        in
-        go h (m + 1) timed
-    in
-    go History.empty 0 timed
+    (* a linear build: O(1)-amortized Builder appends, not the
+       copy-per-append functional [History.append] *)
+    let b = History.Builder.fresh () in
+    let cursor = ref 0 in
+    for m = 0 to horizon do
+      (* odd tick 2m+1: constructed report, while alive at m *)
+      if alive_at m then
+        History.Builder.append b
+          (Event.Suspect (report p m))
+          ~tick:((2 * m) + 1);
+      (* skip failure-detector events of the original run *)
+      while
+        !cursor < len && Event.is_failure_detector (fst timed.(!cursor))
+      do
+        incr cursor
+      done;
+      (* even tick 2m+2: the original event of tick m+1, if any *)
+      if !cursor < len then begin
+        let e, tick = timed.(!cursor) in
+        if tick = m + 1 then begin
+          History.Builder.append b e ~tick:((2 * m) + 2);
+          incr cursor
+        end
+      end
+    done;
+    History.Builder.seal b
   in
   Run.make ~n
     ~horizon:((2 * horizon) + 2)

@@ -1,18 +1,64 @@
-type in_flight = { src : Pid.t; msg : Message.t; sent_at : int }
+(* In-flight storage is struct-of-arrays per destination: parallel
+   [src]/[msg]/[sent] buffers in send order, grown geometrically. The
+   simulator's scheduling slot reads the backlog and individual entries
+   without materializing a list; [deliverable] stays as the list view for
+   cold callers. Removal semantics are bit-compatible with the original
+   newest-first cons representation: [deliver] removes the {e newest}
+   matching instance, and [oldest_in_flight] breaks sent-tick ties toward
+   the {e newest} entry (ascending scan with [<=]), exactly as the old
+   fold over the newest-first list did. *)
+
+type queue = {
+  mutable src : int array;
+  mutable msg : Message.t array;
+  mutable sent : int array;
+  mutable len : int;
+}
 
 type t = {
   decide : now:int -> src:Pid.t -> dst:Pid.t -> rate:float -> bool;
   mutable loss_rate : float;
   link_loss : (Pid.t * Pid.t, float) Hashtbl.t;
   max_consecutive_drops : int;
-  (* per destination, newest first *)
-  flight : (Pid.t, in_flight list) Hashtbl.t;
+  flight : queue array; (* dense: one queue per destination pid *)
+  mutable count : int; (* total in flight, all destinations *)
   (* (src, dst, fairness key) -> consecutive losses *)
   drops : (Pid.t * Pid.t * string, int) Hashtbl.t;
 }
 
+let filler_msg = Message.Heartbeat 0
+
+let fresh_queue () = { src = [||]; msg = [||]; sent = [||]; len = 0 }
+
+let queue_push q ~src ~msg ~sent =
+  if q.len = Array.length q.src then begin
+    let cap = max 8 (2 * q.len) in
+    let src' = Array.make cap 0 in
+    let msg' = Array.make cap filler_msg in
+    let sent' = Array.make cap 0 in
+    Array.blit q.src 0 src' 0 q.len;
+    Array.blit q.msg 0 msg' 0 q.len;
+    Array.blit q.sent 0 sent' 0 q.len;
+    q.src <- src';
+    q.msg <- msg';
+    q.sent <- sent'
+  end;
+  q.src.(q.len) <- src;
+  q.msg.(q.len) <- msg;
+  q.sent.(q.len) <- sent;
+  q.len <- q.len + 1
+
+let queue_remove q i =
+  let tail = q.len - i - 1 in
+  Array.blit q.src (i + 1) q.src i tail;
+  Array.blit q.msg (i + 1) q.msg i tail;
+  Array.blit q.sent (i + 1) q.sent i tail;
+  q.len <- q.len - 1;
+  (* drop the stale tail reference so sealed messages can be collected *)
+  q.msg.(q.len) <- filler_msg
+
 let create ?(link_loss = []) ~n ~decide ~loss_rate ~max_consecutive_drops () =
-  ignore n;
+  if n < 0 then invalid_arg "Channel.create: n";
   if loss_rate < 0.0 || loss_rate > 1.0 then
     invalid_arg "Channel.create: loss_rate";
   if max_consecutive_drops < 0 then
@@ -24,14 +70,18 @@ let create ?(link_loss = []) ~n ~decide ~loss_rate ~max_consecutive_drops () =
     loss_rate;
     link_loss = overrides;
     max_consecutive_drops;
-    flight = Hashtbl.create 64;
+    flight = Array.init n (fun _ -> fresh_queue ());
+    count = 0;
     drops = Hashtbl.create 64;
   }
 
 let send t ~now ~src ~dst msg =
   let key = (src, dst, Message.fairness_key msg) in
   let rate =
-    Option.value ~default:t.loss_rate (Hashtbl.find_opt t.link_loss (src, dst))
+    if Hashtbl.length t.link_loss = 0 then t.loss_rate
+    else
+      Option.value ~default:t.loss_rate
+        (Hashtbl.find_opt t.link_loss (src, dst))
   in
   let consecutive = Option.value ~default:0 (Hashtbl.find_opt t.drops key) in
   let forced_keep = consecutive >= t.max_consecutive_drops in
@@ -41,43 +91,60 @@ let send t ~now ~src ~dst msg =
     `Dropped)
   else (
     Hashtbl.replace t.drops key 0;
-    let prev = Option.value ~default:[] (Hashtbl.find_opt t.flight dst) in
-    Hashtbl.replace t.flight dst ({ src; msg; sent_at = now } :: prev);
+    queue_push t.flight.(dst) ~src ~msg ~sent:now;
+    t.count <- t.count + 1;
     `Kept)
 
+let backlog t ~dst = t.flight.(dst).len
+
+let nth_in_flight t ~dst i =
+  let q = t.flight.(dst) in
+  if i < 0 || i >= q.len then invalid_arg "Channel.nth_in_flight";
+  (q.src.(i), q.msg.(i), q.sent.(i))
+
 let deliverable t ~dst =
-  match Hashtbl.find_opt t.flight dst with
-  | None -> []
-  | Some l -> List.rev_map (fun f -> (f.src, f.msg, f.sent_at)) l
+  let q = t.flight.(dst) in
+  List.init q.len (fun i -> (q.src.(i), q.msg.(i), q.sent.(i)))
 
 let oldest_in_flight t ~dst =
-  match Hashtbl.find_opt t.flight dst with
-  | None | Some [] -> None
-  | Some l ->
-      let oldest =
-        List.fold_left
-          (fun best f ->
-            match best with
-            | None -> Some f
-            | Some b -> if f.sent_at < b.sent_at then Some f else best)
-          None l
-      in
-      Option.map (fun f -> (f.src, f.msg, f.sent_at)) oldest
+  let q = t.flight.(dst) in
+  if q.len = 0 then None
+  else begin
+    (* ties on the send tick resolve to the newest entry ([<=]) — the
+       tie-break of the historical newest-first fold, preserved for
+       bit-identical replay *)
+    let best = ref 0 in
+    for i = 1 to q.len - 1 do
+      if q.sent.(i) <= q.sent.(!best) then best := i
+    done;
+    Some (q.src.(!best), q.msg.(!best), q.sent.(!best))
+  end
 
 let deliver t ~src ~dst msg =
-  let l = Option.value ~default:[] (Hashtbl.find_opt t.flight dst) in
-  let rec remove acc = function
-    | [] -> invalid_arg "Channel.deliver: message not in flight"
-    | f :: rest ->
-        if Pid.equal f.src src && Message.equal f.msg msg then
-          List.rev_append acc rest
-        else remove (f :: acc) rest
+  let q = t.flight.(dst) in
+  let rec find i =
+    if i < 0 then invalid_arg "Channel.deliver: message not in flight"
+    else if Pid.equal q.src.(i) src && Message.equal q.msg.(i) msg then i
+    else find (i - 1)
   in
-  Hashtbl.replace t.flight dst (remove [] l)
+  (* newest matching instance, as in the original list removal *)
+  queue_remove q (find (q.len - 1));
+  t.count <- t.count - 1
 
-let in_flight_count t =
-  Hashtbl.fold (fun _ l acc -> acc + List.length l) t.flight 0
+let in_flight_count t = t.count
 
-let drop_all_in_flight t = Hashtbl.reset t.flight
-let drop_in_flight_to t ~dst = Hashtbl.remove t.flight dst
+let drop_all_in_flight t =
+  Array.iter
+    (fun q ->
+      Array.fill q.msg 0 q.len filler_msg;
+      q.len <- 0)
+    t.flight;
+  t.count <- 0
+
+let drop_in_flight_to t ~dst =
+  let q = t.flight.(dst) in
+  Array.fill q.msg 0 q.len filler_msg;
+  t.count <- t.count - q.len;
+  q.len <- 0
+
 let set_loss_rate t rate = t.loss_rate <- rate

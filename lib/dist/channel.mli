@@ -24,14 +24,26 @@ val create :
     targeted unreliability the lower-bound adversaries use to confine
     knowledge of an action to a doomed clique. [decide] is consulted for
     each send that is not a forced keep (typically
-    [Decision.drop] on the run's decision source, or a PRNG coin). *)
+    [Decision.drop] on the run's decision source, or a PRNG coin). [n]
+    sizes the dense per-destination in-flight queues: every pid that can
+    receive must be < [n]. *)
 
 (** [send t ~now ~src ~dst msg] records a send. The channel decides whether
     the message is kept in flight or lost. *)
 val send : t -> now:int -> src:Pid.t -> dst:Pid.t -> Message.t -> [ `Kept | `Dropped ]
 
-(** Messages currently in flight to [dst], with sender and send tick. *)
+(** Messages currently in flight to [dst], with sender and send tick, in
+    send order. *)
 val deliverable : t -> dst:Pid.t -> (Pid.t * Message.t * int) list
+
+(** Number of messages in flight to [dst] — O(1), no allocation (the
+    simulator's per-slot backlog probe). *)
+val backlog : t -> dst:Pid.t -> int
+
+(** [nth_in_flight t ~dst i] is the [i]-th element of
+    [deliverable t ~dst] without materializing the list. O(1). Raises
+    [Invalid_argument] out of bounds. *)
+val nth_in_flight : t -> dst:Pid.t -> int -> Pid.t * Message.t * int
 
 (** [oldest_in_flight t ~dst] is the in-flight message to [dst] with the
     smallest send tick, if any. *)

@@ -49,15 +49,16 @@ let () =
              nodes max_nodes)
     | _ -> None)
 
-(* Search node. [hist_hash.(p)] is the incremental FNV hash of
-   [hists.(p)] under the configured dedup mode (ticks mixed in iff
-   [Timed]), updated in O(1) per append; [inflight_rev] is newest-first
-   (appends are cons, not the quadratic [l @ [x]] of the original
-   enumerator) and caches each message's hash alongside it. *)
+(* Search node. Per-history hashes are no longer maintained here: the
+   flat {!History} representation carries exactly the incremental FNV
+   fold this enumerator used to compute by hand (ticks mixed in iff
+   [Timed]), so {!History.hash_events}/{!History.hash_timed_events} are
+   O(1) lookups. [inflight_rev] is newest-first (appends are cons, not
+   the quadratic [l @ [x]] of the original enumerator) and caches each
+   message's hash alongside it. *)
 type node = {
   step : int; (* next tick to fill, 1-based *)
   hists : History.t array;
-  hist_hash : int array;
   states : Protocol.t array;
   crashed : Pid.Set.t;
   inflight_rev : (Pid.t * Pid.t * Message.t * int) list; (* src, dst, msg, hash *)
@@ -74,9 +75,14 @@ type move =
   | M_suspect of Report.t
 
 let last_suspect h =
-  List.find_map
-    (function Event.Suspect r, _ -> Some r | _ -> None)
-    (History.rev_timed_events h)
+  let rec go i =
+    if i < 0 then None
+    else
+      match History.get h i with
+      | Event.Suspect r, _ -> Some r
+      | _ -> go (i - 1)
+  in
+  go (History.length h - 1)
 
 let moves_for cfg node p =
   if Pid.Set.mem p node.crashed then []
@@ -128,19 +134,12 @@ let moves_for cfg node p =
         in
         step @ deliveries @ suspect @ crash
 
-let apply cfg node p move =
+let apply node p move =
   let hists = Array.copy node.hists in
-  let hist_hash = Array.copy node.hist_hash in
   let states = Array.copy node.states in
   let tick = node.step in
-  let append e =
-    hists.(p) <- History.append hists.(p) e ~tick;
-    hist_hash.(p) <-
-      (match cfg.dedup with
-      | Timed -> Fnv.mix (Fnv.mix hist_hash.(p) tick) (Event.hash e)
-      | Untimed -> Fnv.mix hist_hash.(p) (Event.hash e))
-  in
-  let node' = { node with hists; hist_hash; states; step = tick + 1 } in
+  let append e = hists.(p) <- History.append hists.(p) e ~tick in
+  let node' = { node with hists; states; step = tick + 1 } in
   match move with
   | M_init e ->
       append (Event.Init e.Init_plan.action);
@@ -253,8 +252,19 @@ let node_equal mode a b =
        a.pending_inits b.pending_inits
   && hists_equal mode a.hists b.hists
 
-let node_fingerprint node =
-  let acc = Array.fold_left Fnv.mix Fnv.seed node.hist_hash in
+(* The mode's per-history hash, O(1) from the flat representation. The
+   values are identical to the hand-maintained fold this file used to
+   carry: [History]'s incremental hashes use the same Fnv formulas. *)
+let hist_hash mode h =
+  match mode with
+  | Timed -> History.hash_timed_events h
+  | Untimed -> History.hash_events h
+
+let hists_hash mode hists =
+  Array.fold_left (fun acc h -> Fnv.mix acc (hist_hash mode h)) Fnv.seed hists
+
+let node_fingerprint mode node =
+  let acc = hists_hash mode node.hists in
   let acc =
     List.fold_left
       (fun acc (s, d, _, mh) ->
@@ -307,8 +317,8 @@ let collect c (em : emission) =
     c.out_rev <- em :: c.out_rev
   end
 
-let emission_of_node node =
-  { ehists = node.hists; rfp = Array.fold_left Fnv.mix Fnv.seed node.hist_hash }
+let emission_of_node mode node =
+  { ehists = node.hists; rfp = hists_hash mode node.hists }
 
 let all_moves cfg node =
   List.concat_map
@@ -336,7 +346,6 @@ let root_node cfg (proto : (module Protocol.S)) =
   {
     step = 1;
     hists = Array.make cfg.n History.empty;
-    hist_hash = Array.make cfg.n Fnv.seed;
     states = Array.init cfg.n (fun p -> Protocol.make proto ~n:cfg.n ~me:p);
     crashed = Pid.Set.empty;
     inflight_rev = [];
@@ -368,17 +377,17 @@ let explore_subtree cfg root ~budget =
   let truncated = ref false in
   let rec go node =
     if !truncated then ()
-    else if node.step > cfg.depth then collect c (emission_of_node node)
+    else if node.step > cfg.depth then collect c (emission_of_node mode node)
     else if !nodes >= budget then truncated := true
     else begin
       incr nodes;
-      let fp = node_fingerprint node in
+      let fp = node_fingerprint mode node in
       if table_mem visited mode fp node then incr hits
       else begin
         table_add visited fp node;
         let moves = all_moves cfg node in
-        if not (owed moves) then collect c (emission_of_node node);
-        List.iter (fun (p, mv) -> go (apply cfg node p mv)) moves
+        if not (owed moves) then collect c (emission_of_node mode node);
+        List.iter (fun (p, mv) -> go (apply node p mv)) moves
       end
     end
   in
@@ -408,16 +417,16 @@ let bfs_prefix cfg c root =
     List.iter
       (fun node ->
         if !truncated then ()
-        else if node.step > cfg.depth then collect c (emission_of_node node)
+        else if node.step > cfg.depth then collect c (emission_of_node mode node)
         else if !nodes >= cfg.max_nodes then truncated := true
         else begin
           incr nodes;
           let moves = all_moves cfg node in
-          if not (owed moves) then collect c (emission_of_node node);
+          if not (owed moves) then collect c (emission_of_node mode node);
           List.iter
             (fun (p, mv) ->
-              let child = apply cfg node p mv in
-              let fp = node_fingerprint child in
+              let child = apply node p mv in
+              let fp = node_fingerprint mode child in
               if table_mem seen mode fp child then incr hits
               else begin
                 table_add seen fp child;
@@ -573,17 +582,17 @@ module Reference = struct
     let truncated = ref false in
     let rec go node =
       if !truncated then ()
-      else if node.step > cfg.depth then collect c (emission_of_node node)
+      else if node.step > cfg.depth then collect c (emission_of_node mode node)
       else if !nodes >= cfg.max_nodes then truncated := true
       else begin
         incr nodes;
-        let fp = node_fingerprint node in
+        let fp = node_fingerprint mode node in
         if table_mem visited mode fp node then incr hits
         else begin
           table_add visited fp node;
           let moves = all_moves cfg node in
-          if not (owed moves) then collect c (emission_of_node node);
-          List.iter (fun (p, mv) -> go (apply cfg node p mv)) moves
+          if not (owed moves) then collect c (emission_of_node mode node);
+          List.iter (fun (p, mv) -> go (apply node p mv)) moves
         end
       end
     in

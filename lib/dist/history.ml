@@ -1,70 +1,112 @@
+(* Struct-of-arrays histories. The event sequence lives in parallel
+   [events]/[ticks] arrays (chronological), with per-prefix seeded FNV
+   hashes in [ehash]/[thash]: [ehash.(i)] hashes events [0..i] (oldest
+   first), [thash.(i)] additionally mixes the ticks. The arrays are never
+   mutated after construction, so [prefix_upto] shares them and only
+   shrinks [len] — a cut is O(log n) time and O(1) space, and its hash is
+   an O(1) array lookup. The incremental-hash invariant:
+
+     ehash.(i) = Fnv.mix ehash.(i-1) (Event.hash events.(i))
+     thash.(i) = Fnv.mix (Fnv.mix thash.(i-1) ticks.(i)) (Event.hash events.(i))
+
+   with [Fnv.seed] standing in for index -1. [append] maintains it in
+   O(1); the functional [append] below copies (it is the cold path —
+   enumeration trees and tests), while the simulator's hot loop goes
+   through [Builder], which appends into reusable arena buffers and seals
+   an exact-size immutable snapshot per run. *)
+
 type t = {
-  rev : (Event.t * int) list; (* newest first *)
+  events : Event.t array;
+  ticks : int array;
+  ehash : int array;
+  thash : int array;
   len : int;
-  crashed : bool;
-  last_tick : int; (* -1 when empty *)
+      (* may be smaller than the arrays: prefixes share their parent's
+         buffers *)
 }
 
-let empty = { rev = []; len = 0; crashed = false; last_tick = -1 }
-
-let append h e ~tick =
-  if h.crashed then invalid_arg "History.append: history ends in crash (R4)";
-  if tick <= h.last_tick then
-    invalid_arg "History.append: more than one event per tick (R2)";
-  {
-    rev = (e, tick) :: h.rev;
-    len = h.len + 1;
-    crashed = Event.is_crash e;
-    last_tick = tick;
-  }
+let empty =
+  { events = [||]; ticks = [||]; ehash = [||]; thash = [||]; len = 0 }
 
 let length h = h.len
-let is_crashed h = h.crashed
-let events h = List.rev_map fst h.rev
-let timed_events h = List.rev h.rev
-let rev_timed_events h = h.rev
+let is_crashed h = h.len > 0 && Event.is_crash h.events.(h.len - 1)
+let last h = if h.len = 0 then None else Some h.events.(h.len - 1)
+let last_tick h = if h.len = 0 then None else Some h.ticks.(h.len - 1)
+let hash_events h = if h.len = 0 then Fnv.seed else h.ehash.(h.len - 1)
+let hash_timed_events h = if h.len = 0 then Fnv.seed else h.thash.(h.len - 1)
+
+let append h e ~tick =
+  if is_crashed h then invalid_arg "History.append: history ends in crash (R4)";
+  let last = if h.len = 0 then -1 else h.ticks.(h.len - 1) in
+  if tick <= last then
+    invalid_arg "History.append: more than one event per tick (R2)";
+  let len = h.len in
+  let events = Array.make (len + 1) e in
+  let ticks = Array.make (len + 1) tick in
+  let eh = Fnv.mix (hash_events h) (Event.hash e) in
+  let th = Fnv.mix (Fnv.mix (hash_timed_events h) tick) (Event.hash e) in
+  let ehash = Array.make (len + 1) eh in
+  let thash = Array.make (len + 1) th in
+  Array.blit h.events 0 events 0 len;
+  Array.blit h.ticks 0 ticks 0 len;
+  Array.blit h.ehash 0 ehash 0 len;
+  Array.blit h.thash 0 thash 0 len;
+  { events; ticks; ehash; thash; len = len + 1 }
+
+let events h = List.init h.len (fun i -> h.events.(i))
+
+let timed_events h =
+  let rec go i acc =
+    if i < 0 then acc else go (i - 1) ((h.events.(i), h.ticks.(i)) :: acc)
+  in
+  go (h.len - 1) []
+
+let rev_timed_events h =
+  let rec go i acc =
+    if i >= h.len then acc else go (i + 1) ((h.events.(i), h.ticks.(i)) :: acc)
+  in
+  go 0 []
+
+let timed_array h = Array.init h.len (fun i -> (h.events.(i), h.ticks.(i)))
+
+let iter f h =
+  for i = 0 to h.len - 1 do
+    f h.events.(i) ~tick:h.ticks.(i)
+  done
+
+let get h i =
+  if i < 0 || i >= h.len then invalid_arg "History.get: out of bounds";
+  (h.events.(i), h.ticks.(i))
 
 let prefix_upto h m =
-  (* track the length while dropping: recomputing [List.length rev] here
-     made building the cut r(m) for all m quadratic in the history *)
-  let rec drop rev len =
-    match rev with
-    | (_, tick) :: rest when tick > m -> drop rest (len - 1)
-    | _ -> (rev, len)
-  in
-  let rev, len = drop h.rev h.len in
-  match rev with
-  | [] -> empty
-  | (e, tick) :: _ -> { rev; len; crashed = Event.is_crash e; last_tick = tick }
-
-let last h = match h.rev with [] -> None | (e, _) :: _ -> Some e
-let last_tick h = if h.last_tick < 0 then None else Some h.last_tick
+  (* ticks are strictly increasing (R2): binary search for the cut *)
+  let lo = ref 0 and hi = ref h.len in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if h.ticks.(mid) <= m then lo := mid + 1 else hi := mid
+  done;
+  if !lo = h.len then h else { h with len = !lo }
 
 let equal_events a b =
   a.len = b.len
-  && List.for_all2 (fun (e, _) (e', _) -> Event.equal e e') a.rev b.rev
+  && hash_events a = hash_events b
+  &&
+  let rec go i =
+    i >= a.len || (Event.equal a.events.(i) b.events.(i) && go (i + 1))
+  in
+  go 0
 
 let equal_timed a b =
   a.len = b.len
-  && List.for_all2
-       (fun (e, t) (e', t') -> Int.equal t t' && Event.equal e e')
-       a.rev b.rev
-
-(* A seeded FNV-style fold over *all* events. [Hashtbl.hash] on the event
-   list only traverses a bounded prefix (~10 meaningful nodes), so
-   histories differing only in later events collided systematically —
-   exactly the long-run shape the epistemic indexers feed in. Per-event
-   hashing is [Event.hash], not [Hashtbl.hash]: the latter serialises the
-   tree shape of set payloads, so equal events built through different
-   insertion orders would hash apart and disagree with [equal_events].
-   The fold order is fixed (newest first). *)
-let hash_events h =
-  List.fold_left (fun acc (e, _) -> Fnv.mix acc (Event.hash e)) Fnv.seed h.rev
-
-let hash_timed_events h =
-  List.fold_left
-    (fun acc (e, t) -> Fnv.mix (Fnv.mix acc t) (Event.hash e))
-    Fnv.seed h.rev
+  && hash_timed_events a = hash_timed_events b
+  &&
+  let rec go i =
+    i >= a.len
+    || Int.equal a.ticks.(i) b.ticks.(i)
+       && Event.equal a.events.(i) b.events.(i)
+       && go (i + 1)
+  in
+  go 0
 
 let pp ppf h =
   Format.fprintf ppf "[%a]"
@@ -72,3 +114,182 @@ let pp ppf h =
        ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
        (fun ppf (e, tick) -> Format.fprintf ppf "%d:%a" tick Event.pp e))
     (timed_events h)
+
+module Builder = struct
+  type history = t
+
+  type t = {
+    mutable events : Event.t array; (* capacity >= len *)
+    mutable ticks : int array;
+    mutable ehash : int array;
+    mutable thash : int array;
+    mutable len : int;
+    mutable crashed : bool;
+    mutable suspect : Report.t option; (* last Suspect payload, O(1) *)
+  }
+
+  let initial_capacity = 64
+
+  let fresh () =
+    {
+      events = Array.make initial_capacity Event.Crash;
+      ticks = Array.make initial_capacity 0;
+      ehash = Array.make initial_capacity 0;
+      thash = Array.make initial_capacity 0;
+      len = 0;
+      crashed = false;
+      suspect = None;
+    }
+
+  let reset b =
+    b.len <- 0;
+    b.crashed <- false;
+    b.suspect <- None
+
+  (* Grown geometrically, never shrunk: a worker's arena converges on the
+     high-water mark of its workload and stops allocating. Old buffer
+     contents need not be cleared — [len] delimits the live region and
+     [seal] copies only that. *)
+  let grow b =
+    let cap = Array.length b.events in
+    let cap' = 2 * cap in
+    let events = Array.make cap' Event.Crash in
+    let ticks = Array.make cap' 0 in
+    let ehash = Array.make cap' 0 in
+    let thash = Array.make cap' 0 in
+    Array.blit b.events 0 events 0 b.len;
+    Array.blit b.ticks 0 ticks 0 b.len;
+    Array.blit b.ehash 0 ehash 0 b.len;
+    Array.blit b.thash 0 thash 0 b.len;
+    b.events <- events;
+    b.ticks <- ticks;
+    b.ehash <- ehash;
+    b.thash <- thash
+
+  let length b = b.len
+  let is_crashed b = b.crashed
+  let last_tick b = if b.len = 0 then -1 else b.ticks.(b.len - 1)
+  let last_suspect b = b.suspect
+
+  let append b e ~tick =
+    if b.crashed then
+      invalid_arg "History.append: history ends in crash (R4)";
+    if tick <= last_tick b then
+      invalid_arg "History.append: more than one event per tick (R2)";
+    if b.len = Array.length b.events then grow b;
+    let i = b.len in
+    let eh = if i = 0 then Fnv.seed else b.ehash.(i - 1) in
+    let th = if i = 0 then Fnv.seed else b.thash.(i - 1) in
+    b.events.(i) <- e;
+    b.ticks.(i) <- tick;
+    b.ehash.(i) <- Fnv.mix eh (Event.hash e);
+    b.thash.(i) <- Fnv.mix (Fnv.mix th tick) (Event.hash e);
+    b.len <- i + 1;
+    (match e with
+    | Event.Crash -> b.crashed <- true
+    | Event.Suspect r -> b.suspect <- Some r
+    | _ -> ())
+
+  let seal b : history =
+    {
+      events = Array.sub b.events 0 b.len;
+      ticks = Array.sub b.ticks 0 b.len;
+      ehash = Array.sub b.ehash 0 b.len;
+      thash = Array.sub b.thash 0 b.len;
+      len = b.len;
+    }
+
+  type arena = { mutable slots : t array; mutable busy : bool }
+
+  let arena () = { slots = [||]; busy = false }
+
+  let acquire a ~n =
+    if a.busy then
+      (* re-entrant use on the same domain: fall back to unpooled
+         builders rather than corrupting the active run's buffers *)
+      (Array.init n (fun _ -> fresh ()), fun () -> ())
+    else begin
+      a.busy <- true;
+      let have = Array.length a.slots in
+      if have < n then begin
+        let slots = Array.make n (fresh ()) in
+        Array.blit a.slots 0 slots 0 have;
+        for i = have to n - 1 do
+          slots.(i) <- fresh ()
+        done;
+        a.slots <- slots
+      end;
+      let out = Array.sub a.slots 0 n in
+      Array.iter reset out;
+      (out, fun () -> a.busy <- false)
+    end
+end
+
+(* The legacy cons-list representation, retained as the executable
+   specification the flat representation is differentially tested
+   against (mirroring [Checker.Reference] and [Enumerate.Reference]). *)
+module Reference = struct
+  type t = {
+    rev : (Event.t * int) list; (* newest first *)
+    len : int;
+    crashed : bool;
+    last_tick : int; (* -1 when empty *)
+  }
+
+  let empty = { rev = []; len = 0; crashed = false; last_tick = -1 }
+
+  let append h e ~tick =
+    if h.crashed then
+      invalid_arg "History.append: history ends in crash (R4)";
+    if tick <= h.last_tick then
+      invalid_arg "History.append: more than one event per tick (R2)";
+    {
+      rev = (e, tick) :: h.rev;
+      len = h.len + 1;
+      crashed = Event.is_crash e;
+      last_tick = tick;
+    }
+
+  let length h = h.len
+  let is_crashed h = h.crashed
+  let events h = List.rev_map fst h.rev
+  let timed_events h = List.rev h.rev
+  let rev_timed_events h = h.rev
+
+  let prefix_upto h m =
+    let rec drop rev len =
+      match rev with
+      | (_, tick) :: rest when tick > m -> drop rest (len - 1)
+      | _ -> (rev, len)
+    in
+    let rev, len = drop h.rev h.len in
+    match rev with
+    | [] -> empty
+    | (e, tick) :: _ ->
+        { rev; len; crashed = Event.is_crash e; last_tick = tick }
+
+  let last h = match h.rev with [] -> None | (e, _) :: _ -> Some e
+  let last_tick h = if h.last_tick < 0 then None else Some h.last_tick
+
+  let equal_events a b =
+    a.len = b.len
+    && List.for_all2 (fun (e, _) (e', _) -> Event.equal e e') a.rev b.rev
+
+  let equal_timed a b =
+    a.len = b.len
+    && List.for_all2
+         (fun (e, t) (e', t') -> Int.equal t t' && Event.equal e e')
+         a.rev b.rev
+
+  (* chronological (oldest-first) folds: the canonical hash order shared
+     with the flat representation's incremental [ehash]/[thash] *)
+  let hash_events h =
+    List.fold_left
+      (fun acc (e, _) -> Fnv.mix acc (Event.hash e))
+      Fnv.seed (timed_events h)
+
+  let hash_timed_events h =
+    List.fold_left
+      (fun acc (e, t) -> Fnv.mix (Fnv.mix acc t) (Event.hash e))
+      Fnv.seed (timed_events h)
+end

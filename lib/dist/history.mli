@@ -6,7 +6,16 @@
     part of the history for indistinguishability purposes: two points are
     indistinguishable to [p], written [(r,m) ~p (r',m')], exactly when the
     event sequences coincide, regardless of the ticks at which the events
-    landed. *)
+    landed.
+
+    Internally a history is struct-of-arrays: parallel chronological
+    [events]/[ticks] arrays plus per-prefix seeded FNV hashes, maintained
+    incrementally so {!hash_events}, {!hash_timed_events}, {!last},
+    {!last_tick} and {!is_crashed} are O(1) and {!prefix_upto} is
+    O(log n) with full structure sharing. The arrays are immutable after
+    construction. The functional {!append} copies and is the cold path;
+    the simulator's hot loop appends through {!Builder}, whose arena
+    buffers are reused across seeds on the same worker. *)
 
 type t
 
@@ -15,7 +24,11 @@ val empty : t
 (** [append h e ~tick] appends one event. Raises [Invalid_argument] if [h]
     already ends in [Crash] (R4: a crash is the last event) or if [tick]
     does not exceed the tick of the last event (R2: at most one event per
-    process per tick). *)
+    process per tick). O(n): the flat arrays are copied. Linear builders
+    (the simulator, run transforms) should use {!Builder} instead; tree
+    builders (the enumerator) stay within a small constant of the old
+    cons-cell cost because their histories are bounded by the search
+    depth. *)
 val append : t -> Event.t -> tick:int -> t
 
 val length : t -> int
@@ -27,23 +40,35 @@ val events : t -> Event.t list
 (** Events with their ticks, chronological. *)
 val timed_events : t -> (Event.t * int) list
 
-(** Events with their ticks, newest first. O(1) — the internal
-    representation; use for latest-event scans instead of
-    [List.rev (timed_events h)]. *)
+(** Events with their ticks, newest first. *)
 val rev_timed_events : t -> (Event.t * int) list
 
+(** Events with their ticks, chronological, as a fresh array — the
+    allocation-light bulk accessor for indexers. *)
+val timed_array : t -> (Event.t * int) array
+
+(** [iter f h] applies [f] to every event in chronological order without
+    materializing a list. *)
+val iter : (Event.t -> tick:int -> unit) -> t -> unit
+
+(** [get h i] is the [i]-th event (chronological, 0-based) with its tick.
+    O(1). Raises [Invalid_argument] out of bounds. *)
+val get : t -> int -> Event.t * int
+
 (** [prefix_upto h m] is the history restricted to events with tick <= [m]
-    — i.e. [p]'s component of the cut [r(m)]. *)
+    — i.e. [p]'s component of the cut [r(m)]. O(log n), shares the
+    underlying arrays. *)
 val prefix_upto : t -> int -> t
 
-(** [last h] is the most recent event, if any. *)
+(** [last h] is the most recent event, if any. O(1). *)
 val last : t -> Event.t option
 
 (** Tick of the most recent event, if any. O(1). *)
 val last_tick : t -> int option
 
 (** Structural equality of the event sequences (ticks ignored): the
-    indistinguishability test of the paper. *)
+    indistinguishability test of the paper. The stored hashes give an O(1)
+    fast negative. *)
 val equal_events : t -> t -> bool
 
 (** Exact equality of the timed event sequences (ticks included) — the
@@ -51,16 +76,86 @@ val equal_events : t -> t -> bool
 val equal_timed : t -> t -> bool
 
 (** A hash of the event sequence (ticks ignored), consistent with
-    [equal_events]; used to index points of a system by local state.
-    Computed by a seeded fold of {!Event.hash} over {e every} event — not
-    [Hashtbl.hash] on the list, whose bounded traversal would
-    systematically collide histories that differ only in later events,
-    and whose shape-sensitivity would hash equal set payloads apart. *)
+    [equal_events]; used to index points of a system by local state. A
+    seeded FNV fold of {!Event.hash} over {e every} event in chronological
+    order, maintained incrementally — O(1) per call, including on
+    prefixes. (Not [Hashtbl.hash] on a list, whose bounded traversal would
+    systematically collide histories that differ only in later events, and
+    whose shape-sensitivity would hash equal set payloads apart.) *)
 val hash_events : t -> int
 
 (** Like {!hash_events} with the ticks mixed in: consistent with
     [equal_timed]. This is the per-history ingredient of the enumerator's
-    [Timed] node keys. *)
+    [Timed] node keys. O(1). *)
 val hash_timed_events : t -> int
 
 val pp : Format.formatter -> t -> unit
+
+(** Mutable linear history construction over reusable arena buffers — the
+    simulator's hot path. A {!Builder.arena} belongs to one worker
+    (domain); {!Builder.acquire} hands out [n] reset builders whose
+    backing arrays are grown geometrically and never shrunk, so after the
+    first few runs a worker stops allocating history storage altogether.
+    {!Builder.seal} snapshots a builder into an exact-size immutable
+    {!t}; sealed histories share nothing with the arena, which is why
+    reuse across seeds cannot leak state between runs. *)
+module Builder : sig
+  type history := t
+  type t
+
+  (** A standalone builder, not attached to any arena (for linear
+      run transforms and tests). *)
+  val fresh : unit -> t
+
+  val reset : t -> unit
+
+  (** Appends one event; same R2/R4 validation as {!History.append}, but
+      O(1) amortized, writing into the builder's buffers. *)
+  val append : t -> Event.t -> tick:int -> unit
+
+  val length : t -> int
+  val is_crashed : t -> bool
+
+  (** Tick of the last event, [-1] when empty. *)
+  val last_tick : t -> int
+
+  (** Payload of the most recent [Suspect] event, if any — O(1), cached
+      at append time (the simulator's report-change test). *)
+  val last_suspect : t -> Report.t option
+
+  (** Exact-size immutable snapshot; shares nothing with the builder. *)
+  val seal : t -> history
+
+  type arena
+
+  (** A fresh arena. Allocate one per worker (the simulator keeps one in
+      domain-local storage). *)
+  val arena : unit -> arena
+
+  (** [acquire a ~n] returns [n] reset builders backed by the arena and a
+      release function. While the arena is held, a nested acquire on the
+      same arena falls back to unpooled builders (safe, just unpooled). *)
+  val acquire : arena -> n:int -> t array * (unit -> unit)
+end
+
+(** The legacy cons-list implementation, retained as the executable
+    specification for differential tests: same validation, same accessor
+    semantics, same chronological hash folds. *)
+module Reference : sig
+  type t
+
+  val empty : t
+  val append : t -> Event.t -> tick:int -> t
+  val length : t -> int
+  val is_crashed : t -> bool
+  val events : t -> Event.t list
+  val timed_events : t -> (Event.t * int) list
+  val rev_timed_events : t -> (Event.t * int) list
+  val prefix_upto : t -> int -> t
+  val last : t -> Event.t option
+  val last_tick : t -> int option
+  val equal_events : t -> t -> bool
+  val equal_timed : t -> t -> bool
+  val hash_events : t -> int
+  val hash_timed_events : t -> int
+end

@@ -1,25 +1,51 @@
 type recurring = { key : string; dst : Pid.t; msg : Message.t; last_sent : int }
 
+(* Both queues are two-list rotations (front in order, back reversed), so
+   a (re)send costs O(1) amortized instead of the [rest @ [x]] rebuild of
+   the single-list version. The observable rotation order is
+   [front @ List.rev back] and every operation below preserves exactly
+   the order the single-list version produced. *)
 type t = {
   oneshot_front : (Pid.t * Message.t) list;
   oneshot_back : (Pid.t * Message.t) list; (* reversed *)
-  recurring : recurring list; (* rotation order: head is next *)
+  recurring_front : recurring list; (* rotation order: head is next *)
+  recurring_back : recurring list; (* reversed *)
 }
 
 let resend_period = 3
-let empty = { oneshot_front = []; oneshot_back = []; recurring = [] }
+
+let empty =
+  {
+    oneshot_front = [];
+    oneshot_back = [];
+    recurring_front = [];
+    recurring_back = [];
+  }
+
 let push t ~dst msg = { t with oneshot_back = (dst, msg) :: t.oneshot_back }
 
 let set_recurring t ~key ~dst msg =
-  let without = List.filter (fun r -> r.key <> key) t.recurring in
+  let keep r = r.key <> key in
   (* a fresh entry is immediately eligible (beware: min_int here would
      overflow the [now - last_sent] subtraction) *)
-  { t with recurring = without @ [ { key; dst; msg; last_sent = -resend_period } ] }
+  let fresh = { key; dst; msg; last_sent = -resend_period } in
+  {
+    t with
+    recurring_front = List.filter keep t.recurring_front;
+    recurring_back = fresh :: List.filter keep t.recurring_back;
+  }
 
 let cancel t ~key =
-  { t with recurring = List.filter (fun r -> r.key <> key) t.recurring }
+  let keep r = r.key <> key in
+  {
+    t with
+    recurring_front = List.filter keep t.recurring_front;
+    recurring_back = List.filter keep t.recurring_back;
+  }
 
-let has_recurring t ~key = List.exists (fun r -> r.key = key) t.recurring
+let has_recurring t ~key =
+  List.exists (fun r -> r.key = key) t.recurring_front
+  || List.exists (fun r -> r.key = key) t.recurring_back
 
 let next t ~now =
   match t.oneshot_front with
@@ -31,19 +57,25 @@ let next t ~now =
       | [] ->
           (* first eligible recurring entry in rotation order; it moves to
              the back of the rotation after (re)sending *)
-          let rec find skipped = function
-            | [] -> None
+          let rec find skipped front back =
+            match front with
+            | [] ->
+                if back = [] then None else find skipped (List.rev back) []
             | r :: rest ->
                 if now - r.last_sent >= resend_period then
-                  let rotated =
-                    List.rev_append skipped rest @ [ { r with last_sent = now } ]
-                  in
-                  Some ({ t with recurring = rotated }, (r.dst, r.msg))
-                else find (r :: skipped) rest
+                  Some
+                    ( {
+                        t with
+                        recurring_front = List.rev_append skipped rest;
+                        recurring_back = { r with last_sent = now } :: back;
+                      },
+                      (r.dst, r.msg) )
+                else find (r :: skipped) rest back
           in
-          find [] t.recurring)
+          find [] t.recurring_front t.recurring_back)
 
 let is_empty t =
-  t.oneshot_front = [] && t.oneshot_back = [] && t.recurring = []
+  t.oneshot_front = [] && t.oneshot_back = []
+  && t.recurring_front = [] && t.recurring_back = []
 
 let drained t = t.oneshot_front = [] && t.oneshot_back = []

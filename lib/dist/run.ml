@@ -33,24 +33,32 @@ let crashed_by t p m =
 
 let initiated t =
   let per_process p =
-    List.filter_map
-      (fun (e, tick) ->
-        match e with Event.Init a -> Some (a, tick) | _ -> None)
-      (History.timed_events t.histories.(p))
+    let acc = ref [] in
+    History.iter
+      (fun e ~tick ->
+        match e with Event.Init a -> acc := (a, tick) :: !acc | _ -> ())
+      t.histories.(p);
+    List.rev !acc
   in
   List.concat_map per_process (Pid.all t.n)
 
 let do_tick t p alpha =
-  List.find_map
-    (fun (e, tick) ->
-      match e with
-      | Event.Do a when Action_id.equal a alpha -> Some tick
-      | _ -> None)
-    (History.timed_events t.histories.(p))
+  let h = t.histories.(p) in
+  let len = History.length h in
+  let rec go i =
+    if i >= len then None
+    else
+      match History.get h i with
+      | Event.Do a, tick when Action_id.equal a alpha -> Some tick
+      | _ -> go (i + 1)
+  in
+  go 0
 
 let did t p alpha = Option.is_some (do_tick t p alpha)
 
-let change_ticks t p = List.map snd (History.timed_events t.histories.(p))
+let change_ticks t p =
+  let h = t.histories.(p) in
+  List.init (History.length h) (fun i -> snd (History.get h i))
 
 let equal a b =
   a.n = b.n && a.horizon = b.horizon
@@ -67,15 +75,18 @@ let errorf fmt = Format.kasprintf (fun s -> Error s) fmt
 
 let check_r2 t =
   let check_one p =
-    let rec go last = function
-      | [] -> Ok ()
-      | (_, tick) :: rest ->
-          if tick <= last then errorf "R2 violated at %a: tick %d" Pid.pp p tick
-          else if tick > t.horizon then
-            errorf "R2 violated at %a: tick %d beyond horizon" Pid.pp p tick
-          else go tick rest
+    let h = t.histories.(p) in
+    let len = History.length h in
+    let rec go last i =
+      if i >= len then Ok ()
+      else
+        let _, tick = History.get h i in
+        if tick <= last then errorf "R2 violated at %a: tick %d" Pid.pp p tick
+        else if tick > t.horizon then
+          errorf "R2 violated at %a: tick %d beyond horizon" Pid.pp p tick
+        else go tick (i + 1)
     in
-    go 0 (History.timed_events t.histories.(p))
+    go 0 0
   in
   List.fold_left
     (fun acc p -> match acc with Error _ -> acc | Ok () -> check_one p)
@@ -92,15 +103,15 @@ let check_r3 t =
   (* (src,dst,msg) -> send ticks, ascending *)
   List.iter
     (fun p ->
-      List.iter
-        (fun (e, tick) ->
+      History.iter
+        (fun e ~tick ->
           match e with
           | Event.Send { dst; msg } ->
               let key = (p, dst, msg) in
               let prev = Option.value ~default:[] (Hashtbl.find_opt sends key) in
               Hashtbl.replace sends key (tick :: prev)
           | _ -> ())
-        (History.timed_events t.histories.(p)))
+        t.histories.(p))
     (Pid.all t.n);
   let sends =
     let arrays = Hashtbl.create (Hashtbl.length sends) in
@@ -112,33 +123,33 @@ let check_r3 t =
   let check_receiver q =
     (* per key: (cursor = sends with tick <= last receive seen, consumed) *)
     let state = Hashtbl.create 16 in
-    let rec go = function
-      | [] -> Ok ()
-      | (e, tick) :: rest -> (
-          match e with
-          | Event.Recv { src; msg } ->
-              let key = (src, q, msg) in
-              let cursor, consumed =
-                Option.value ~default:(0, 0) (Hashtbl.find_opt state key)
-              in
-              let ticks =
-                Option.value ~default:[||] (Hashtbl.find_opt sends key)
-              in
-              let cursor = ref cursor in
-              while
-                !cursor < Array.length ticks && ticks.(!cursor) <= tick
-              do
-                incr cursor
-              done;
-              if consumed >= !cursor then
-                errorf "R3 violated: %a receives %a from %a with no send"
-                  Pid.pp q Message.pp msg Pid.pp src
-              else (
-                Hashtbl.replace state key (!cursor, consumed + 1);
-                go rest)
-          | _ -> go rest)
+    let h = t.histories.(q) in
+    let len = History.length h in
+    let rec go i =
+      if i >= len then Ok ()
+      else
+        match History.get h i with
+        | Event.Recv { src; msg }, tick ->
+            let key = (src, q, msg) in
+            let cursor, consumed =
+              Option.value ~default:(0, 0) (Hashtbl.find_opt state key)
+            in
+            let ticks =
+              Option.value ~default:[||] (Hashtbl.find_opt sends key)
+            in
+            let cursor = ref cursor in
+            while !cursor < Array.length ticks && ticks.(!cursor) <= tick do
+              incr cursor
+            done;
+            if consumed >= !cursor then
+              errorf "R3 violated: %a receives %a from %a with no send"
+                Pid.pp q Message.pp msg Pid.pp src
+            else (
+              Hashtbl.replace state key (!cursor, consumed + 1);
+              go (i + 1))
+        | _ -> go (i + 1)
     in
-    go (History.timed_events t.histories.(q))
+    go 0
   in
   List.fold_left
     (fun acc q -> match acc with Error _ -> acc | Ok () -> check_receiver q)
@@ -146,15 +157,15 @@ let check_r3 t =
 
 let check_r4 t =
   let check_one p =
-    let rec go = function
-      | [] -> Ok ()
-      | [ _ ] -> Ok ()
-      | (e, _) :: rest ->
-          if Event.is_crash e then
-            errorf "R4 violated at %a: crash is not last" Pid.pp p
-          else go rest
+    let h = t.histories.(p) in
+    let len = History.length h in
+    let rec go i =
+      if i >= len - 1 then Ok ()
+      else if Event.is_crash (fst (History.get h i)) then
+        errorf "R4 violated at %a: crash is not last" Pid.pp p
+      else go (i + 1)
     in
-    go (History.timed_events t.histories.(p))
+    go 0
   in
   List.fold_left
     (fun acc p -> match acc with Error _ -> acc | Ok () -> check_one p)
@@ -177,13 +188,13 @@ let check_r5 t ~max_consecutive_drops =
   (* (src,dst,fairness_key) -> last receive tick *)
   List.iter
     (fun q ->
-      List.iter
-        (fun (e, tick) ->
+      History.iter
+        (fun e ~tick ->
           match e with
           | Event.Recv { src; msg } ->
               Hashtbl.replace last_recv (src, q, Message.fairness_key msg) tick
           | _ -> ())
-        (History.timed_events t.histories.(q)))
+        t.histories.(q))
     (Pid.all t.n);
   let fail = ref (Ok ()) in
   List.iter
@@ -196,8 +207,8 @@ let check_r5 t ~max_consecutive_drops =
             | None ->
                 let unanswered = Hashtbl.create 8 in
                 (* fairness_key -> sends since the key's last receive *)
-                List.iter
-                  (fun (e, tick) ->
+                History.iter
+                  (fun e ~tick ->
                     match e with
                     | Event.Send { dst; msg } when Pid.equal dst q ->
                         let k = Message.fairness_key msg in
@@ -214,7 +225,7 @@ let check_r5 t ~max_consecutive_drops =
                           in
                           Hashtbl.replace unanswered k (prev + 1)
                     | _ -> ())
-                  (History.timed_events t.histories.(p));
+                  t.histories.(p);
                 Hashtbl.iter
                   (fun k tail ->
                     if tail > (2 * max_consecutive_drops) + 1 then
@@ -236,8 +247,8 @@ let check_init_once t =
   let fail = ref (Ok ()) in
   List.iter
     (fun p ->
-      List.iter
-        (fun (e, _) ->
+      History.iter
+        (fun e ~tick:_ ->
           match e with
           | Event.Init a ->
               if not (Pid.equal (Action_id.owner a) p) then (
@@ -254,7 +265,7 @@ let check_init_once t =
                     fail := errorf "init(%a) appears twice" Action_id.pp a)
               else Hashtbl.add seen a ()
           | _ -> ())
-        (History.timed_events t.histories.(p)))
+        t.histories.(p))
     (Pid.all t.n);
   !fail
 

@@ -51,10 +51,7 @@ let build r =
   let first tbl key tick =
     if not (Hashtbl.mem tbl key) then Hashtbl.add tbl key tick
   in
-  let events =
-    Array.init n (fun p ->
-        Array.of_list (History.timed_events (Run.history r p)))
-  in
+  let events = Array.init n (fun p -> History.timed_array (Run.history r p)) in
   let initiated_rev = ref [] in
   let susp_rev = Array.make n [] in
   let all_susp_rev = Array.make n [] in

@@ -47,15 +47,29 @@ let pp_stop_reason ppf = function
   | Quiescent -> Format.pp_print_string ppf "quiescent"
   | Max_ticks -> Format.pp_print_string ppf "max ticks"
 
+(* The machine's hot state is dense: histories are arena builders
+   (History.Builder), pending inits and faults are indexed per owner pid
+   (the plan's relative order per owner is preserved, so "first due entry"
+   agrees with the old scan of the global list), and the crashed set is
+   mirrored both as a bool array (the per-slot test) and a cached
+   ascending pid list (the oracle view's ingredient), rebuilt only when a
+   crash actually happens. Plan entries whose owner/victim is outside [0, n)
+   could never fire under the old list scans but did block goal and
+   quiescence checks; they are kept aside in [orphan_*] so that behaviour
+   survives the dense indexing. *)
 type machine = {
   cfg : config;
   source : Decision.source;
   channel : Channel.t;
-  hists : History.t array;
+  hists : History.Builder.t array;
   states : Protocol.t array;
   crashed : bool array;
-  mutable pending_inits : Init_plan.entry list;
-  mutable pending_faults : Fault_plan.entry list;
+  mutable crashed_list : Pid.t list; (* mirrors [crashed]; ascending *)
+  pending_inits : Init_plan.entry list array; (* per owner, plan order *)
+  mutable pending_init_count : int; (* live entries, orphans included *)
+  pending_faults : Fault_plan.entry list array; (* per victim, plan order *)
+  orphan_faults : Fault_plan.entry list;
+  mutable initiated : Action_id.t list; (* every Init event so far *)
   mutable any_do : bool;
   mutable blackout_done : bool;
   mutable crash_budget_left : int;
@@ -63,67 +77,71 @@ type machine = {
   mutable now : int;
 }
 
-let append m p e =
-  m.hists.(p) <- History.append m.hists.(p) e ~tick:m.now
+let append m p e = History.Builder.append m.hists.(p) e ~tick:m.now
+
+(* The crashed-pid list is cached and invalidated only on crash, but the
+   oracle view still gets a {e fresh} [Pid.Set.of_list] per poll. That is
+   deliberate, not an oversight: oracles embed the view's set in their
+   reports physically ([Set.filter]/[Set.union] return an input unchanged
+   when nothing changes), run digests [Marshal] those reports with
+   default flags, and default [Marshal] encodes physical sharing as
+   back-references — so handing every poll the same cached set value
+   would change digest bytes. A fresh ascending [of_list] reproduces the
+   historical per-poll structure exactly while replacing the old O(n)
+   array -> list -> filter churn with an O(crashed) build. *)
+let rebuild_crashed_list m =
+  let acc = ref [] in
+  for p = m.cfg.n - 1 downto 0 do
+    if m.crashed.(p) then acc := p :: !acc
+  done;
+  m.crashed_list <- !acc
 
 let crash_process m p =
   append m p Event.Crash;
   m.crashed.(p) <- true;
+  rebuild_crashed_list m;
   Channel.drop_in_flight_to m.channel ~dst:p;
   (* a crashed owner will never initiate its planned actions *)
-  m.pending_inits <-
-    List.filter
-      (fun e -> not (Pid.equal (Action_id.owner e.Init_plan.action) p))
-      m.pending_inits
+  m.pending_init_count <-
+    m.pending_init_count - List.length m.pending_inits.(p);
+  m.pending_inits.(p) <- []
 
 let fault_due m p =
-  let fires entry =
-    Pid.equal entry.Fault_plan.victim p
-    &&
-    match entry.trigger with
-    | Fault_plan.At tick -> m.now >= tick
-    | Fault_plan.After_did (q, a) -> Action_id.Set.mem a m.done_actions.(q)
-    | Fault_plan.After_any_do -> m.any_do
-  in
-  if List.exists fires m.pending_faults then (
-    (* a process crashes once: all of its entries are consumed *)
-    m.pending_faults <-
-      List.filter
-        (fun e -> not (Pid.equal e.Fault_plan.victim p))
-        m.pending_faults;
-    true)
-  else false
+  match m.pending_faults.(p) with
+  | [] -> false
+  | entries ->
+      let fires entry =
+        match entry.Fault_plan.trigger with
+        | Fault_plan.At tick -> m.now >= tick
+        | Fault_plan.After_did (q, a) -> Action_id.Set.mem a m.done_actions.(q)
+        | Fault_plan.After_any_do -> m.any_do
+      in
+      if List.exists fires entries then (
+        (* a process crashes once: all of its entries are consumed *)
+        m.pending_faults.(p) <- [];
+        true)
+      else false
 
 let pending_init m p =
-  List.find_opt
-    (fun e ->
-      Pid.equal (Action_id.owner e.Init_plan.action) p && e.Init_plan.at <= m.now)
-    m.pending_inits
+  List.find_opt (fun e -> e.Init_plan.at <= m.now) m.pending_inits.(p)
 
 let consume_init m entry =
-  m.pending_inits <-
-    List.filter
+  let owner = Action_id.owner entry.Init_plan.action in
+  let keep, gone =
+    List.partition
       (fun e -> not (Action_id.equal e.Init_plan.action entry.Init_plan.action))
-      m.pending_inits
-
-let crashed_set m =
-  Array.to_list m.crashed
-  |> List.mapi (fun p c -> (p, c))
-  |> List.filter_map (fun (p, c) -> if c then Some p else None)
-  |> Pid.Set.of_list
+      m.pending_inits.(owner)
+  in
+  m.pending_inits.(owner) <- keep;
+  m.pending_init_count <- m.pending_init_count - List.length gone
 
 let oracle_view m =
   {
     Oracle.now = m.now;
     n = m.cfg.n;
-    crashed = crashed_set m;
+    crashed = Pid.Set.of_list m.crashed_list;
     planned_faulty = Fault_plan.planned_faulty m.cfg.fault_plan;
   }
-
-let last_suspect_report h =
-  List.find_map
-    (function Event.Suspect r, _ -> Some r | _ -> None)
-    (History.rev_timed_events h)
 
 let deliver_message m p (src, msg, _sent_at) =
   Channel.deliver m.channel ~src ~dst:p msg;
@@ -150,7 +168,7 @@ let protocol_step m p =
 let decision_crash m p =
   m.crash_budget_left > 0
   && Decision.crash m.source ~tick:m.now ~pid:p
-       ~events:(History.length m.hists.(p))
+       ~events:(History.Builder.length m.hists.(p))
   &&
   (m.crash_budget_left <- m.crash_budget_left - 1;
    true)
@@ -166,13 +184,14 @@ let schedule_process m p =
     | Some entry ->
         consume_init m entry;
         append m p (Event.Init entry.Init_plan.action);
+        m.initiated <- entry.Init_plan.action :: m.initiated;
         m.states.(p) <- Protocol.on_init m.states.(p) entry.Init_plan.action
     | None -> (
         let report =
           match m.cfg.oracle.Oracle.poll p (oracle_view m) with
           | None -> None
           | Some r -> (
-              match last_suspect_report m.hists.(p) with
+              match History.Builder.last_suspect m.hists.(p) with
               | Some prev when Report.equal prev r -> None
               | _ -> Some r)
         in
@@ -187,52 +206,51 @@ let schedule_process m p =
                but is capped below 1 so steps never starve; an overdue
                message (older than max_delay) is served first, so every
                kept message is eventually received. *)
-            let deliverable = Channel.deliverable m.channel ~dst:p in
-            match deliverable with
-            | [] -> protocol_step m p
-            | _ :: _ ->
-                let backlog = List.length deliverable in
-                let p_deliver =
-                  Float.min 0.9 (0.5 +. (0.08 *. float_of_int backlog))
+            let backlog = Channel.backlog m.channel ~dst:p in
+            if backlog = 0 then protocol_step m p
+            else
+              let p_deliver =
+                Float.min 0.9 (0.5 +. (0.08 *. float_of_int backlog))
+              in
+              if
+                Decision.deliver m.source ~tick:m.now ~dst:p ~backlog
+                  ~p:p_deliver
+              then
+                let overdue =
+                  match Channel.oldest_in_flight m.channel ~dst:p with
+                  | Some (_, _, sent_at) as x
+                    when m.now - sent_at >= m.cfg.max_delay ->
+                      x
+                  | _ -> None
                 in
-                if
-                  Decision.deliver m.source ~tick:m.now ~dst:p ~backlog
-                    ~p:p_deliver
-                then
-                  let overdue =
-                    match Channel.oldest_in_flight m.channel ~dst:p with
-                    | Some (_, _, sent_at) as x
-                      when m.now - sent_at >= m.cfg.max_delay ->
-                        x
-                    | _ -> None
-                  in
-                  match overdue with
-                  | Some delivery -> deliver_message m p delivery
-                  | None ->
-                      (* [Hashtbl.hash] here is collision-tolerant: keys
-                         only decide which pick alternatives the explorer
-                         treats as equal (sleep-set pruning). A collision
-                         merges two genuinely distinct deliveries — it can
-                         narrow the bounded search, never corrupt a
-                         verdict — and a (src, msg) pair is shallow enough
-                         for the bounded traversal to cover it. Contrast
-                         [History.hash_events], where collisions were
-                         systematic and had to be fixed. *)
-                      let keys () =
-                        Array.of_list
-                          (List.map
-                             (fun (src, msg, _) -> Hashtbl.hash (src, msg))
-                             deliverable)
-                      in
-                      let i =
-                        Decision.pick m.source ~tick:m.now ~dst:p ~keys
-                          ~arity:backlog
-                      in
-                      deliver_message m p (List.nth deliverable i)
-                else protocol_step m p))
+                match overdue with
+                | Some delivery -> deliver_message m p delivery
+                | None ->
+                    (* [Hashtbl.hash] here is collision-tolerant: keys
+                       only decide which pick alternatives the explorer
+                       treats as equal (sleep-set pruning). A collision
+                       merges two genuinely distinct deliveries — it can
+                       narrow the bounded search, never corrupt a
+                       verdict — and a (src, msg) pair is shallow enough
+                       for the bounded traversal to cover it. Contrast
+                       [History.hash_events], where collisions were
+                       systematic and had to be fixed. *)
+                    let keys () =
+                      Array.init backlog (fun i ->
+                          let src, msg, _ =
+                            Channel.nth_in_flight m.channel ~dst:p i
+                          in
+                          Hashtbl.hash (src, msg))
+                    in
+                    let i =
+                      Decision.pick m.source ~tick:m.now ~dst:p ~keys
+                        ~arity:backlog
+                    in
+                    deliver_message m p (Channel.nth_in_flight m.channel ~dst:p i)
+              else protocol_step m p))
 
 let goal_holds m =
-  m.pending_inits = []
+  m.pending_init_count = 0
   &&
   match m.cfg.goal with
   | Run_to_max -> false
@@ -243,35 +261,37 @@ let goal_holds m =
           || not (Action_id.Set.is_empty (Protocol.performed m.states.(p))))
         (Pid.all m.cfg.n)
   | All_alive_performed ->
-      let initiated =
-        Array.to_list m.hists
-        |> List.concat_map (fun h ->
-               List.filter_map
-                 (function Event.Init a, _ -> Some a | _ -> None)
-                 (History.rev_timed_events h))
-      in
       List.for_all
         (fun a ->
           List.for_all
             (fun p ->
-              m.crashed.(p) || Action_id.Set.mem a (Protocol.performed m.states.(p)))
+              m.crashed.(p)
+              || Action_id.Set.mem a (Protocol.performed m.states.(p)))
             (Pid.all m.cfg.n))
-        initiated
+        m.initiated
+
+let fault_can_still_fire m e =
+  match e.Fault_plan.trigger with
+  | Fault_plan.At _ -> true (* will fire; keep running *)
+  | Fault_plan.After_did (q, a) -> Action_id.Set.mem a m.done_actions.(q)
+  | Fault_plan.After_any_do -> m.any_do
 
 let system_quiescent m =
-  m.pending_inits = []
+  m.pending_init_count = 0
   && Channel.in_flight_count m.channel = 0
   && List.for_all
        (fun p -> m.crashed.(p) || Protocol.quiescent m.states.(p))
        (Pid.all m.cfg.n)
   && (* no pending fault whose trigger can still fire *)
-  List.for_all
-    (fun e ->
-      match e.Fault_plan.trigger with
-      | Fault_plan.At _ -> false (* will fire; keep running *)
-      | Fault_plan.After_did (q, a) -> not (Action_id.Set.mem a m.done_actions.(q))
-      | Fault_plan.After_any_do -> not m.any_do)
-    m.pending_faults
+  (not (Array.exists (List.exists (fault_can_still_fire m)) m.pending_faults))
+  && not (List.exists (fault_can_still_fire m) m.orphan_faults)
+
+(* One history arena per domain, reused across every run executed on that
+   worker (the Ensemble pool keeps its domains alive across jobs, so the
+   arena converges on the workload's high-water mark and stops
+   allocating). Sealing copies exact-size snapshots, so nothing escapes
+   the arena between seeds. *)
+let arena_key = Domain.DLS.new_key History.Builder.arena
 
 let execute ?decisions cfg make_process =
   let source =
@@ -282,6 +302,30 @@ let execute ?decisions cfg make_process =
   let decide ~now ~src ~dst ~rate =
     Decision.drop source ~tick:now ~src ~dst ~rate
   in
+  let in_range p = p >= 0 && p < cfg.n in
+  (* an out-of-range owner's entries stay pending forever: they are
+     counted (blocking goal and quiescence, as the old global-list scan
+     did) but never stored, since no slot can consume them *)
+  let pending_inits = Array.make cfg.n [] in
+  List.iter
+    (fun e ->
+      let owner = Action_id.owner e.Init_plan.action in
+      if in_range owner then pending_inits.(owner) <- e :: pending_inits.(owner))
+    (Init_plan.entries cfg.init_plan);
+  Array.iteri (fun p l -> pending_inits.(p) <- List.rev l) pending_inits;
+  let pending_faults = Array.make cfg.n [] in
+  let orphan_faults = ref [] in
+  List.iter
+    (fun e ->
+      let v = e.Fault_plan.victim in
+      if in_range v then pending_faults.(v) <- e :: pending_faults.(v)
+      else orphan_faults := e :: !orphan_faults)
+    (Fault_plan.entries cfg.fault_plan);
+  Array.iteri (fun p l -> pending_faults.(p) <- List.rev l) pending_faults;
+  let hists, release =
+    History.Builder.acquire (Domain.DLS.get arena_key) ~n:cfg.n
+  in
+  Fun.protect ~finally:release @@ fun () ->
   let m =
     {
       cfg;
@@ -290,11 +334,15 @@ let execute ?decisions cfg make_process =
         Channel.create ~link_loss:cfg.link_loss ~n:cfg.n ~decide
           ~loss_rate:cfg.loss_rate
           ~max_consecutive_drops:cfg.max_consecutive_drops ();
-      hists = Array.make cfg.n History.empty;
+      hists;
       states = Array.init cfg.n make_process;
       crashed = Array.make cfg.n false;
-      pending_inits = Init_plan.entries cfg.init_plan;
-      pending_faults = Fault_plan.entries cfg.fault_plan;
+      crashed_list = [];
+      pending_inits;
+      pending_init_count = List.length (Init_plan.entries cfg.init_plan);
+      pending_faults;
+      orphan_faults = !orphan_faults;
+      initiated = [];
       any_do = false;
       blackout_done = false;
       crash_budget_left = cfg.crash_budget;
@@ -325,7 +373,8 @@ let execute ?decisions cfg make_process =
      done
    with Exit -> ());
   {
-    run = Run.make ~n:cfg.n ~horizon:m.now (Array.copy m.hists);
+    run =
+      Run.make ~n:cfg.n ~horizon:m.now (Array.map History.Builder.seal m.hists);
     reason = !reason;
     final_states = m.states;
   }

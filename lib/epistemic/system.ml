@@ -38,8 +38,21 @@ let of_runs run_list =
         id
   in
   let class_ids = Array.init n (fun _ -> Array.make (Array.length runs) [||]) in
-  let members : (int, (int * int) list) Hashtbl.t array =
-    Array.init n (fun _ -> Hashtbl.create 256)
+  (* class ids are dense per process, so member accumulation is an
+     int-indexed growable array of cons lists — one array read and one
+     write per point, where a hashtable paid a hash + probe per point *)
+  let members : (int * int) list array array =
+    Array.init n (fun _ -> Array.make 256 [])
+  in
+  let member_add p c pt =
+    let a = members.(p) in
+    let cap = Array.length a in
+    if c >= cap then begin
+      let a' = Array.make (max (2 * cap) (c + 1)) [] in
+      Array.blit a 0 a' 0 cap;
+      members.(p) <- a'
+    end;
+    members.(p).(c) <- pt :: members.(p).(c)
   in
   let counts = Array.make n 0 in
   (* Per-process trie over event sequences: extending class [c] with event
@@ -61,39 +74,30 @@ let of_runs run_list =
       let horizon = Run.horizon run in
       for p = 0 to n - 1 do
         let ids = Array.make (horizon + 1) 0 in
-        let timed = Array.to_list (Run_index.events indexes.(ri) p) in
+        let timed = Run_index.events indexes.(ri) p in
+        let len = Array.length timed in
         let cls = ref 0 in
-        let rec fill tick events =
-          if tick > horizon then ()
-          else begin
-            (match events with
-            | (e, etick) :: _ when etick = tick ->
-                let eid = intern_event e in
-                let key = (!cls, eid) in
-                let next =
-                  match Hashtbl.find_opt tries.(p) key with
-                  | Some c -> c
-                  | None ->
-                      let c = fresh p in
-                      Hashtbl.add tries.(p) key c;
-                      c
-                in
-                cls := next
-            | _ -> ());
-            ids.(tick) <- !cls;
-            let prev =
-              Option.value ~default:[] (Hashtbl.find_opt members.(p) !cls)
-            in
-            Hashtbl.replace members.(p) !cls ((ri, tick) :: prev);
-            let events =
-              match events with
-              | (_, etick) :: rest when etick = tick -> rest
-              | _ -> events
-            in
-            fill (tick + 1) events
-          end
-        in
-        fill 0 timed;
+        let cursor = ref 0 in
+        for tick = 0 to horizon do
+          (if !cursor < len then
+             let e, etick = timed.(!cursor) in
+             if etick = tick then begin
+               let eid = intern_event e in
+               let key = (!cls, eid) in
+               let next =
+                 match Hashtbl.find_opt tries.(p) key with
+                 | Some c -> c
+                 | None ->
+                     let c = fresh p in
+                     Hashtbl.add tries.(p) key c;
+                     c
+               in
+               cls := next;
+               incr cursor
+             end);
+          ids.(tick) <- !cls;
+          member_add p !cls (ri, tick)
+        done;
         class_ids.(p).(ri) <- ids
       done)
     runs;
@@ -102,10 +106,7 @@ let of_runs run_list =
        reversing restores ascending point order *)
     Array.init n (fun p ->
         Array.init counts.(p) (fun c ->
-            let pts =
-              Option.value ~default:[] (Hashtbl.find_opt members.(p) c)
-            in
-            Array.of_list (List.rev pts)))
+            Array.of_list (List.rev members.(p).(c))))
   in
   { runs; indexes; n; class_ids; class_members }
 

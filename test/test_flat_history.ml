@@ -1,0 +1,192 @@
+(* Differential tests of the flat struct-of-arrays history against the
+   retained legacy cons-list implementation ({!History.Reference}), plus
+   arena-reuse isolation and pinned run digests for the whole
+   sim -> run -> digest pipeline. *)
+
+let alpha owner tag = Action_id.make ~owner ~tag
+
+(* A raw script is a list of (event code, tick gap >= 1); [build_script]
+   turns it into a valid timed event sequence: ticks strictly increasing
+   (R2) and nothing after a Crash (R4). *)
+let event_of = function
+  | 0 -> Event.Init (alpha 0 0)
+  | 1 -> Event.Do (alpha 0 1)
+  | 2 -> Event.Send { dst = 1; msg = Message.Heartbeat 3 }
+  | 3 ->
+      Event.Recv { src = 2; msg = Message.Coord_request (alpha 1 0, Fact.Set.empty) }
+  | 4 -> Event.Suspect (Report.std (Pid.Set.of_list [ 1; 2 ]))
+  | _ -> Event.Crash
+
+let build_script codes =
+  let rec go tick acc = function
+    | [] -> List.rev acc
+    | (c, gap) :: rest ->
+        let e = event_of c in
+        let tick = tick + gap in
+        let acc = (e, tick) :: acc in
+        if Event.is_crash e then List.rev acc else go tick acc rest
+  in
+  go 0 [] codes
+
+let flat_of script =
+  List.fold_left (fun h (e, tick) -> History.append h e ~tick) History.empty
+    script
+
+let ref_of script =
+  List.fold_left
+    (fun h (e, tick) -> History.Reference.append h e ~tick)
+    History.Reference.empty script
+
+let raw_script =
+  QCheck.(list_of_size Gen.(int_range 0 40) (pair (int_range 0 5) (int_range 1 3)))
+
+(* Every accessor of the flat implementation agrees with the legacy one,
+   on the full history and on every prefix cut. *)
+let flat_matches_reference =
+  QCheck.Test.make ~name:"flat history = legacy Reference (differential)"
+    ~count:300 raw_script (fun codes ->
+      let script = build_script codes in
+      let f = flat_of script and r = ref_of script in
+      let max_tick = List.fold_left (fun a (_, t) -> max a t) 0 script in
+      History.length f = History.Reference.length r
+      && History.is_crashed f = History.Reference.is_crashed r
+      && History.events f = History.Reference.events r
+      && History.timed_events f = History.Reference.timed_events r
+      && History.rev_timed_events f = History.Reference.rev_timed_events r
+      && History.last f = History.Reference.last r
+      && History.last_tick f = History.Reference.last_tick r
+      && History.hash_events f = History.Reference.hash_events r
+      && History.hash_timed_events f = History.Reference.hash_timed_events r
+      && List.for_all
+           (fun m ->
+             let pf = History.prefix_upto f m
+             and pr = History.Reference.prefix_upto r m in
+             History.timed_events pf = History.Reference.timed_events pr
+             && History.hash_events pf = History.Reference.hash_events pr
+             && History.hash_timed_events pf
+                = History.Reference.hash_timed_events pr)
+           (List.init (max_tick + 2) Fun.id))
+
+(* The two-history comparisons agree as well (including pairs that share
+   event sequences but differ in ticks). *)
+let equality_matches_reference =
+  QCheck.Test.make
+    ~name:"equal_events/equal_timed agree with Reference" ~count:300
+    QCheck.(pair raw_script raw_script)
+    (fun (c1, c2) ->
+      let s1 = build_script c1 and s2 = build_script c2 in
+      let f1 = flat_of s1 and f2 = flat_of s2 in
+      let r1 = ref_of s1 and r2 = ref_of s2 in
+      History.equal_events f1 f2 = History.Reference.equal_events r1 r2
+      && History.equal_timed f1 f2 = History.Reference.equal_timed r1 r2)
+
+(* The mutable builder and the functional append construct the same
+   history, hashes included. *)
+let builder_matches_functional =
+  QCheck.Test.make ~name:"Builder.seal = functional append" ~count:300
+    raw_script (fun codes ->
+      let script = build_script codes in
+      let f = flat_of script in
+      let b = History.Builder.fresh () in
+      List.iter (fun (e, tick) -> History.Builder.append b e ~tick) script;
+      let sealed = History.Builder.seal b in
+      History.equal_timed sealed f
+      && History.hash_events sealed = History.hash_events f
+      && History.hash_timed_events sealed = History.hash_timed_events f)
+
+(* Arena reuse must not leak state between acquisitions: re-acquired
+   builders come back reset, and histories sealed before the release are
+   immutable snapshots untouched by later generations. *)
+let arena_reuse_no_leak () =
+  let arena = History.Builder.arena () in
+  let bs, release = History.Builder.acquire arena ~n:2 in
+  History.Builder.append bs.(0) (Event.Init (alpha 0 0)) ~tick:1;
+  History.Builder.append bs.(0) (Event.Do (alpha 0 0)) ~tick:2;
+  History.Builder.append bs.(0) Event.Crash ~tick:5;
+  History.Builder.append bs.(1) (Event.Do (alpha 1 0)) ~tick:3;
+  let a0 = History.Builder.seal bs.(0) in
+  let a1 = History.Builder.seal bs.(1) in
+  release ();
+  let bs, release = History.Builder.acquire arena ~n:2 in
+  Alcotest.(check int) "reacquired builder is reset" 0
+    (History.Builder.length bs.(0));
+  Alcotest.(check bool) "crash flag is reset" false
+    (History.Builder.is_crashed bs.(0));
+  History.Builder.append bs.(0) (Event.Init (alpha 9 9)) ~tick:7;
+  let b0 = History.Builder.seal bs.(0) in
+  let b1 = History.Builder.seal bs.(1) in
+  release ();
+  Alcotest.(check bool) "second generation carries only its own events"
+    true
+    (History.timed_events b0 = [ (Event.Init (alpha 9 9), 7) ]
+    && History.length b1 = 0);
+  Alcotest.(check bool) "first-generation snapshots intact" true
+    (History.timed_events a0
+     = [
+         (Event.Init (alpha 0 0), 1);
+         (Event.Do (alpha 0 0), 2);
+         (Event.Crash, 5);
+       ]
+    && History.timed_events a1 = [ (Event.Do (alpha 1 0), 3) ]
+    && History.is_crashed a0)
+
+(* Run digests pinned from the legacy cons-list representation before the
+   flattening. [Run.digest] Marshals the histories, and Marshal encodes
+   value shapes and physical sharing, so these pin strictly more than
+   logical equality — any representation change that alters what the
+   oracle or simulator allocates shows up here. *)
+let pinned_digests () =
+  let digest ~n ~t ~loss ~oracle seed =
+    let prng = Prng.create seed in
+    let cfg = Sim.config ~n ~seed in
+    let cfg =
+      {
+        cfg with
+        Sim.loss_rate = loss;
+        oracle;
+        fault_plan = Fault_plan.random prng ~n ~t ~max_tick:25;
+        init_plan = Init_plan.staggered ~n ~actions_per_process:1 ~spacing:3;
+        max_ticks = 4000;
+      }
+    in
+    Run.digest (Sim.execute_uniform cfg (module Core.Ack_udc.P)).Sim.run
+  in
+  Alcotest.(check string)
+    "perfect oracle, seed 31" "359e71a8e54d5a4429599d3ae3dfba20"
+    (digest ~n:6 ~t:2 ~loss:0.3 ~oracle:(Detector.Oracles.perfect ()) 31L);
+  Alcotest.(check string)
+    "no oracle, seed 42" "47b5c903360d4d97408582e9c7c6d033"
+    (digest ~n:3 ~t:0 ~loss:0.0 ~oracle:Oracle.none 42L);
+  Alcotest.(check string)
+    "eventually-perfect oracle, seed 7" "0c29b7f12982bf2ed8d61c03af0f1fa1"
+    (digest ~n:4 ~t:1 ~loss:0.6
+       ~oracle:(Detector.Oracles.eventually_perfect ~stabilize_at:40 ~seed:7L ())
+       7L);
+  let cfg = Sim.config ~n:5 ~seed:11L in
+  let cfg =
+    {
+      cfg with
+      Sim.loss_rate = 0.2;
+      max_ticks = 600;
+      Sim.goal = Sim.Run_to_max;
+      init_plan = Init_plan.one ~owner:0 ~at:1;
+    }
+  in
+  Alcotest.(check string)
+    "heartbeat protocol, seed 11" "ab225f6bdc6cd17929c04016dffc1994"
+    (Run.digest (Sim.execute_uniform cfg (module Core.Heartbeat_nudc.P)).Sim.run)
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      flat_matches_reference; equality_matches_reference;
+      builder_matches_functional;
+    ]
+
+let suite =
+  [
+    Alcotest.test_case "arena reuse does not leak" `Quick arena_reuse_no_leak;
+    Alcotest.test_case "run digests pinned to legacy representation" `Quick
+      pinned_digests;
+  ]
+  @ qsuite

@@ -2,6 +2,7 @@ let () =
   Alcotest.run "udc"
     [
       ("dist", Test_dist.suite);
+      ("flat-history", Test_flat_history.suite);
       ("run-index", Test_run_index.suite);
       ("ensemble", Test_ensemble.suite);
       ("laws", Test_laws.suite);
