@@ -396,7 +396,7 @@ let checker_kernel () =
    mapped sequentially and on the domain pool. The digests double as a
    cheap determinism assertion: the parallel map must reproduce the
    sequential one bit for bit. *)
-let ensemble_throughput () =
+let ensemble_throughput ~gate () =
   Util.header "P5: ensemble engine throughput (sequential vs domain pool)";
   let nseeds = 16 in
   let seeds = Util.seeds nseeds in
@@ -428,7 +428,22 @@ let ensemble_throughput () =
     (float_of_int nseeds /. par_wall)
     (seq_wall /. par_wall);
   Format.printf
-    "    (digests of both maps compared: bit-identical on %d runs)@." nseeds
+    "    (digests of both maps compared: bit-identical on %d runs)@." nseeds;
+  (* the same scaling gate as P7, previously missing here: the PR-3
+     spawn-per-call regression hit Ensemble.run callers first, but only
+     the explorer gated on it. Same multi-core carve-out — on a
+     single-core runner extra domains time-share one core and the ratio
+     measures the OS scheduler, not the dispatch path. *)
+  if
+    gate && pool >= 2
+    && Domain.recommended_domain_count () >= 2
+    && par_wall > 1.10 *. seq_wall
+  then
+    failwith
+      (Printf.sprintf
+         "ensemble parallel scaling regressed: domains=%d took %.3fs vs \
+          %.3fs at domains=1 (> 10%% slower)"
+         pool par_wall seq_wall)
 
 (* P10: the flat (struct-of-arrays) run-representation gate. Throughput
    and allocation of the simulator hot path, plus two self-checking
@@ -639,6 +654,62 @@ let explorer_throughput ~gate () =
           %.3fs at domains=1 (> 10%% slower)"
          pool par_wall seq_wall)
 
+(* P11: detector classification — one cell of the E17 grid (phi under
+   fair loss) run sequentially and on the pool. The outcome digest (MD5
+   over the ensemble's run digests in seed order) is the determinism
+   gate: classification must be bit-identical at every domain count, or
+   the empirical Table 1 rows would depend on the machine that produced
+   them. Rides the smoke job. *)
+let classification ~smoke () =
+  Util.header "P11: detector classification (cross-domain digest gate)";
+  let params =
+    {
+      Explore.Classify.default_params with
+      Explore.Classify.runs = (if smoke then 8 else 20);
+    }
+  in
+  let cell domains =
+    let t0 = Unix.gettimeofday () in
+    match
+      Explore.Classify.classify ~domains ~backend:"phi"
+        ~regime:Explore.Classify.Fair_lossy params
+    with
+    | Error e -> failwith ("classification bench: " ^ e)
+    | Ok o -> (Unix.gettimeofday () -. t0, o)
+  in
+  let pool = max (Ensemble.domain_count ()) 1 in
+  let seq_wall, seq = cell 1 in
+  let par_wall, par = cell pool in
+  if not (String.equal seq.Explore.Classify.digest par.Explore.Classify.digest)
+  then
+    failwith
+      (Printf.sprintf
+         "classification determinism violated: digest %s at domains=1 vs %s \
+          at domains=%d"
+         seq.Explore.Classify.digest par.Explore.Classify.digest pool);
+  let runs = params.Explore.Classify.runs in
+  let extra =
+    Printf.sprintf ", \"assignment\": \"%s\", \"digest\": \"%s\""
+      (json_escape
+         (Explore.Classify.assignment_string seq.Explore.Classify.assignment))
+      (json_escape seq.Explore.Classify.digest)
+  in
+  record "classification:domains=1" ~wall:seq_wall ~runs:(Some runs) ~extra;
+  record
+    (Printf.sprintf "classification:domains=%d" pool)
+    ~wall:par_wall ~runs:(Some runs) ~extra;
+  Format.printf "    %-28s %8.2f runs/s@." "sequential (1 domain)"
+    (float_of_int runs /. seq_wall);
+  Format.printf "    %-28s %8.2f runs/s  (speedup %.2fx)@."
+    (Printf.sprintf "pool (%d domains)" pool)
+    (float_of_int runs /. par_wall)
+    (seq_wall /. par_wall);
+  Format.printf
+    "    (phi × lossy assignment %S, outcome digest bit-identical at \
+     domains 1 and %d)@."
+    (Explore.Classify.assignment_string seq.Explore.Classify.assignment)
+    pool
+
 (* [smoke] keeps only the fast self-checking experiments — the kernel
    differential, the ensemble determinism assertion, and the explorer
    determinism assertion — so CI can gate on them and still publish a
@@ -654,7 +725,9 @@ let run ?(smoke = false) ?(pool_stats = false) () =
     timed "lag-sensitivity" ~runs:48 lag_sensitivity
   end;
   checker_kernel ();
-  ensemble_throughput ();
+  (* the smoke job gates on ensemble parallel scaling too — Ensemble.run
+     callers were the first victims of the spawn-per-call regression *)
+  ensemble_throughput ~gate:smoke ();
   (* the flat-representation gate rides the smoke job: CI fails if run
      digests drift from the legacy representation or across domain
      counts *)
@@ -665,6 +738,9 @@ let run ?(smoke = false) ?(pool_stats = false) () =
   (* the smoke job gates on parallel scaling so the spawn-per-call
      regression stays fixed forever *)
   explorer_throughput ~gate:smoke ();
+  (* classification rides the smoke job: the cross-domain digest gate
+     keeps the empirical Table 1 rows machine-independent *)
+  classification ~smoke ();
   write_json "BENCH_perf.json";
   if pool_stats then
     Format.printf "@.  %a@." Ensemble.pp_stats (Ensemble.stats ());

@@ -416,6 +416,128 @@ let expect_arg =
           "Exit nonzero unless the outcome matches: violation (a witness \
            must be found) | none (the space must be clean) | any.")
 
+(* ---------- classify ---------- *)
+
+let classify backend regime n crashes runs max_ticks gst domains certify out
+    expect =
+  let fail fmt =
+    Printf.ksprintf
+      (fun s ->
+        prerr_endline ("udc classify: " ^ s);
+        exit 2)
+      fmt
+  in
+  let regime =
+    match Explore.Classify.regime_of_string regime with
+    | Ok r -> r
+    | Error e -> fail "%s" e
+  in
+  let params = { Explore.Classify.n; crashes; runs; max_ticks; gst } in
+  let outcome =
+    match Explore.Classify.classify ?domains ~backend ~regime params with
+    | Ok o -> o
+    | Error e -> fail "%s" e
+  in
+  Format.printf "%a@." Explore.Classify.pp_outcome outcome;
+  (match expect with
+  | None -> ()
+  | Some expected ->
+      let got =
+        Explore.Classify.assignment_string outcome.Explore.Classify.assignment
+      in
+      if got <> expected then (
+        Printf.eprintf
+          "udc classify: expected assignment %S, measured %S\n" expected got;
+        exit 1));
+  if certify then
+    match Explore.Classify.certification_target outcome with
+    | None ->
+        Format.printf
+          "certify: nothing to certify (strongest class already satisfied)@."
+    | Some against -> (
+        Format.printf "certify: searching for a schedule violating %s@."
+          (Detector.Spec.cls_name against);
+        match Explore.Classify.certify ~backend ~against ~n () with
+        | Error e -> fail "certification failed: %s" e
+        | Ok cert ->
+            Format.printf
+              "certified: %s is not %s (%d runs explored)@." backend
+              (Detector.Spec.cls_name cert.Explore.Classify.against)
+              cert.Explore.Classify.explored;
+            let repro = cert.Explore.Classify.repro in
+            (match Explore.Repro.replay repro with
+            | Ok (_, desc) ->
+                Format.printf "repro replayed digest-strict: %s@." desc
+            | Error e -> fail "repro failed to replay: %s" e);
+            (match out with
+            | Some path ->
+                Explore.Repro.save path repro;
+                Format.printf "repro written to %s@." path
+            | None -> Format.printf "@.%s" (Explore.Repro.to_string repro)))
+
+let backend_arg =
+  Arg.(
+    value & opt string "phi"
+    & info [ "backend"; "b" ]
+        ~doc:"Implemented detector backend: phi | swim | gossip.")
+
+let regime_arg =
+  Arg.(
+    value & opt string "reliable"
+    & info [ "regime"; "r" ]
+        ~doc:"Channel regime: reliable | lossy | eventually-timely.")
+
+let runs_arg =
+  Arg.(
+    value
+    & opt int Explore.Classify.default_params.Explore.Classify.runs
+    & info [ "runs" ] ~doc:"Ensemble size (seeded runs per cell).")
+
+let classify_max_ticks_arg =
+  Arg.(
+    value
+    & opt int Explore.Classify.default_params.Explore.Classify.max_ticks
+    & info [ "max-ticks" ] ~doc:"Run horizon.")
+
+let gst_arg =
+  Arg.(
+    value
+    & opt int Explore.Classify.default_params.Explore.Classify.gst
+    & info [ "gst" ]
+        ~doc:"Eventually-timely regime: tick at which losses stop.")
+
+let certify_arg =
+  Arg.(
+    value & flag
+    & info [ "certify" ]
+        ~doc:
+          "Also search for a replayable counterexample separating the \
+           backend from the next stronger class.")
+
+let classify_expect_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "expect" ]
+        ~doc:
+          "Exit nonzero unless the measured assignment equals this string \
+           (e.g. 'eventually-perfect+strong').")
+
+let classify_cmd =
+  Cmd.v
+    (Cmd.info "classify"
+       ~doc:
+         "Empirically classify an implemented detector backend against the \
+          paper's taxonomy: run a seed ensemble under a channel regime, \
+          check each class's axioms on every run, and report the maximal \
+          classes that held throughout. Bit-identical at every --domains \
+          value. With --certify, also search for a shrunk replayable \
+          counterexample against the next stronger class.")
+    Term.(
+      const classify $ backend_arg $ regime_arg $ n_arg $ crashes_arg
+      $ runs_arg $ classify_max_ticks_arg $ gst_arg $ domains_arg
+      $ certify_arg $ out_arg $ classify_expect_arg)
+
 let explore_cmd =
   Cmd.v
     (Cmd.info "explore"
@@ -478,4 +600,10 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ simulate_cmd; enumerate_cmd; scenarios_cmd; explore_cmd ]))
+          [
+            simulate_cmd;
+            enumerate_cmd;
+            scenarios_cmd;
+            explore_cmd;
+            classify_cmd;
+          ]))

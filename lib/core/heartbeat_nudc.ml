@@ -107,11 +107,18 @@ module P : Protocol.S = struct
         | Some (out, (dst, msg)) -> ({ t with out }, Protocol.Send_to (dst, msg))
         | None ->
             (* heartbeat stream: one peer per step, a fresh round every
-               [period] ticks *)
+               [period] ticks. A rollover does not burn the step: the
+               first heartbeat of the new round goes out immediately. *)
             let round = now / period in
-            if round > t.last_hb_round then
-              ( { t with hb_ring = peers t; last_hb_round = round; hb_seq = t.hb_seq + 1 },
-                Protocol.No_op )
+            if round > t.last_hb_round then (
+              let t =
+                { t with last_hb_round = round; hb_seq = t.hb_seq + 1 }
+              in
+              match peers t with
+              | [] -> ({ t with hb_ring = [] }, Protocol.No_op)
+              | dst :: ring ->
+                  ( { t with hb_ring = ring },
+                    Protocol.Send_to (dst, Message.Heartbeat t.hb_seq) ))
             else (
               match t.hb_ring with
               | [] -> (t, Protocol.No_op)

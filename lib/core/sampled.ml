@@ -14,7 +14,7 @@ type overclaim = {
   runs_total : int;
 }
 
-let f_overclaim env =
+let f_overclaim ?domains env =
   let sys = Epistemic.Checker.system env in
   let audit ri =
     let fr = Simulate_fd.f_run env ~run:ri in
@@ -47,8 +47,9 @@ let f_overclaim env =
     (!reports, !false_suspicions, complete)
   in
   (* one audit per run of the system, on the domain pool; the shared
-     checker env is domain-safe *)
-  Ensemble.fold
+     checker env is domain-safe, and the map-then-sequential-fold shape
+     keeps the record bit-identical at every domain count *)
+  Ensemble.fold ?domains
     ~f:(fun acc (reports, false_susp, complete) ->
       {
         reports = acc.reports + reports;

@@ -32,7 +32,9 @@ type overclaim = {
 }
 
 (** Apply the Theorem 3.6 f-construction to every run of the (sampled)
-    environment and audit it against the ground truth. *)
-val f_overclaim : Epistemic.Checker.env -> overclaim
+    environment and audit it against the ground truth. The audit runs on
+    the domain pool ([?domains] caps the workers); the record is
+    bit-identical at every domain count. *)
+val f_overclaim : ?domains:int -> Epistemic.Checker.env -> overclaim
 
 val pp_overclaim : Format.formatter -> overclaim -> unit

@@ -1,0 +1,600 @@
+module Phi_window = struct
+  type t = { capacity : int; samples : float list (* newest first *) }
+
+  let create ~capacity = { capacity; samples = [] }
+
+  let observe t x =
+    let rec take k = function
+      | [] -> []
+      | _ when k = 0 -> []
+      | y :: rest -> y :: take (k - 1) rest
+    in
+    { t with samples = take t.capacity (x :: t.samples) }
+
+  let count t = List.length t.samples
+
+  let mean t =
+    match t.samples with
+    | [] -> None
+    | l -> Some (List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l))
+
+  let variance t =
+    match (t.samples, mean t) with
+    | [], _ | _, None -> None
+    | l, Some m ->
+        let s =
+          List.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 l
+        in
+        Some (Float.max 0.0 (s /. float_of_int (List.length l)))
+end
+
+(* The logistic approximation of the normal tail used by φ-accrual
+   implementations (Hayashibara et al. give the model; the constants are
+   the standard Bowling et al. fit): phi = -log10 P(X > elapsed). *)
+let phi ~elapsed ~mean ~std =
+  let y = (elapsed -. mean) /. std in
+  let e = exp (-.y *. (1.5976 +. (0.070566 *. y *. y))) in
+  if elapsed > mean then -.log10 (e /. (1.0 +. e))
+  else -.log10 (1.0 -. (1.0 /. (1.0 +. e)))
+
+type phi_config = {
+  hb_period : int;
+  window : int;
+  threshold : float;
+  min_std : float;
+  bootstrap : float;
+}
+
+type swim_config = {
+  probe_period : int;
+  rtt_timeout : int;
+  proxies : int;
+  suspect_timeout : int;
+  confirm_timeout : int;
+}
+
+type gossip_config = { gossip_period : int; fanout : int; fail_timeout : int }
+
+let phi_defaults =
+  { hb_period = 12; window = 10; threshold = 3.0; min_std = 2.0; bootstrap = 24.0 }
+
+(* timeouts sized for this simulator's delivery latency: one event per
+   process per tick plus the deliver-vs-step coin put a queued round trip
+   at up to ~15 ticks even on loss-free channels, so the suspect timeout
+   sits well above that and the rtt timeout above a typical 2×max_delay
+   round trip *)
+let swim_defaults =
+  {
+    probe_period = 6;
+    rtt_timeout = 14;
+    proxies = 2;
+    suspect_timeout = 36;
+    confirm_timeout = 54;
+  }
+
+let gossip_defaults = { gossip_period = 4; fanout = 2; fail_timeout = 60 }
+
+type pair = { oracle : Oracle.t; protocol : Pid.t -> Protocol.t }
+
+(* A detector core is the pure time/message logic of one backend; the
+   [adapt] wrapper below turns it into a {!Protocol.S_timed} that
+   publishes [suspicions] into the shared cells and alternates with an
+   inner application protocol. *)
+module type CORE = sig
+  type t
+
+  val name : string
+  val create : n:int -> me:Pid.t -> t
+
+  (** [Some] when the message belongs to the detector, [None] to route it
+      to the inner protocol. *)
+  val on_message : t -> now:int -> src:Pid.t -> Message.t -> t option
+
+  (** Time-driven transitions (timeouts, round rollovers); called once per
+      granted step before anything is emitted. *)
+  val tick : t -> now:int -> t
+
+  (** Detector traffic due on the wire, at most one send per step. *)
+  val next_send : t -> now:int -> (t * (Pid.t * Message.t)) option
+
+  val suspicions : t -> Pid.Set.t
+end
+
+module Idle : Protocol.S = struct
+  type state = unit
+
+  let name = "idle"
+  let create ~n:_ ~me:_ = ()
+  let on_init s _ = s
+  let on_recv s ~src:_ _ = s
+  let on_suspect s _ = s
+  let step s ~now:_ = (s, Protocol.No_op)
+  let quiescent _ = true
+  let performed _ = Action_id.Set.empty
+end
+
+let peers_of ~n ~me = List.filter (fun q -> not (Pid.equal q me)) (Pid.all n)
+
+(* ------------------------------------------------------------------ *)
+(* φ-accrual: heartbeats round-robin; per-peer windowed inter-arrival
+   statistics; suspect when the accrued φ exceeds the threshold.       *)
+
+let phi_core (cfg : phi_config) : (module CORE) =
+  (module struct
+    type peer = { last : int option; window : Phi_window.t }
+
+    type t = {
+      me : Pid.t;
+      n : int;
+      peers : peer Pid.Map.t;
+      hb_ring : Pid.t list;
+      last_hb_round : int;
+      hb_seq : int;
+      suspected : Pid.Set.t;
+    }
+
+    let name = "phi"
+
+    let create ~n ~me =
+      {
+        me;
+        n;
+        peers =
+          List.fold_left
+            (fun m q ->
+              Pid.Map.add q
+                { last = None; window = Phi_window.create ~capacity:cfg.window }
+                m)
+            Pid.Map.empty (peers_of ~n ~me);
+        hb_ring = [];
+        last_hb_round = -1;
+        hb_seq = 0;
+        suspected = Pid.Set.empty;
+      }
+
+    (* Before the first arrival the peer is scored against the bootstrap
+       mean from the run's start, so a peer that crashes before ever
+       sending is still eventually suspected (completeness needs no
+       history). *)
+    let phi_of now q peer =
+      let anchor = Option.value ~default:0 peer.last in
+      let elapsed = float_of_int (now - anchor) in
+      let mean, std =
+        match (Phi_window.mean peer.window, Phi_window.variance peer.window) with
+        | Some m, Some v -> (m, Float.max cfg.min_std (sqrt v))
+        | _ -> (cfg.bootstrap, cfg.min_std)
+      in
+      ignore q;
+      phi ~elapsed ~mean ~std
+
+    let refresh t ~now =
+      let suspected =
+        Pid.Map.fold
+          (fun q peer acc ->
+            if phi_of now q peer > cfg.threshold then Pid.Set.add q acc
+            else acc)
+          t.peers Pid.Set.empty
+      in
+      { t with suspected }
+
+    let on_message t ~now ~src = function
+      | Message.Heartbeat _ ->
+          let peer =
+            match Pid.Map.find_opt src t.peers with
+            | Some p -> p
+            | None -> { last = None; window = Phi_window.create ~capacity:cfg.window }
+          in
+          let window =
+            match peer.last with
+            | None -> peer.window (* first arrival only anchors the clock *)
+            | Some l ->
+                Phi_window.observe peer.window (float_of_int (now - l))
+          in
+          let t =
+            {
+              t with
+              peers = Pid.Map.add src { last = Some now; window } t.peers;
+            }
+          in
+          Some (refresh t ~now)
+      | _ -> None
+
+    let tick t ~now = refresh t ~now
+
+    let next_send t ~now =
+      let round = now / cfg.hb_period in
+      if round > t.last_hb_round then
+        let t = { t with last_hb_round = round; hb_seq = t.hb_seq + 1 } in
+        match peers_of ~n:t.n ~me:t.me with
+        | [] -> None
+        | dst :: ring ->
+            Some
+              ( { t with hb_ring = ring },
+                (dst, Message.Heartbeat t.hb_seq) )
+      else
+        match t.hb_ring with
+        | [] -> None
+        | dst :: ring ->
+            Some ({ t with hb_ring = ring }, (dst, Message.Heartbeat t.hb_seq))
+
+    let suspicions t = t.suspected
+  end)
+
+(* ------------------------------------------------------------------ *)
+(* SWIM: round-robin direct probes, indirect probes through k proxies
+   after an rtt timeout, suspect-then-confirm. An ack retracts even a
+   confirmed suspicion — the surrogate for SWIM's incarnation-number
+   refutation (an ack is proof of life no incarnation can trump here,
+   since our processes never recover). *)
+
+let swim_core (cfg : swim_config) : (module CORE) =
+  (module struct
+    type probe = { target : Pid.t; seq : int; sent_at : int; indirect : bool }
+
+    type t = {
+      me : Pid.t;
+      n : int;
+      ring : Pid.t list; (* probe-target rotation *)
+      last_probe_round : int;
+      next_seq : int;
+      outstanding : probe option;
+      sent : (int * Pid.t) list; (* recent seq -> target, newest first *)
+      suspected : int Pid.Map.t; (* target -> suspicion start tick *)
+      confirmed : Pid.Set.t;
+      out : Outbox.t;
+    }
+
+    let name = "swim"
+
+    let create ~n ~me =
+      {
+        me;
+        n;
+        ring = [];
+        last_probe_round = -1;
+        next_seq = 0;
+        outstanding = None;
+        sent = [];
+        suspected = Pid.Map.empty;
+        confirmed = Pid.Set.empty;
+        out = Outbox.empty;
+      }
+
+    (* the [cfg.proxies] pids after [target] in ring order, skipping self
+       and the target *)
+    let proxy_list t target =
+      let rec go i acc =
+        if i > t.n || List.length acc >= cfg.proxies then List.rev acc
+        else
+          let q = (target + i) mod t.n in
+          if Pid.equal q t.me || Pid.equal q target then go (i + 1) acc
+          else go (i + 1) (q :: acc)
+      in
+      go 1 []
+
+    let on_message t ~now:_ ~src = function
+      | Message.Swim_ping { origin; seq } ->
+          Some { t with out = Outbox.push t.out ~dst:src (Message.Swim_ack { origin; seq }) }
+      | Message.Swim_ack { origin; seq } when not (Pid.equal origin t.me) ->
+          (* proxy leg: route the ack back to the prober *)
+          ignore seq;
+          Some
+            {
+              t with
+              out = Outbox.push t.out ~dst:origin (Message.Swim_ack { origin; seq });
+            }
+      | Message.Swim_ack { origin = _; seq } -> (
+          (* an ack for ANY recent probe is proof of life for its target:
+             a late ack (landing after the suspect timeout already fired)
+             must still retract, or a single slow round-trip pins a false
+             suspicion until the ring happens to re-probe the target *)
+          match List.assoc_opt seq t.sent with
+          | Some target ->
+              Some
+                {
+                  t with
+                  outstanding =
+                    (match t.outstanding with
+                    | Some o when o.seq = seq -> None
+                    | other -> other);
+                  suspected = Pid.Map.remove target t.suspected;
+                  confirmed = Pid.Set.remove target t.confirmed;
+                }
+          | None -> Some t (* ack for a probe older than the memory *))
+      | Message.Swim_ping_req { target; seq } ->
+          Some
+            {
+              t with
+              out =
+                Outbox.push t.out ~dst:target
+                  (Message.Swim_ping { origin = src; seq });
+            }
+      | _ -> None
+
+    let tick t ~now =
+      let t =
+        match t.outstanding with
+        | Some o when now - o.sent_at >= cfg.suspect_timeout ->
+            {
+              t with
+              outstanding = None;
+              suspected = Pid.Map.add o.target now t.suspected;
+            }
+        | Some o when (not o.indirect) && now - o.sent_at >= cfg.rtt_timeout ->
+            let out =
+              List.fold_left
+                (fun out proxy ->
+                  Outbox.push out ~dst:proxy
+                    (Message.Swim_ping_req { target = o.target; seq = o.seq }))
+                t.out (proxy_list t o.target)
+            in
+            { t with out; outstanding = Some { o with indirect = true } }
+        | _ -> t
+      in
+      let ripe, still =
+        Pid.Map.partition (fun _ since -> now - since >= cfg.confirm_timeout)
+          t.suspected
+      in
+      let t =
+        {
+          t with
+          suspected = still;
+          confirmed =
+            Pid.Map.fold (fun q _ acc -> Pid.Set.add q acc) ripe t.confirmed;
+        }
+      in
+      let round = now / cfg.probe_period in
+      if round > t.last_probe_round && t.outstanding = None then
+        let t = { t with last_probe_round = round } in
+        let ring =
+          match t.ring with [] -> peers_of ~n:t.n ~me:t.me | r -> r
+        in
+        match ring with
+        | [] -> t
+        | target :: ring ->
+            let seq = t.next_seq in
+            let keep = 4 * (cfg.suspect_timeout / cfg.probe_period) in
+            {
+              t with
+              ring;
+              next_seq = seq + 1;
+              outstanding =
+                Some { target; seq; sent_at = now; indirect = false };
+              sent = List.filteri (fun i _ -> i < keep) ((seq, target) :: t.sent);
+              out =
+                Outbox.push t.out ~dst:target
+                  (Message.Swim_ping { origin = t.me; seq });
+            }
+      else if round > t.last_probe_round then
+        (* the slot's probe budget is consumed by the outstanding probe *)
+        { t with last_probe_round = round }
+      else t
+
+    let next_send t ~now =
+      match Outbox.next t.out ~now with
+      | Some (out, send) -> Some ({ t with out }, send)
+      | None -> None
+
+    let suspicions t =
+      Pid.Map.fold (fun q _ acc -> Pid.Set.add q acc) t.suspected t.confirmed
+  end)
+
+(* ------------------------------------------------------------------ *)
+(* Gossip / anti-entropy membership: every round, bump the own heartbeat
+   counter and push the whole counter vector to [fanout] ring peers; on
+   receipt, max-merge. A peer whose counter has not advanced for
+   [fail_timeout] ticks is suspected; an advance retracts. *)
+
+let gossip_core (cfg : gossip_config) : (module CORE) =
+  (module struct
+    type t = {
+      me : Pid.t;
+      n : int;
+      counters : int Pid.Map.t;
+      last_advance : int Pid.Map.t;
+      ring : Pid.t list; (* gossip-target rotation *)
+      last_round : int;
+      pending : Pid.t list; (* this round's targets not yet sent *)
+      suspected : Pid.Set.t;
+    }
+
+    let name = "gossip"
+
+    let create ~n ~me =
+      {
+        me;
+        n;
+        counters =
+          List.fold_left
+            (fun m q -> Pid.Map.add q 0 m)
+            Pid.Map.empty (Pid.all n);
+        last_advance =
+          List.fold_left
+            (fun m q -> Pid.Map.add q 0 m)
+            Pid.Map.empty (Pid.all n);
+        ring = [];
+        last_round = -1;
+        pending = [];
+        suspected = Pid.Set.empty;
+      }
+
+    let refresh t ~now =
+      let suspected =
+        List.fold_left
+          (fun acc q ->
+            if Pid.equal q t.me then acc
+            else
+              match Pid.Map.find_opt q t.last_advance with
+              | Some l when now - l <= cfg.fail_timeout -> acc
+              | _ -> Pid.Set.add q acc)
+          Pid.Set.empty (Pid.all t.n)
+      in
+      { t with suspected }
+
+    let on_message t ~now ~src:_ = function
+      | Message.Gossip_counters l ->
+          let t =
+            List.fold_left
+              (fun t (q, c) ->
+                let cur = Option.value ~default:0 (Pid.Map.find_opt q t.counters) in
+                if c > cur then
+                  {
+                    t with
+                    counters = Pid.Map.add q c t.counters;
+                    last_advance = Pid.Map.add q now t.last_advance;
+                  }
+                else t)
+              t l
+          in
+          Some (refresh t ~now)
+      | _ -> None
+
+    let tick t ~now =
+      let round = now / cfg.gossip_period in
+      let t =
+        if round > t.last_round then
+          let counters =
+            Pid.Map.add t.me
+              (1 + Option.value ~default:0 (Pid.Map.find_opt t.me t.counters))
+              t.counters
+          in
+          let ring = match t.ring with [] -> peers_of ~n:t.n ~me:t.me | r -> r in
+          let rec split k acc ring =
+            if k = 0 then (List.rev acc, ring)
+            else
+              match ring with
+              | [] -> (
+                  match peers_of ~n:t.n ~me:t.me with
+                  | [] -> (List.rev acc, [])
+                  | refreshed -> split k acc refreshed)
+              | q :: rest -> split (k - 1) (q :: acc) rest
+          in
+          let targets, ring = split (min cfg.fanout (t.n - 1)) [] ring in
+          {
+            t with
+            counters;
+            last_advance = Pid.Map.add t.me now t.last_advance;
+            last_round = round;
+            ring;
+            (* a process too slow to drain last round's targets sheds them
+               rather than queueing ever more gossip *)
+            pending = targets;
+          }
+        else t
+      in
+      refresh t ~now
+
+    let next_send t ~now:_ =
+      match t.pending with
+      | [] -> None
+      | dst :: pending ->
+          Some
+            ( { t with pending },
+              (dst, Message.Gossip_counters (Pid.Map.bindings t.counters)) )
+
+    let suspicions t = t.suspected
+  end)
+
+(* ------------------------------------------------------------------ *)
+(* The adapter: wrap a core as a timed protocol that publishes its
+   suspicions into the per-run cells and alternates fairly with an inner
+   application protocol (the {!Convert.With_gossip} turn-taking idiom). *)
+
+let adapt (type a) (module D : CORE with type t = a)
+    (module P : Protocol.S) ~(cells : Pid.Set.t array) : (module Protocol.S_timed)
+    =
+  (module struct
+    type state = { det : a; inner : P.state; me : Pid.t; det_turn : bool }
+
+    let name = if P.name = "idle" then D.name else D.name ^ "+" ^ P.name
+
+    let create ~n ~me =
+      { det = D.create ~n ~me; inner = P.create ~n ~me; me; det_turn = true }
+
+    let publish t =
+      cells.(t.me) <- D.suspicions t.det;
+      t
+
+    let on_init t a = { t with inner = P.on_init t.inner a }
+
+    let on_recv t ~now ~src msg =
+      match D.on_message t.det ~now ~src msg with
+      | Some det -> publish { t with det }
+      | None -> { t with inner = P.on_recv t.inner ~src msg }
+
+    let on_suspect t r = { t with inner = P.on_suspect t.inner r }
+
+    let step t ~now =
+      let t = publish { t with det = D.tick t.det ~now } in
+      let det_step () =
+        match D.next_send t.det ~now with
+        | Some (det, (dst, msg)) ->
+            Some
+              ( publish { t with det; det_turn = false },
+                Protocol.Send_to (dst, msg) )
+        | None -> None
+      in
+      let inner_step () =
+        let inner, act = P.step t.inner ~now in
+        match act with
+        | Protocol.No_op ->
+            if inner == t.inner then None
+            else Some ({ t with inner; det_turn = true }, Protocol.No_op)
+        | act -> Some ({ t with inner; det_turn = true }, act)
+      in
+      let first, second =
+        if t.det_turn then (det_step, inner_step) else (inner_step, det_step)
+      in
+      match first () with
+      | Some r -> r
+      | None -> (
+          match second () with
+          | Some r -> r
+          | None -> ({ t with det_turn = not t.det_turn }, Protocol.No_op))
+
+    (* Detectors probe forever; runs with a backend stop only at the
+       horizon (or an application goal). *)
+    let quiescent _ = false
+    let performed t = P.performed t.inner
+  end)
+
+let cell_oracle ~name (cells : Pid.Set.t array) =
+  let last = Array.make (Array.length cells) None in
+  let poll p (_ : Oracle.view) =
+    let cur = cells.(p) in
+    match last.(p) with
+    | Some prev when Pid.Set.equal prev cur -> None
+    | None when Pid.Set.is_empty cur -> None
+    | _ ->
+        last.(p) <- Some cur;
+        Some (Report.std cur)
+  in
+  { Oracle.name; poll }
+
+let make_pair (module D : CORE) ?inner ~n () =
+  let inner =
+    match inner with Some p -> p | None -> (module Idle : Protocol.S)
+  in
+  let cells = Array.make n Pid.Set.empty in
+  let module M = (val adapt (module D) inner ~cells) in
+  {
+    oracle = cell_oracle ~name:D.name cells;
+    protocol = (fun p -> Protocol.make_timed (module M) ~n ~me:p);
+  }
+
+let phi_accrual ?(cfg = phi_defaults) ?inner ~n () =
+  make_pair (phi_core cfg) ?inner ~n ()
+
+let swim ?(cfg = swim_defaults) ?inner ~n () =
+  make_pair (swim_core cfg) ?inner ~n ()
+
+let gossip ?(cfg = gossip_defaults) ?inner ~n () =
+  make_pair (gossip_core cfg) ?inner ~n ()
+
+let labels = [ "phi"; "swim"; "gossip" ]
+
+let of_label = function
+  | "phi" -> Some (fun ~n -> phi_accrual ~n ())
+  | "swim" -> Some (fun ~n -> swim ~n ())
+  | "gossip" -> Some (fun ~n -> gossip ~n ())
+  | _ -> None

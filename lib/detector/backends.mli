@@ -1,0 +1,93 @@
+(** Implemented failure detectors.
+
+    {!Oracles} realises the paper's detector {e classes} axiomatically — an
+    oracle is told who crashed and shapes its reports to satisfy the class
+    definition. The backends here are the opposite: production-lineage
+    detectors (φ-accrual, SWIM, gossip/anti-entropy) implemented {e inside}
+    the simulated system as protocol components. They learn about crashes
+    only through messages on the fair-lossy channels, so which class each
+    one realises under which channel regime is an empirical question — the
+    one {!Explore.Classify} answers.
+
+    {2 The adapter}
+
+    A backend is delivered as a {!pair}: a protocol (the component that
+    probes, gossips, times out) and an {!Oracle.t} view of its suspicion
+    output. The two sides share per-run mutable cells: the protocol
+    publishes its current suspicion set into its cell on every transition,
+    and the oracle's [poll] reports the cell whenever it changed. Suspicions
+    therefore enter histories as ordinary [Suspect] events through the
+    standard polling path, and every downstream consumer — the detector
+    specs, the epistemic checker, the explorer, Table 1 — works unchanged.
+
+    Because of the shared cells, a pair is {b single-use}: build a fresh
+    one per execution (the same per-run discipline axiomatic oracles with
+    mutable state already follow). Backend protocol states are pure values,
+    but the cell publication is a benign side effect, so backends are meant
+    for the simulator and explorer, not for exhaustive enumeration. *)
+
+(** Windowed inter-arrival statistics for the φ-accrual detector.
+    Immutable; keeps the newest [capacity] samples. *)
+module Phi_window : sig
+  type t
+
+  val create : capacity:int -> t
+  val observe : t -> float -> t
+  val count : t -> int
+
+  (** [None] on an empty window. *)
+  val mean : t -> float option
+
+  (** Population variance; [Some 0.] on a single sample. *)
+  val variance : t -> float option
+end
+
+(** [phi ~elapsed ~mean ~std] is the φ value of the accrual detector:
+    [-log10 P(X > elapsed)] for [X ~ N(mean, std)], using the logistic
+    approximation of the normal tail standard in φ-accrual
+    implementations. Monotone increasing in [elapsed]. *)
+val phi : elapsed:float -> mean:float -> std:float -> float
+
+type phi_config = {
+  hb_period : int;  (** ticks between heartbeat rounds *)
+  window : int;  (** inter-arrival samples kept per peer *)
+  threshold : float;  (** suspect when φ exceeds this *)
+  min_std : float;  (** floor on the fitted deviation *)
+  bootstrap : float;  (** assumed mean before the first sample *)
+}
+
+type swim_config = {
+  probe_period : int;  (** ticks between probe launches *)
+  rtt_timeout : int;  (** no ack after this: go indirect *)
+  proxies : int;  (** ping-req fan-out [k] *)
+  suspect_timeout : int;  (** no ack after this: suspect *)
+  confirm_timeout : int;  (** suspected this long: confirm *)
+}
+
+type gossip_config = {
+  gossip_period : int;  (** ticks between counter-vector pushes *)
+  fanout : int;  (** gossip targets per round *)
+  fail_timeout : int;  (** counter stale this long: suspect *)
+}
+
+val phi_defaults : phi_config
+val swim_defaults : swim_config
+val gossip_defaults : gossip_config
+
+type pair = { oracle : Oracle.t; protocol : Pid.t -> Protocol.t }
+
+(** [inner] composes an application protocol alongside the detector
+    component (fair alternation, the {!Convert.With_gossip} idiom); it
+    defaults to an idle protocol. The inner protocol receives the
+    backend's suspicions through its ordinary [on_suspect], because the
+    backend's oracle reports land in the history and the simulator
+    forwards them — the adapter at work. *)
+val phi_accrual : ?cfg:phi_config -> ?inner:(module Protocol.S) -> n:int -> unit -> pair
+
+val swim : ?cfg:swim_config -> ?inner:(module Protocol.S) -> n:int -> unit -> pair
+val gossip : ?cfg:gossip_config -> ?inner:(module Protocol.S) -> n:int -> unit -> pair
+
+(** CLI/repro labels: ["phi"], ["swim"], ["gossip"]. *)
+val labels : string list
+
+val of_label : string -> (n:int -> pair) option

@@ -118,6 +118,40 @@ let impermanent_weak_completeness ?(timeline = event_timeline) run =
             Pid.pp q)
       (Pid.Set.elements faulty)
 
+(* Eventual accuracy, read at the horizon like the completeness
+   properties: "eventually no false suspicions" becomes "no false
+   suspicion {e held} at the horizon". A transient false suspicion that
+   was retracted is forgiven — that is exactly the ◇-weakening. *)
+let eventual_strong_accuracy ?(timeline = event_timeline) run =
+  fold_ok
+    (fun p ->
+      fold_ok
+        (fun q ->
+          if Run.crashed_by run q (Run.horizon run) then Ok ()
+          else
+            errorf
+              "eventual strong accuracy: %a still suspects live %a at the \
+               horizon"
+              Pid.pp p Pid.pp q)
+        (Pid.Set.elements (final_suspects timeline run p)))
+    (Pid.all (Run.n run))
+
+let eventual_weak_accuracy ?(timeline = event_timeline) run =
+  let correct = Run.correct run in
+  if Pid.Set.is_empty correct then Ok ()
+  else if
+    Pid.Set.exists
+      (fun q ->
+        List.for_all
+          (fun p -> not (Pid.Set.mem q (final_suspects timeline run p)))
+          (Pid.all (Run.n run)))
+      correct
+  then Ok ()
+  else
+    errorf
+      "eventual weak accuracy: every correct process is suspected by \
+       someone at the horizon"
+
 let gen_reports run p =
   Array.to_list (Run_index.gen_reports (Run_index.of_run run) p)
 
@@ -161,12 +195,21 @@ let t_useful run ~t =
   | Error _ as e -> e
   | Ok () -> generalized_impermanent_strong_completeness run ~t
 
-type cls = Perfect | Strong | Weak | Impermanent_strong | Impermanent_weak
+type cls =
+  | Perfect
+  | Strong
+  | Weak
+  | Eventually_perfect
+  | Eventually_strong
+  | Impermanent_strong
+  | Impermanent_weak
 
 let cls_name = function
   | Perfect -> "perfect"
   | Strong -> "strong"
   | Weak -> "weak"
+  | Eventually_perfect -> "eventually-perfect"
+  | Eventually_strong -> "eventually-strong"
   | Impermanent_strong -> "impermanent-strong"
   | Impermanent_weak -> "impermanent-weak"
 
@@ -182,9 +225,28 @@ let satisfies ?(timeline = event_timeline) cls run =
   | Weak ->
       weak_accuracy ~timeline run &&& fun () ->
       weak_completeness ~timeline run
+  | Eventually_perfect ->
+      eventual_strong_accuracy ~timeline run &&& fun () ->
+      strong_completeness ~timeline run
+  | Eventually_strong ->
+      eventual_weak_accuracy ~timeline run &&& fun () ->
+      strong_completeness ~timeline run
   | Impermanent_strong ->
       weak_accuracy ~timeline run &&& fun () ->
       impermanent_strong_completeness ~timeline run
   | Impermanent_weak ->
       weak_accuracy ~timeline run &&& fun () ->
       impermanent_weak_completeness ~timeline run
+
+(* The implication ladder among the classes we classify against: P ⟹ S
+   (strong accuracy implies weak), P ⟹ ◇P and S ⟹ ◇S (permanent
+   accuracy implies its eventual weakening), ◇P ⟹ ◇S. Used to report
+   {e maximal} empirical assignments. *)
+let implies a b =
+  a = b
+  ||
+  match (a, b) with
+  | Perfect, (Strong | Eventually_perfect | Eventually_strong) -> true
+  | Strong, Eventually_strong -> true
+  | Eventually_perfect, Eventually_strong -> true
+  | _ -> false

@@ -49,6 +49,18 @@ val impermanent_strong_completeness :
 val impermanent_weak_completeness :
   ?timeline:timeline -> Run.t -> (unit, string) result
 
+(** Eventual Strong Accuracy (the accuracy half of ◇P), read at the
+    horizon: no process still suspects a live process in its final
+    suspicion set. Transient false suspicions that were retracted are
+    allowed — the ◇-weakening. *)
+val eventual_strong_accuracy :
+  ?timeline:timeline -> Run.t -> (unit, string) result
+
+(** Eventual Weak Accuracy (the accuracy half of ◇S): some correct
+    process is absent from every final suspicion set. *)
+val eventual_weak_accuracy :
+  ?timeline:timeline -> Run.t -> (unit, string) result
+
 (** Generalized Strong Accuracy (Section 4): every report [(S,k)] is
     covered by [k] processes of [S] already crashed when it was emitted. *)
 val generalized_strong_accuracy : Run.t -> (unit, string) result
@@ -66,11 +78,16 @@ val generalized_impermanent_strong_completeness :
     plus generalized impermanent strong completeness. *)
 val t_useful : Run.t -> t:int -> (unit, string) result
 
-(** Named detector classes of the paper, for table-driven checking. *)
+(** Named detector classes, for table-driven checking: the paper's
+    Section 2.2 classes plus the Chandra-Toueg eventual classes ◇P
+    ([Eventually_perfect]) and ◇S ([Eventually_strong]) the implemented
+    backends ({!Backends}) are classified against. *)
 type cls =
   | Perfect
   | Strong
   | Weak
+  | Eventually_perfect
+  | Eventually_strong
   | Impermanent_strong
   | Impermanent_weak
 
@@ -78,3 +95,8 @@ val cls_name : cls -> string
 
 (** Conjunction of the class's accuracy and completeness properties. *)
 val satisfies : ?timeline:timeline -> cls -> Run.t -> (unit, string) result
+
+(** [implies a b]: satisfying [a] entails satisfying [b] on every run
+    (P ⟹ S ⟹ ◇S, P ⟹ ◇P ⟹ ◇S). Used to report maximal empirical
+    assignments. *)
+val implies : cls -> cls -> bool

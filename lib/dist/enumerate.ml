@@ -181,7 +181,7 @@ let apply node p move =
             else remove_first (x :: acc) rest
       in
       append (Event.Recv { src; msg });
-      states.(p) <- Protocol.on_recv states.(p) ~src msg;
+      states.(p) <- Protocol.on_recv states.(p) ~now:tick ~src msg;
       {
         node' with
         inflight_rev = List.rev (remove_first [] (List.rev node.inflight_rev));

@@ -7,6 +7,14 @@ type t =
   | Cons_propose of { round : int; value : int }
   | Cons_ack of { round : int; ok : bool }
   | Cons_decide of { value : int }
+  (* The detector-backend constructors come last: [Run.digest] Marshals
+     events, and Marshal encodes constructor tags positionally, so
+     appending (never inserting) keeps every pinned digest of the
+     pre-backend vocabulary byte-identical. *)
+  | Swim_ping of { origin : Pid.t; seq : int }
+  | Swim_ack of { origin : Pid.t; seq : int }
+  | Swim_ping_req of { target : Pid.t; seq : int }
+  | Gossip_counters of (Pid.t * int) list
 
 let rank = function
   | Coord_request _ -> 0
@@ -17,6 +25,10 @@ let rank = function
   | Cons_propose _ -> 5
   | Cons_ack _ -> 6
   | Cons_decide _ -> 7
+  | Swim_ping _ -> 8
+  | Swim_ack _ -> 9
+  | Swim_ping_req _ -> 10
+  | Gossip_counters _ -> 11
 
 let compare a b =
   match (a, b) with
@@ -33,6 +45,13 @@ let compare a b =
   | Cons_ack a', Cons_ack b' ->
       Stdlib.compare (a'.round, a'.ok) (b'.round, b'.ok)
   | Cons_decide a', Cons_decide b' -> Int.compare a'.value b'.value
+  | Swim_ping a', Swim_ping b' ->
+      Stdlib.compare (a'.origin, a'.seq) (b'.origin, b'.seq)
+  | Swim_ack a', Swim_ack b' ->
+      Stdlib.compare (a'.origin, a'.seq) (b'.origin, b'.seq)
+  | Swim_ping_req a', Swim_ping_req b' ->
+      Stdlib.compare (a'.target, a'.seq) (b'.target, b'.seq)
+  | Gossip_counters a', Gossip_counters b' -> Stdlib.compare a' b'
   | _ -> Int.compare (rank a) (rank b)
 
 let equal a b = compare a b = 0
@@ -48,6 +67,14 @@ let hash = function
   | Cons_propose { round; value } -> Fnv.mix (Fnv.mix 6 round) value
   | Cons_ack { round; ok } -> Fnv.mix (Fnv.mix 7 round) (Bool.to_int ok)
   | Cons_decide { value } -> Fnv.mix 8 value
+  | Swim_ping { origin; seq } -> Fnv.mix (Fnv.mix 9 origin) seq
+  | Swim_ack { origin; seq } -> Fnv.mix (Fnv.mix 10 origin) seq
+  | Swim_ping_req { target; seq } -> Fnv.mix (Fnv.mix 11 target) seq
+  | Gossip_counters l ->
+      List.fold_left
+        (fun h (p, c) -> Fnv.mix (Fnv.mix h p) c)
+        (Fnv.mix 12 (List.length l))
+        l
 
 let pp ppf = function
   | Coord_request (a, f) ->
@@ -64,6 +91,18 @@ let pp ppf = function
       Format.fprintf ppf "prop(r%d,v%d)" round value
   | Cons_ack { round; ok } -> Format.fprintf ppf "cack(r%d,%b)" round ok
   | Cons_decide { value } -> Format.fprintf ppf "decide(v%d)" value
+  | Swim_ping { origin; seq } ->
+      Format.fprintf ppf "sping(%a,#%d)" Pid.pp origin seq
+  | Swim_ack { origin; seq } ->
+      Format.fprintf ppf "sack(%a,#%d)" Pid.pp origin seq
+  | Swim_ping_req { target; seq } ->
+      Format.fprintf ppf "spingreq(%a,#%d)" Pid.pp target seq
+  | Gossip_counters l ->
+      Format.fprintf ppf "counters[%a]"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_char ppf ';')
+           (fun ppf (p, c) -> Format.fprintf ppf "%a:%d" Pid.pp p c))
+        l
 
 (* The fairness class deliberately ignores piggybacked facts: a protocol
    that retransmits req(alpha) with a growing fact set is still "sending the
@@ -79,3 +118,11 @@ let fairness_key = function
   | Cons_propose { round; _ } -> "prop:" ^ string_of_int round
   | Cons_ack { round; _ } -> "cack:" ^ string_of_int round
   | Cons_decide _ -> "decide"
+  (* Like piggybacked facts above, the gossiped counter vector is payload:
+     a gossiper resending its (ever-growing) counters is still "the same
+     message infinitely often" for R5, as are re-probes of the same
+     target. Sequence numbers are deliberately excluded. *)
+  | Swim_ping { origin; _ } -> "sping:" ^ Pid.to_string origin
+  | Swim_ack { origin; _ } -> "sack:" ^ Pid.to_string origin
+  | Swim_ping_req { target; _ } -> "spingreq:" ^ Pid.to_string target
+  | Gossip_counters _ -> "counters"

@@ -23,6 +23,17 @@ type t =
   | Cons_propose of { round : int; value : int }
   | Cons_ack of { round : int; ok : bool }
   | Cons_decide of { value : int }
+  | Swim_ping of { origin : Pid.t; seq : int }
+      (** SWIM direct probe; [origin] is the prober the acknowledgment
+          must reach (it differs from the sender when relayed by a
+          ping-req proxy) *)
+  | Swim_ack of { origin : Pid.t; seq : int }
+      (** probe acknowledgment, routed back towards [origin] *)
+  | Swim_ping_req of { target : Pid.t; seq : int }
+      (** indirect-probe request: "ping [target] on my behalf" *)
+  | Gossip_counters of (Pid.t * int) list
+      (** anti-entropy membership: the sender's per-process heartbeat
+          counter vector, max-merged at the receiver *)
 
 val equal : t -> t -> bool
 val compare : t -> t -> int

@@ -16,17 +16,38 @@ module type S = sig
   val performed : state -> Action_id.Set.t
 end
 
-type t = Packed : (module S with type state = 's) * 's -> t
+module type S_timed = sig
+  type state
+
+  val name : string
+  val create : n:int -> me:Pid.t -> state
+  val on_init : state -> Action_id.t -> state
+  val on_recv : state -> now:int -> src:Pid.t -> Message.t -> state
+  val on_suspect : state -> Report.t -> state
+  val step : state -> now:int -> state * step_action
+  val quiescent : state -> bool
+  val performed : state -> Action_id.Set.t
+end
+
+type t = Packed : (module S_timed with type state = 's) * 's -> t
+
+let make_timed (module M : S_timed) ~n ~me =
+  Packed ((module M : S_timed with type state = M.state), M.create ~n ~me)
 
 let make (module M : S) ~n ~me =
-  Packed ((module M : S with type state = M.state), M.create ~n ~me)
+  let module T = struct
+    include M
+
+    let on_recv s ~now:_ ~src msg = M.on_recv s ~src msg
+  end in
+  Packed ((module T : S_timed with type state = M.state), T.create ~n ~me)
 
 let name (Packed ((module M), _)) = M.name
 let on_init (Packed (m, s)) a = let (module M) = m in Packed (m, M.on_init s a)
 
-let on_recv (Packed (m, s)) ~src msg =
+let on_recv (Packed (m, s)) ~now ~src msg =
   let (module M) = m in
-  Packed (m, M.on_recv s ~src msg)
+  Packed (m, M.on_recv s ~now ~src msg)
 
 let on_suspect (Packed (m, s)) r =
   let (module M) = m in

@@ -40,13 +40,34 @@ module type S = sig
   val performed : state -> Action_id.Set.t
 end
 
+(** Like {!S}, but receive transitions also see the current tick. The
+    paper's protocols are time-oblivious on receipt — a received message
+    means the same thing whenever it lands — so {!S} stays the primary
+    signature and {!make} adapts it by ignoring [now]. Implemented
+    failure-detector backends ({!Detector.Backends}) are the exception:
+    φ-accrual keeps per-peer heartbeat {e arrival timestamps}, so the
+    receive transition needs the clock. *)
+module type S_timed = sig
+  type state
+
+  val name : string
+  val create : n:int -> me:Pid.t -> state
+  val on_init : state -> Action_id.t -> state
+  val on_recv : state -> now:int -> src:Pid.t -> Message.t -> state
+  val on_suspect : state -> Report.t -> state
+  val step : state -> now:int -> state * step_action
+  val quiescent : state -> bool
+  val performed : state -> Action_id.Set.t
+end
+
 (** A protocol instance with hidden state. *)
 type t
 
 val make : (module S) -> n:int -> me:Pid.t -> t
+val make_timed : (module S_timed) -> n:int -> me:Pid.t -> t
 val name : t -> string
 val on_init : t -> Action_id.t -> t
-val on_recv : t -> src:Pid.t -> Message.t -> t
+val on_recv : t -> now:int -> src:Pid.t -> Message.t -> t
 val on_suspect : t -> Report.t -> t
 val step : t -> now:int -> t * step_action
 val quiescent : t -> bool

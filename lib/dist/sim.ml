@@ -8,6 +8,7 @@ type config = {
   link_loss : ((Pid.t * Pid.t) * float) list;
   max_consecutive_drops : int;
   max_delay : int;
+  loss_schedule : (int * float) list;
   fault_plan : Fault_plan.t;
   init_plan : Init_plan.t;
   oracle : Oracle.t;
@@ -26,6 +27,7 @@ let config ~n ~seed =
     link_loss = [];
     max_consecutive_drops = 8;
     max_delay = 6;
+    loss_schedule = [];
     fault_plan = Fault_plan.empty;
     init_plan = Init_plan.empty;
     oracle = Oracle.none;
@@ -146,7 +148,7 @@ let oracle_view m =
 let deliver_message m p (src, msg, _sent_at) =
   Channel.deliver m.channel ~src ~dst:p msg;
   append m p (Event.Recv { src; msg });
-  m.states.(p) <- Protocol.on_recv m.states.(p) ~src msg
+  m.states.(p) <- Protocol.on_recv m.states.(p) ~now:m.now ~src msg
 
 let protocol_step m p =
   let state', act = Protocol.step m.states.(p) ~now:m.now in
@@ -356,6 +358,10 @@ let execute ?decisions cfg make_process =
   (try
      for tick = 1 to cfg.max_ticks do
        m.now <- tick;
+       List.iter
+         (fun (at, rate) ->
+           if at = tick then Channel.set_loss_rate m.channel rate)
+         cfg.loss_schedule;
        Decision.order m.source ~tick order;
        Array.iter (fun p -> schedule_process m p) order;
        if cfg.blackout_after_do && m.any_do && not m.blackout_done then (

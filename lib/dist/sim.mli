@@ -34,6 +34,14 @@ type config = {
       (** in-flight messages older than this are force-delivered: the
           finite surrogate for "no upper bound on delay, but every kept
           message is eventually received" *)
+  loss_schedule : (int * float) list;
+      (** [(tick, rate)] switch points: when [tick] starts, the channel's
+          global loss rate becomes [rate]. The finite surrogate for
+          partial synchrony — an eventually-timely regime is a lossy rate
+          followed by [(gst, 0.0)]. Drop decisions are consulted per send
+          regardless of the current rate, so the schedule changes drop
+          {e outcomes} but never the decision-trace shape; the default
+          [[]] leaves every existing configuration bit-identical. *)
   fault_plan : Fault_plan.t;
   init_plan : Init_plan.t;
   oracle : Oracle.t;

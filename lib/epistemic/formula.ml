@@ -112,7 +112,9 @@ let canon_msg = function
       Message.Coord_ack (a, Fact.Set.of_list (Fact.Set.elements f))
   | Message.Gossip s -> Message.Gossip (canon_pid_set s)
   | (Message.Heartbeat _ | Message.Cons_estimate _ | Message.Cons_propose _
-    | Message.Cons_ack _ | Message.Cons_decide _) as m ->
+    | Message.Cons_ack _ | Message.Cons_decide _ | Message.Swim_ping _
+    | Message.Swim_ack _ | Message.Swim_ping_req _ | Message.Gossip_counters _)
+    as m ->
       m
 
 let canon_prim = function

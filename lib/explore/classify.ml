@@ -1,0 +1,222 @@
+type regime = Reliable | Fair_lossy | Eventually_timely
+
+let regimes = [ Reliable; Fair_lossy; Eventually_timely ]
+
+let regime_label = function
+  | Reliable -> "reliable"
+  | Fair_lossy -> "lossy"
+  | Eventually_timely -> "eventually-timely"
+
+let regime_of_string = function
+  | "reliable" -> Ok Reliable
+  | "lossy" -> Ok Fair_lossy
+  | "eventually-timely" -> Ok Eventually_timely
+  | s ->
+      Error
+        (Printf.sprintf
+           "unknown regime %S (expected reliable | lossy | eventually-timely)"
+           s)
+
+type params = { n : int; crashes : int; runs : int; max_ticks : int; gst : int }
+
+let default_params = { n = 5; crashes = 2; runs = 30; max_ticks = 320; gst = 160 }
+
+let classes =
+  Detector.Spec.
+    [ Perfect; Strong; Eventually_perfect; Eventually_strong ]
+
+type outcome = {
+  backend : string;
+  regime : regime;
+  params : params;
+  rates : (Detector.Spec.cls * int) list;
+  assignment : Detector.Spec.cls list;
+  reports : int;
+  false_suspicions : int;
+  digest : string;
+}
+
+(* Crash plans land in the first quarter of the run so every backend has
+   time to converge on them; the goal is [Run_to_max] because detectors
+   probe forever. *)
+let config ~regime ~params ~seed =
+  let prng = Prng.create seed in
+  let cfg = Sim.config ~n:params.n ~seed in
+  let cfg =
+    {
+      cfg with
+      Sim.fault_plan =
+        Fault_plan.random prng ~n:params.n ~t:params.crashes
+          ~max_tick:(max 1 (params.max_ticks / 4));
+      goal = Sim.Run_to_max;
+      max_ticks = params.max_ticks;
+    }
+  in
+  match regime with
+  | Reliable -> cfg
+  | Fair_lossy -> { cfg with Sim.loss_rate = 0.3 }
+  | Eventually_timely ->
+      {
+        cfg with
+        Sim.loss_rate = 0.45;
+        loss_schedule = [ (params.gst, 0.0) ];
+        max_consecutive_drops = 12;
+      }
+
+let seeds count = List.init count (fun i -> Int64.of_int ((i * 7919) + 13))
+
+(* Suspicion change points, audited like {!Core.Sampled.f_overclaim}: a
+   change point is one report; it is a false suspicion if it names a
+   process not yet crashed at that tick. *)
+let audit run =
+  let reports = ref 0 and false_susp = ref 0 in
+  List.iter
+    (fun p ->
+      List.iter
+        (fun (tick, s) ->
+          incr reports;
+          if Pid.Set.exists (fun q -> not (Run.crashed_by run q tick)) s then
+            incr false_susp)
+        (Detector.Spec.event_timeline run p))
+    (Pid.all (Run.n run));
+  (!reports, !false_susp)
+
+let maximal sat_all =
+  List.filter
+    (fun c ->
+      not
+        (List.exists
+           (fun c' -> c' <> c && Detector.Spec.implies c' c)
+           sat_all))
+    sat_all
+
+let classify ?domains ~backend ~regime params =
+  match Protocols.backend_pair backend with
+  | None -> Error (Printf.sprintf "unknown detector backend %S" backend)
+  | Some mk ->
+      let job seed =
+        let cfg = config ~regime ~params ~seed in
+        let pair = mk ~n:params.n in
+        let cfg = { cfg with Sim.oracle = pair.Detector.Backends.oracle } in
+        let result = Sim.execute cfg pair.Detector.Backends.protocol in
+        let run = result.Sim.run in
+        let sat =
+          List.map
+            (fun c ->
+              (c, Result.is_ok (Detector.Spec.satisfies c run)))
+            classes
+        in
+        let reports, false_susp = audit run in
+        (sat, reports, false_susp, Run.digest run)
+      in
+      let verdicts = Ensemble.run ?domains ~seeds:(seeds params.runs) job in
+      let rates =
+        List.map
+          (fun c ->
+            ( c,
+              List.length
+                (List.filter
+                   (fun (sat, _, _, _) -> List.assoc c sat)
+                   verdicts) ))
+          classes
+      in
+      let sat_all =
+        List.filter_map
+          (fun (c, k) -> if k = params.runs then Some c else None)
+          rates
+      in
+      let reports =
+        List.fold_left (fun a (_, r, _, _) -> a + r) 0 verdicts
+      in
+      let false_suspicions =
+        List.fold_left (fun a (_, _, f, _) -> a + f) 0 verdicts
+      in
+      let digest =
+        Digest.to_hex
+          (Digest.string
+             (String.concat ""
+                (List.map (fun (_, _, _, d) -> d) verdicts)))
+      in
+      Ok
+        {
+          backend;
+          regime;
+          params;
+          rates;
+          assignment = maximal sat_all;
+          reports;
+          false_suspicions;
+          digest;
+        }
+
+let assignment_string = function
+  | [] -> "none"
+  | l -> String.concat "+" (List.map Detector.Spec.cls_name l)
+
+let pp_outcome ppf o =
+  Format.fprintf ppf "@[<v2>%s × %s (n=%d, t=%d, %d runs, horizon %d):"
+    o.backend (regime_label o.regime) o.params.n o.params.crashes o.params.runs
+    o.params.max_ticks;
+  List.iter
+    (fun (c, k) ->
+      Format.fprintf ppf "@,%-18s %d/%d" (Detector.Spec.cls_name c) k
+        o.params.runs)
+    o.rates;
+  Format.fprintf ppf "@,assignment: %s" (assignment_string o.assignment);
+  Format.fprintf ppf "@,reports: %d (false: %d)" o.reports o.false_suspicions;
+  Format.fprintf ppf "@,digest: %s@]" o.digest
+
+let certification_target o =
+  let sat_all =
+    List.filter_map
+      (fun (c, k) -> if k = o.params.runs then Some c else None)
+      o.rates
+  in
+  List.find_opt
+    (fun c ->
+      (not (List.mem c sat_all))
+      && List.for_all (fun a -> Detector.Spec.implies c a) o.assignment)
+    Detector.Spec.[ Eventually_strong; Eventually_perfect; Strong; Perfect ]
+
+type certificate = {
+  against : Detector.Spec.cls;
+  repro : Repro.t;
+  explored : int;
+}
+
+let certify ?(max_ticks = 160) ?(options = Engine.default_options) ~backend
+    ~against ~n () =
+  match Protocols.instantiate backend ~n with
+  | Error _ ->
+      Error (Printf.sprintf "unknown detector backend %S" backend)
+  | Ok protocol ->
+      let config =
+        { (Sim.config ~n ~seed:1L) with Sim.goal = Sim.Run_to_max; max_ticks }
+      in
+      let problem =
+        Problem.make
+          ~name:(Printf.sprintf "classify-%s" backend)
+          ~config ~protocol ~protocol_label:backend
+          (Property.Detector against)
+      in
+      let outcome, stats = Engine.search ~options problem in
+      let explored = stats.Engine.explored in
+      (match outcome with
+      | Engine.Violation (witness, _) ->
+          let shrunk = Shrink.minimize problem witness in
+          Ok { against; repro = Repro.of_shrunk problem shrunk; explored }
+      | Engine.Exhausted _ ->
+          Error
+            (Printf.sprintf
+               "no legal schedule violating %s found: bounded space exhausted \
+                (%d nodes) — consistent with the backend satisfying %s at \
+                this depth"
+               (Detector.Spec.cls_name against)
+               explored
+               (Detector.Spec.cls_name against))
+      | Engine.Budget _ ->
+          Error
+            (Printf.sprintf
+               "no violation of %s within the run budget (%d nodes explored)"
+               (Detector.Spec.cls_name against)
+               explored))

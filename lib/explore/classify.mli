@@ -1,0 +1,93 @@
+(** Empirical classification of implemented failure detectors.
+
+    The paper's taxonomy (P, S, ◇P, ◇S, …) is axiomatic; the implemented
+    backends ({!Detector.Backends}) only probe and time out. This module
+    answers which class each backend {e realises} under a channel
+    regime, two ways:
+
+    - {b ensemble statistics} ({!classify}): run a seed ensemble of the
+      backend under the regime with random crash plans, check each
+      class's axioms on every run ({!Detector.Spec.satisfies}), and
+      report the {e maximal} classes satisfied on all runs — the
+      statistical assignment under the regime's random schedules. The
+      ensemble runs on the deterministic {!Ensemble} pool, so the
+      outcome is bit-identical at every domain count.
+    - {b violation search} ({!certify}): drive the schedule explorer
+      against a stronger class's axioms on a {e crash-free} problem (so
+      completeness is vacuous and any violation is an accuracy
+      violation) and produce a shrunk, digest-strict replayable repro —
+      the worst-case legal schedule separating the backend from the
+      stronger class. *)
+
+type regime = Reliable | Fair_lossy | Eventually_timely
+
+val regimes : regime list
+val regime_label : regime -> string
+val regime_of_string : string -> (regime, string) result
+
+type params = {
+  n : int;
+  crashes : int;  (** random crash victims per run *)
+  runs : int;  (** ensemble size *)
+  max_ticks : int;  (** horizon *)
+  gst : int;  (** eventually-timely: tick at which losses stop *)
+}
+
+val default_params : params
+
+(** The classes a backend is scored against. *)
+val classes : Detector.Spec.cls list
+
+type outcome = {
+  backend : string;
+  regime : regime;
+  params : params;
+  rates : (Detector.Spec.cls * int) list;
+      (** runs (of [params.runs]) on which each class's axioms held *)
+  assignment : Detector.Spec.cls list;
+      (** maximal classes satisfied on every run; [[]] = none *)
+  reports : int;  (** suspicion change points summed over the ensemble *)
+  false_suspicions : int;
+      (** change points naming a process not yet crashed *)
+  digest : string;  (** MD5 over the ensemble's run digests, in order *)
+}
+
+(** The regime's simulator configuration for one seed (exposed so tests
+    and benches reuse the exact classification workload). *)
+val config : regime:regime -> params:params -> seed:int64 -> Sim.config
+
+val classify :
+  ?domains:int ->
+  backend:string ->
+  regime:regime ->
+  params ->
+  (outcome, string) result
+
+(** ["perfect+weak"]-style rendering of the assignment; ["none"] when
+    empty. *)
+val assignment_string : Detector.Spec.cls list -> string
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+(** The class worth certifying against: the weakest class above the
+    assignment that the ensemble did not satisfy ([None] when the
+    backend already satisfies the strongest class). *)
+val certification_target : outcome -> Detector.Spec.cls option
+
+type certificate = {
+  against : Detector.Spec.cls;
+  repro : Repro.t;
+  explored : int;  (** explorer nodes evaluated *)
+}
+
+(** Bounded search for a legal schedule violating [against]'s axioms on
+    a crash-free run of the backend. [Error] when the bounded space
+    contains no violation (itself evidence, at that depth). *)
+val certify :
+  ?max_ticks:int ->
+  ?options:Engine.options ->
+  backend:string ->
+  against:Detector.Spec.cls ->
+  n:int ->
+  unit ->
+  (certificate, string) result

@@ -48,13 +48,27 @@ let wire ?max_ticks t source =
     { config with Sim.oracle = Adversarial.oracle ~n:config.Sim.n source }
   else config
 
+(* Implemented detector backends ship as oracle/protocol pairs sharing
+   per-run cells, so each execution needs a fresh pair — the same
+   per-run discipline {!wire} applies to the adversarial oracle. *)
+let materialize ?max_ticks t source =
+  let config = wire ?max_ticks t source in
+  match Protocols.backend_pair t.protocol_label with
+  | None -> (config, t.protocol)
+  | Some mk ->
+      let pair = mk ~n:config.Sim.n in
+      ( { config with Sim.oracle = pair.Detector.Backends.oracle },
+        pair.Detector.Backends.protocol )
+
 let run ?max_ticks t ~plan ~silence =
   let source = Decision.scripted ~plan ~silence () in
-  (Sim.execute ~decisions:source (wire ?max_ticks t source) t.protocol, source)
+  let config, protocol = materialize ?max_ticks t source in
+  (Sim.execute ~decisions:source config protocol, source)
 
 let replay ?max_ticks t ~trace =
   let source = Decision.replay trace in
-  Sim.execute ~decisions:source (wire ?max_ticks t source) t.protocol
+  let config, protocol = materialize ?max_ticks t source in
+  Sim.execute ~decisions:source config protocol
 
 let violation t (result : Sim.result) =
   let run = result.Sim.run in

@@ -16,11 +16,7 @@ let to_string = function
   | Nudc -> "nudc"
   | Expect Core.Adversary.Udc_violated -> "expect-udc-violated"
   | Expect Core.Adversary.Dc1_violated -> "expect-dc1-violated"
-  | Detector Detector.Spec.Perfect -> "detector:perfect"
-  | Detector Detector.Spec.Strong -> "detector:strong"
-  | Detector Detector.Spec.Weak -> "detector:weak"
-  | Detector Detector.Spec.Impermanent_strong -> "detector:impermanent-strong"
-  | Detector Detector.Spec.Impermanent_weak -> "detector:impermanent-weak"
+  | Detector cls -> "detector:" ^ Detector.Spec.cls_name cls
   | Epistemic_dc2 -> "epistemic-dc2"
 
 let all =
@@ -35,6 +31,8 @@ let all =
     Detector Detector.Spec.Perfect;
     Detector Detector.Spec.Strong;
     Detector Detector.Spec.Weak;
+    Detector Detector.Spec.Eventually_perfect;
+    Detector Detector.Spec.Eventually_strong;
     Detector Detector.Spec.Impermanent_strong;
     Detector Detector.Spec.Impermanent_weak;
     Epistemic_dc2;

@@ -20,10 +20,15 @@ let parse label =
       | None, None ->
           errorf
             "unknown protocol %S (expected nudc | reliable | ack | theta | \
-             heartbeat | majority:T | gen:T)"
+             heartbeat | majority:T | gen:T | phi | swim | gossip)"
             s)
 
+let backend_pair = Detector.Backends.of_label
+
 let instantiate label ~n =
-  match parse label with
-  | Error _ as e -> e
-  | Ok proto -> Ok (fun p -> Protocol.make proto ~n ~me:p)
+  match backend_pair label with
+  | Some mk -> Ok (mk ~n).Detector.Backends.protocol
+  | None -> (
+      match parse label with
+      | Error _ as e -> e
+      | Ok proto -> Ok (fun p -> Protocol.make proto ~n ~me:p))

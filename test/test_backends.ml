@@ -1,0 +1,204 @@
+(* Implemented detector backends (phi-accrual, SWIM, gossip) and their
+   empirical classification.
+
+   The load-bearing claims: a backend run is a pure function of its seed
+   (record -> replay digest determinism, fresh pair per execution); on
+   reliable channels with no crashes a backend never holds a suspicion at
+   the horizon; the phi window statistics are exact at their boundary
+   cases; and classification outcomes — the empirical Table 1 rows — are
+   bit-identical at every domain count, as is the sampled-knowledge
+   overclaim audit they are modelled on. *)
+
+let backends = Detector.Backends.labels
+
+let exec_backend ?(loss = 0.0) ?(faults = Fault_plan.empty) ~n ~seed label =
+  let mk =
+    match Explore.Protocols.backend_pair label with
+    | Some mk -> mk
+    | None -> Alcotest.failf "unknown backend %s" label
+  in
+  let pair = mk ~n in
+  let cfg =
+    {
+      (Sim.config ~n ~seed) with
+      Sim.loss_rate = loss;
+      oracle = pair.Detector.Backends.oracle;
+      fault_plan = faults;
+      init_plan = Init_plan.one ~owner:0 ~at:1;
+      goal = Sim.Run_to_max;
+      max_ticks = 300;
+    }
+  in
+  (Sim.execute cfg pair.Detector.Backends.protocol).Sim.run
+
+(* ---------- record -> replay determinism ---------- *)
+
+let test_same_seed_same_digest () =
+  List.iter
+    (fun label ->
+      List.iter
+        (fun seed ->
+          let digest () =
+            Run.digest
+              (exec_backend ~loss:0.3
+                 ~faults:(Fault_plan.crash_at [ (1, 40) ])
+                 ~n:4 ~seed label)
+          in
+          Alcotest.(check string)
+            (Printf.sprintf "%s seed %Ld" label seed)
+            (digest ()) (digest ()))
+        (Helpers.seeds 4))
+    backends
+
+(* ---------- accuracy on crash-free reliable channels ---------- *)
+
+let test_reliable_crash_free_no_suspicions () =
+  List.iter
+    (fun label ->
+      List.iter
+        (fun seed ->
+          let run = exec_backend ~n:5 ~seed label in
+          List.iter
+            (fun p ->
+              let final =
+                Detector.Spec.suspects_at Detector.Spec.event_timeline run p
+                  (Run.horizon run)
+              in
+              Alcotest.(check bool)
+                (Printf.sprintf
+                   "%s seed %Ld: p%d holds no suspicion at the horizon" label
+                   seed p)
+                true
+                (Pid.Set.is_empty final))
+            (Pid.all (Run.n run)))
+        (Helpers.seeds 4))
+    backends
+
+(* crashes on reliable channels: every backend detects them (strong
+   completeness) and, with losses absent, holds no false suspicion at the
+   horizon — the eventually-perfect reading *)
+let test_reliable_crash_detection () =
+  List.iter
+    (fun label ->
+      let run =
+        exec_backend ~faults:(Fault_plan.crash_at [ (2, 30) ]) ~n:4 ~seed:7L
+          label
+      in
+      Helpers.check_ok
+        (Printf.sprintf "%s: strong completeness" label)
+        (Detector.Spec.strong_completeness run);
+      Helpers.check_ok
+        (Printf.sprintf "%s: eventual strong accuracy" label)
+        (Detector.Spec.eventual_strong_accuracy run))
+    backends
+
+(* ---------- phi window boundary cases ---------- *)
+
+let test_phi_window_boundaries () =
+  let module W = Detector.Backends.Phi_window in
+  let w = W.create ~capacity:3 in
+  Alcotest.(check int) "empty window: count" 0 (W.count w);
+  Alcotest.(check (option (float 1e-9))) "empty window: mean" None (W.mean w);
+  Alcotest.(check (option (float 1e-9)))
+    "empty window: variance" None (W.variance w);
+  let w1 = W.observe w 12.0 in
+  Alcotest.(check int) "single sample: count" 1 (W.count w1);
+  Alcotest.(check (option (float 1e-9)))
+    "single sample: mean" (Some 12.0) (W.mean w1);
+  Alcotest.(check (option (float 1e-9)))
+    "single sample: variance" (Some 0.0) (W.variance w1);
+  let w4 = List.fold_left W.observe w [ 8.0; 8.0; 8.0; 8.0 ] in
+  Alcotest.(check int) "capacity caps the window" 3 (W.count w4);
+  Alcotest.(check (option (float 1e-9)))
+    "constant inter-arrivals: mean" (Some 8.0) (W.mean w4);
+  Alcotest.(check (option (float 1e-9)))
+    "constant inter-arrivals: variance" (Some 0.0) (W.variance w4);
+  (* eviction is oldest-first: only the newest [capacity] samples count *)
+  let w_mixed =
+    List.fold_left W.observe (W.create ~capacity:2) [ 100.0; 4.0; 6.0 ]
+  in
+  Alcotest.(check (option (float 1e-9)))
+    "oldest sample evicted" (Some 5.0)
+    (W.mean w_mixed)
+
+let test_phi_monotone () =
+  let phi e = Detector.Backends.phi ~elapsed:e ~mean:10.0 ~std:2.0 in
+  let rec check prev = function
+    | [] -> ()
+    | e :: rest ->
+        let v = phi e in
+        Alcotest.(check bool)
+          (Printf.sprintf "phi monotone at elapsed=%.1f" e)
+          true (v >= prev);
+        check v rest
+  in
+  check (phi 0.0) [ 2.0; 6.0; 10.0; 14.0; 20.0; 40.0 ];
+  (* at the mean the tail probability is 1/2, so phi = log10 2 *)
+  Alcotest.(check (float 1e-6))
+    "phi at the mean" (log10 2.0)
+    (phi 10.0)
+
+(* ---------- classification determinism across domain counts ---------- *)
+
+let classification_domain_invariance =
+  QCheck.Test.make ~name:"classification digest identical at domains 1/2/4"
+    ~count:4
+    QCheck.(
+      pair (int_range 0 (List.length backends - 1)) (int_range 0 2))
+    (fun (bi, ri) ->
+      let backend = List.nth backends bi in
+      let regime = List.nth Explore.Classify.regimes ri in
+      let params =
+        { Explore.Classify.default_params with
+          Explore.Classify.runs = 4;
+          max_ticks = 120;
+          gst = 60;
+        }
+      in
+      let outcome domains =
+        match Explore.Classify.classify ~domains ~backend ~regime params with
+        | Ok o -> (o.Explore.Classify.digest, o.Explore.Classify.rates)
+        | Error e -> QCheck.Test.fail_report e
+      in
+      let d1 = outcome 1 in
+      d1 = outcome 2 && d1 = outcome 4)
+
+(* ---------- sampled-knowledge overclaim audit determinism ---------- *)
+
+let overclaim_domain_invariance =
+  QCheck.Test.make
+    ~name:"f_overclaim record bit-identical at domains 1/2/4" ~count:4
+    QCheck.(int_range 0 1000)
+    (fun salt ->
+      let mk_config seed =
+        let seed = Int64.add seed (Int64.of_int salt) in
+        {
+          (Sim.config ~n:3 ~seed) with
+          Sim.loss_rate = 0.2;
+          oracle = Detector.Oracles.perfect ();
+          fault_plan = Fault_plan.crash_at [ (1, 5) ];
+          init_plan = Init_plan.one ~owner:0 ~at:1;
+          max_ticks = 300;
+        }
+      in
+      let env =
+        Core.Sampled.env ~mk_config ~protocol:(module Core.Ack_udc.P) ~runs:6
+      in
+      let o1 = Core.Sampled.f_overclaim ~domains:1 env in
+      o1 = Core.Sampled.f_overclaim ~domains:2 env
+      && o1 = Core.Sampled.f_overclaim ~domains:4 env)
+
+let suite =
+  [
+    Alcotest.test_case "record -> replay: same seed, same digest" `Quick
+      test_same_seed_same_digest;
+    Alcotest.test_case "reliable crash-free: no suspicion at horizon" `Quick
+      test_reliable_crash_free_no_suspicions;
+    Alcotest.test_case "reliable crashes: complete and eventually accurate"
+      `Quick test_reliable_crash_detection;
+    Alcotest.test_case "phi window boundary cases" `Quick
+      test_phi_window_boundaries;
+    Alcotest.test_case "phi is monotone in elapsed" `Quick test_phi_monotone;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [ classification_domain_invariance; overclaim_domain_invariance ]

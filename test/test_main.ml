@@ -10,6 +10,7 @@ let () =
       ("specs", Test_specs.suite);
       ("detector", Test_detector.suite);
       ("detector-specs", Test_detector_specs.suite);
+      ("backends", Test_backends.suite);
       ("protocols", Test_protocols.suite);
       ("adversary", Test_adversary.suite);
       ("consensus", Test_consensus.suite);
