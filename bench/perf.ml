@@ -654,6 +654,186 @@ let explorer_throughput ~gate () =
           %.3fs at domains=1 (> 10%% slower)"
          pool par_wall seq_wall)
 
+(* P9: the explorer at a million states. The heartbeat protocol is the
+   reduction showcase: periodic heartbeats pile up into backlogs whose
+   pick points repeat the same key sets (pruned by the dpor pick
+   refinement) and are absorbed by receivers that never respond (their
+   crash points are receive-only deltas, pruned by the crash
+   refinement). The same move space is exhausted in bfs and dpor modes
+   with the per-family caps opened far past where the default search
+   saturates, plus a fuzz phase; together the three phases must visit
+   >= 10^6 decision-prefix states inside the CI smoke budget, and dpor
+   must exhaust in at most half the runs bfs needs. Both counts are
+   deterministic, so the ratio gate cannot flake — only the states/sec
+   floor is machine-dependent. The explored/states counts double as the
+   work-stealing determinism gate: they must be bit-identical at
+   domains=1 and on the pool. *)
+let explorer_million ~gate () =
+  Util.header "P9: explorer to a million states (dpor reduction + fuzz)";
+  let n = 4 in
+  let config =
+    {
+      (Sim.config ~n ~seed:11L) with
+      Sim.init_plan = Init_plan.one ~owner:0 ~at:1;
+      max_ticks = 60;
+      crash_budget = 2;
+    }
+  in
+  let protocol =
+    match Explore.Protocols.instantiate "heartbeat" ~n with
+    | Ok p -> p
+    | Error e -> failwith ("P9: " ^ e)
+  in
+  let problem =
+    Explore.Problem.make ~name:"p9-heartbeat" ~config ~protocol
+      ~protocol_label:"heartbeat" Explore.Property.Dc3
+  in
+  let options mode domains =
+    {
+      Explore.Engine.default_options with
+      Explore.Engine.mode;
+      depth = 2;
+      max_runs = 120_000;
+      crash_points = 1_000;
+      pick_points = 1_000;
+      domains = Some domains;
+      mutants = 16;
+    }
+  in
+  let phase mode domains =
+    let t0 = Unix.gettimeofday () in
+    let outcome, stats =
+      Explore.Engine.search ~options:(options mode domains) problem
+    in
+    (Unix.gettimeofday () -. t0, outcome, stats)
+  in
+  let pool = max (Ensemble.domain_count ()) 1 in
+  let exhausted mode (outcome : Explore.Engine.outcome) =
+    match outcome with
+    | Explore.Engine.Exhausted _ -> ()
+    | Explore.Engine.Budget _ ->
+        failwith
+          (Printf.sprintf "P9: %s ran out of budget before the move space"
+             (Explore.Engine.mode_to_string mode))
+    | Explore.Engine.Violation _ ->
+        failwith
+          (Printf.sprintf "P9: DC3 unexpectedly violated in %s mode"
+             (Explore.Engine.mode_to_string mode))
+  in
+  let report name wall (stats : Explore.Engine.stats) =
+    record name ~wall
+      ~runs:(Some stats.Explore.Engine.explored)
+      ~extra:
+        (Printf.sprintf
+           ", \"states\": %d, \"states_per_sec\": %.0f, \"distinct\": %d, \
+            \"seen_hits\": %d, \"pruned\": %d"
+           stats.Explore.Engine.states
+           (if wall > 0.0 then
+              float_of_int stats.Explore.Engine.states /. wall
+            else 0.0)
+           stats.Explore.Engine.distinct stats.Explore.Engine.seen_hits
+           stats.Explore.Engine.pruned);
+    Format.printf "    %-28s %8.0f states/s  (%d runs, %d states, %d pruned)@."
+      name
+      (float_of_int stats.Explore.Engine.states /. wall)
+      stats.Explore.Engine.explored stats.Explore.Engine.states
+      stats.Explore.Engine.pruned
+  in
+  let bfs_wall, bfs_outcome, bfs = phase Explore.Engine.Bfs 1 in
+  exhausted Explore.Engine.Bfs bfs_outcome;
+  let dpor_wall, dpor_outcome, dpor = phase Explore.Engine.Dpor 1 in
+  exhausted Explore.Engine.Dpor dpor_outcome;
+  (* fuzz never exhausts; its budget is its phase size *)
+  let fuzz_options domains =
+    { (options Explore.Engine.Fuzz domains) with Explore.Engine.max_runs = 600 }
+  in
+  let fuzz_wall, fuzz_outcome, fuzz =
+    let t0 = Unix.gettimeofday () in
+    let outcome, stats =
+      Explore.Engine.search ~options:(fuzz_options 1) problem
+    in
+    (Unix.gettimeofday () -. t0, outcome, stats)
+  in
+  (match fuzz_outcome with
+  | Explore.Engine.Budget _ -> ()
+  | Explore.Engine.Exhausted _ -> failwith "P9: fuzz claims exhaustion"
+  | Explore.Engine.Violation _ ->
+      failwith "P9: DC3 unexpectedly violated in fuzz mode");
+  report "explorer-p9:bfs" bfs_wall bfs;
+  report "explorer-p9:dpor" dpor_wall dpor;
+  report "explorer-p9:fuzz" fuzz_wall fuzz;
+  (* determinism: the pool must reproduce the sequential counts exactly *)
+  if pool >= 2 then begin
+    let _, dpor_outcome', dpor' = phase Explore.Engine.Dpor pool in
+    exhausted Explore.Engine.Dpor dpor_outcome';
+    if
+      dpor'.Explore.Engine.explored <> dpor.Explore.Engine.explored
+      || dpor'.Explore.Engine.states <> dpor.Explore.Engine.states
+      || dpor'.Explore.Engine.seen_hits <> dpor.Explore.Engine.seen_hits
+    then
+      failwith
+        (Printf.sprintf
+           "P9 determinism violated: domains=%d explored/states/hits \
+            %d/%d/%d vs %d/%d/%d at domains=1"
+           pool dpor'.Explore.Engine.explored dpor'.Explore.Engine.states
+           dpor'.Explore.Engine.seen_hits dpor.Explore.Engine.explored
+           dpor.Explore.Engine.states dpor.Explore.Engine.seen_hits);
+    let _, fuzz_outcome', fuzz' =
+      let t0 = Unix.gettimeofday () in
+      let outcome, stats =
+        Explore.Engine.search ~options:(fuzz_options pool) problem
+      in
+      (Unix.gettimeofday () -. t0, outcome, stats)
+    in
+    ignore fuzz_outcome';
+    if
+      fuzz'.Explore.Engine.explored <> fuzz.Explore.Engine.explored
+      || fuzz'.Explore.Engine.states <> fuzz.Explore.Engine.states
+    then
+      failwith
+        (Printf.sprintf
+           "P9 fuzz determinism violated: domains=%d explored/states %d/%d \
+            vs %d/%d at domains=1"
+           pool fuzz'.Explore.Engine.explored fuzz'.Explore.Engine.states
+           fuzz.Explore.Engine.explored fuzz.Explore.Engine.states)
+  end;
+  let total_states =
+    bfs.Explore.Engine.states + dpor.Explore.Engine.states
+    + fuzz.Explore.Engine.states
+  in
+  let ratio =
+    float_of_int bfs.Explore.Engine.explored
+    /. float_of_int (max 1 dpor.Explore.Engine.explored)
+  in
+  let rate = float_of_int total_states /. (bfs_wall +. dpor_wall +. fuzz_wall) in
+  record "explorer-p9:total" ~wall:(bfs_wall +. dpor_wall +. fuzz_wall)
+    ~runs:
+      (Some
+         (bfs.Explore.Engine.explored + dpor.Explore.Engine.explored
+        + fuzz.Explore.Engine.explored))
+    ~extra:
+      (Printf.sprintf ", \"states\": %d, \"reduction_ratio\": %.2f" total_states
+         ratio);
+  Format.printf
+    "    (total %d states at %.0f states/s; dpor exhausts in %.2fx fewer \
+     runs than bfs)@."
+    total_states rate ratio;
+  if gate then begin
+    (* the tentpole's acceptance gates: a million states inside the smoke
+       budget, and the happens-before refinements halving the move space *)
+    if total_states < 1_000_000 then
+      failwith
+        (Printf.sprintf "P9: only %d states visited (target 1e6)" total_states);
+    if ratio < 2.0 then
+      failwith
+        (Printf.sprintf
+           "P9 reduction regressed: bfs/dpor explored ratio %.2f < 2.0" ratio);
+    (* conservative floor: the seed machine measures ~1.5M states/s *)
+    if rate < 100_000.0 then
+      failwith
+        (Printf.sprintf "P9 throughput regressed: %.0f states/s < 100000" rate)
+  end
+
 (* P11: detector classification — one cell of the E17 grid (phi under
    fair loss) run sequentially and on the pool. The outcome digest (MD5
    over the ensemble's run digests in seed order) is the determinism
@@ -738,6 +918,9 @@ let run ?(smoke = false) ?(pool_stats = false) () =
   (* the smoke job gates on parallel scaling so the spawn-per-call
      regression stays fixed forever *)
   explorer_throughput ~gate:smoke ();
+  (* P9 rides the smoke job: the million-state floor, the dpor reduction
+     ratio and the cross-domain count equality are all self-checking *)
+  explorer_million ~gate:smoke ();
   (* classification rides the smoke job: the cross-domain digest gate
      keeps the empirical Table 1 rows machine-independent *)
   classification ~smoke ();

@@ -211,8 +211,9 @@ let scenario_of_name name ~n ~t ~seed =
         (Printf.sprintf "unknown scenario %S (solo | confined | lying | blind)"
            s)
 
-let explore scenario t property proto_label n seed search_depth window max_runs
-    domains max_ticks crash_budget adversarial out replay expect pool_stats =
+let explore scenario t property proto_label n seed mode search_depth window
+    max_runs domains max_ticks crash_budget adversarial out replay expect
+    pool_stats =
   let fail fmt =
     Printf.ksprintf
       (fun s ->
@@ -267,14 +268,16 @@ let explore scenario t property proto_label n seed search_depth window max_runs
                       ~adversarial_oracle:adversarial ~config ~protocol
                       ~protocol_label:proto_label property))
       in
-      Format.printf "exploring %s (%s) for %s, depth <= %d@."
+      Format.printf "exploring %s (%s) for %s, mode %s, depth <= %d@."
         problem.Explore.Problem.name problem.Explore.Problem.protocol_label
         (Explore.Property.to_string problem.Explore.Problem.property)
+        (Explore.Engine.mode_to_string mode)
         search_depth;
       let options =
         {
           Explore.Engine.default_options with
-          Explore.Engine.depth = search_depth;
+          Explore.Engine.mode;
+          depth = search_depth;
           window;
           max_runs;
           domains;
@@ -283,6 +286,13 @@ let explore scenario t property proto_label n seed search_depth window max_runs
       let outcome, _ = Explore.Engine.search ~options problem in
       if pool_stats then
         Format.printf "%a@." Ensemble.pp_stats (Ensemble.stats ());
+      let reduction (stats : Explore.Engine.stats) =
+        Format.printf
+          "  states: %d visited, %d distinct runs, %d seen-cache cuts, %d \
+           branch points pruned@."
+          stats.Explore.Engine.states stats.Explore.Engine.distinct
+          stats.Explore.Engine.seen_hits stats.Explore.Engine.pruned
+      in
       let check_expect_none () =
         if expect = "violation" then (
           prerr_endline "udc explore: expected a violation, none found";
@@ -293,19 +303,27 @@ let explore scenario t property proto_label n seed search_depth window max_runs
           Format.printf
             "no violation: move space exhausted (%d runs, depth %d reached)@."
             stats.Explore.Engine.explored stats.Explore.Engine.depth_reached;
+          reduction stats;
           check_expect_none ()
       | Explore.Engine.Budget stats ->
           Format.printf
             "no violation within budget (%d runs, depth %d reached)@."
             stats.Explore.Engine.explored stats.Explore.Engine.depth_reached;
+          reduction stats;
           check_expect_none ()
       | Explore.Engine.Violation (w, stats) ->
           Format.printf "violation found after %d runs at depth %d@."
             stats.Explore.Engine.explored stats.Explore.Engine.depth_reached;
+          reduction stats;
           Format.printf "  schedule:  %a@." Explore.Engine.pp_node
             w.Explore.Engine.node;
           Format.printf "  violation: %s@." w.Explore.Engine.violation;
-          let shrunk = Explore.Shrink.minimize problem w in
+          let shrunk =
+            match mode with
+            | Explore.Engine.Fuzz -> Explore.Shrink.minimize_trace problem w
+            | Explore.Engine.Bfs | Explore.Engine.Dpor ->
+                Explore.Shrink.minimize problem w
+          in
           Format.printf "shrunk: %d decisions over %d ticks@."
             shrunk.Explore.Shrink.decisions shrunk.Explore.Shrink.max_ticks;
           Format.printf "  schedule:  %a@." Explore.Engine.pp_node
@@ -352,6 +370,24 @@ let explore_protocol_arg =
         ~doc:
           "Protocol (without --scenario): nudc | reliable | ack | theta | \
            heartbeat | majority:T | gen:T.")
+
+let mode_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("bfs", Explore.Engine.Bfs);
+             ("dpor", Explore.Engine.Dpor);
+             ("fuzz", Explore.Engine.Fuzz);
+           ])
+        Explore.Engine.Dpor
+    & info [ "mode" ]
+        ~doc:
+          "Exploration mode: bfs (bounded breadth-first, static pruning \
+           only) | dpor (bfs + happens-before branch-point reduction; \
+           default) | fuzz (coverage-guided trace mutation, no depth \
+           bound).")
 
 let search_depth_arg =
   Arg.(value & opt int 4 & info [ "depth" ] ~doc:"Maximum move-set size.")
@@ -546,9 +582,10 @@ let explore_cmd =
           shrink the witness, and emit a replayable repro file.")
     Term.(
       const explore $ scenario_arg $ t_arg $ property_arg
-      $ explore_protocol_arg $ n_arg $ seed_arg $ search_depth_arg $ window_arg
-      $ max_runs_arg $ domains_arg $ max_ticks_arg $ crash_budget_arg
-      $ adversarial_arg $ out_arg $ replay_arg $ expect_arg $ pool_stats_arg)
+      $ explore_protocol_arg $ n_arg $ seed_arg $ mode_arg $ search_depth_arg
+      $ window_arg $ max_runs_arg $ domains_arg $ max_ticks_arg
+      $ crash_budget_arg $ adversarial_arg $ out_arg $ replay_arg $ expect_arg
+      $ pool_stats_arg)
 
 let simulate_cmd =
   Cmd.v

@@ -23,6 +23,18 @@ let pp ppf = function
   | Crash b -> Format.fprintf ppf "crash(%b)" b
   | Suspect k -> Format.fprintf ppf "suspect(%d)" k
 
+(* Seeded FNV hash, consistent with [equal]; the explorer folds it over
+   trace prefixes to fingerprint decision-prefix states. Constructor tags
+   keep [Deliver true] and [Drop true] apart. *)
+let hash d =
+  match d with
+  | Order a -> Array.fold_left Fnv.mix (Fnv.mix Fnv.seed 1) a
+  | Deliver b -> Fnv.mix (Fnv.mix Fnv.seed 2) (Bool.to_int b)
+  | Pick k -> Fnv.mix (Fnv.mix Fnv.seed 3) k
+  | Drop b -> Fnv.mix (Fnv.mix Fnv.seed 4) (Bool.to_int b)
+  | Crash b -> Fnv.mix (Fnv.mix Fnv.seed 5) (Bool.to_int b)
+  | Suspect k -> Fnv.mix (Fnv.mix Fnv.seed 6) k
+
 let bit b = if b then "1" else "0"
 
 let decision_to_string = function

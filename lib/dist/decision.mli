@@ -30,6 +30,12 @@ type t =
           suspicion of process [q] and report the new set *)
 
 val equal : t -> t -> bool
+
+(** Seeded FNV hash consistent with [equal] — the ingredient the
+    explorer folds over trace prefixes to fingerprint decision-prefix
+    states. *)
+val hash : t -> int
+
 val pp : Format.formatter -> t -> unit
 
 (** {1 Traces} *)

@@ -245,6 +245,46 @@ let map_into ?domains ?(stop = Atomic.make false) f xs =
   else run_on_pool ~quota:wanted ~stop ~len work;
   results
 
+let map_until ?domains ~stop_on f xs =
+  let stop = Atomic.make false in
+  let slots =
+    map_into ?domains ~stop
+      (fun x ->
+        let v = f x in
+        if stop_on v then Atomic.set stop true;
+        v)
+      xs
+  in
+  (* Ascending claiming makes the evaluated slots a contiguous prefix: if
+     index k was claimed, every index below it was claimed first, and every
+     claimed item completes before the job drains. Scanning that prefix in
+     input order therefore finds the first stopping item of the *input*,
+     not of the schedule — the result is independent of the domain count.
+     A failure is re-raised unless a stopping item precedes it, matching
+     the sequential short-circuit. *)
+  let len = Array.length slots in
+  let limit = ref 0 in
+  while !limit < len && Option.is_some slots.(!limit) do
+    incr limit
+  done;
+  let stopped = ref None in
+  let i = ref 0 in
+  while !stopped = None && !i < !limit do
+    (match slots.(!i) with
+    | Some (Ok v) -> if stop_on v then stopped := Some !i
+    | Some (Error e) -> raise e
+    | None -> assert false (* the prefix is contiguous *));
+    incr i
+  done;
+  let keep = match !stopped with Some k -> k + 1 | None -> !limit in
+  let prefix =
+    Array.init keep (fun k ->
+        match slots.(k) with
+        | Some (Ok v) -> v
+        | Some (Error _) | None -> assert false (* scanned above *))
+  in
+  (prefix, !stopped)
+
 type stats = {
   pool_size : int;
   spawned : int;

@@ -64,6 +64,27 @@ val find_map : ?domains:int -> ('a -> 'b option) -> 'a list -> 'b option
     map-then-accumulate-verdicts shape of the benches. *)
 val fold : ?domains:int -> f:('acc -> 'b -> 'acc) -> init:'acc -> ('a -> 'b) -> 'a list -> 'acc
 
+(** [map_until ?domains ~stop_on f xs] is the work-stealing frontier
+    primitive: items are claimed from the shared atomic counter (idle
+    domains steal the next index instead of waiting on a fixed
+    partition), and claiming ceases once some completed item satisfies
+    [stop_on]. Returns [(prefix, stopped)] where [prefix] is the results
+    of a contiguous input prefix and [stopped] the index of its first
+    stopping item, if any. Because indices are claimed in ascending
+    order, every item before the first stopper is guaranteed evaluated,
+    so [prefix] ends exactly at the first stopping item of the {e input}
+    (or covers all of [xs] when none stops) — bit-identical at every
+    domain count. Work completed beyond the stopper is discarded.
+    [stop_on] must be pure (it is re-applied during the merge scan); a
+    raising item aborts with its exception unless a stopping item
+    precedes it in input order. *)
+val map_until :
+  ?domains:int ->
+  stop_on:('b -> bool) ->
+  ('a -> 'b) ->
+  'a array ->
+  'b array * int option
+
 (** Pool observability: process-lifetime counters, read at any point
     where no job is in flight (benches read them after their ensembles;
     [udc explore --pool-stats] after the search). *)

@@ -1,24 +1,34 @@
-(** Bounded systematic schedule exploration.
+(** Bounded systematic schedule exploration, in three modes.
 
-    The explorer searches over {e move sets}, not raw traces: a node is a
-    set of persistent silences (links lossy from tick 0) plus a list of
-    indexed deviations from the scripted default schedule (crash here,
-    suspect there, pick that message instead). Because every process
-    retransmits, only such persistent moves can change the outcome of a
-    long-horizon run — transient drops are erased by the next resend — so
-    the move-set space is exponentially smaller than the raw schedule
-    space while still reaching every violation the paper's adversaries
-    exhibit.
+    The bounded modes ([Bfs], [Dpor]) search over {e move sets}, not raw
+    traces: a node is a set of persistent silences (links lossy from
+    tick 0) plus a list of indexed deviations from the scripted default
+    schedule (crash here, suspect there, pick that message instead).
+    Because every process retransmits, only such persistent moves can
+    change the outcome of a long-horizon run — transient drops are erased
+    by the next resend — so the move-set space is exponentially smaller
+    than the raw schedule space while still reaching every violation the
+    paper's adversaries exhibit.
 
     Search is breadth-first by move count (so witnesses are
     minimal-depth), with candidate moves derived from the journal of each
-    node's own run and pruned sleep-set-style: deviations that commute
-    with the taken schedule (delivering an identical message, crashing a
-    process whose history has not changed) are never branched on.
+    node's own run and pruned sleep-set-style. [Dpor] additionally
+    derives the journal's happens-before relation ({!Hb}) and suppresses
+    branch points that commute with the previously kept point of the same
+    family (counted in [stats.pruned]), and both bounded modes cut nodes
+    whose run is structurally identical to an already-expanded one via
+    the {!Seen} cache (counted in [stats.seen_hits]).
 
-    Levels are evaluated on the deterministic {!Ensemble} pool in
-    fixed-size chunks scanned in frontier order, so the witness found is
-    independent of [domains]. *)
+    [Fuzz] abandons the depth bound: deterministic seeded mutations of
+    recorded traces, executed tolerantly through {!Problem.run_guided},
+    with a mutant retained in the corpus iff it reaches a
+    decision-prefix state no earlier run reached.
+
+    All modes evaluate waves on the deterministic {!Ensemble} pool via
+    {!Ensemble.map_until} — items are claimed work-stealing style from a
+    shared counter, the merge is sequential over the returned contiguous
+    prefix — so witness {e and} every counter in [stats] are identical at
+    every [domains]. *)
 
 type move =
   | Silence of Pid.t * Pid.t  (** link lossy from the start of the run *)
@@ -36,35 +46,61 @@ val moves : node -> move list
 val depth_of : node -> int
 val pp_node : Format.formatter -> node -> unit
 
+type mode =
+  | Bfs  (** bounded breadth-first over move sets, static pruning only *)
+  | Dpor  (** [Bfs] + happens-before branch-point reduction *)
+  | Fuzz  (** coverage-guided trace mutation, no depth bound *)
+
+val mode_to_string : mode -> string
+val mode_of_string : string -> (mode, string) result
+
 type options = {
-  depth : int;  (** maximum move-set size *)
+  mode : mode;
+  depth : int;  (** maximum move-set size (bounded modes) *)
   window : int;  (** branch only on the first [window] decision indices *)
   domains : int option;  (** ensemble domains; [None] = library default *)
   max_runs : int;  (** total run budget *)
   crash_points : int;  (** crash branch points per victim *)
   pick_points : int;  (** pick / deliver branch points per node *)
   suspect_points : int;  (** suspicion branch points per process *)
-  suspect_stride : int;  (** minimum ticks between suspicion points *)
+  suspect_stride : int;
+      (** minimum ticks between suspicion points (bfs; dpor spaces by
+          dependence instead) *)
   branch_silences : bool;
   branch_crashes : bool;
   branch_picks : bool;
   branch_deliver : bool;  (** off by default: subsumed by picks + R5 *)
   branch_suspects : bool option;
       (** [None] follows [Problem.adversarial_oracle] *)
+  seen_cache : bool;
+      (** cut nodes whose run equals an already-expanded one (bounded
+          modes; fuzz always keeps its cache — it is the coverage map) *)
   chunk : int;
-      (** nodes evaluated per {!Ensemble} job. The witness is
-          chunk-size-independent — chunks partition the frontier in order
-          and each is scanned in frontier order, so the first violating
-          node of the BFS prefix wins for every chunking; only how far
-          past the witness [explored] counts can differ. *)
+      (** nodes evaluated per {!Ensemble} wave. The witness and all
+          counters are chunk-size-independent — waves partition the
+          frontier in order and each is merged in frontier order, so the
+          first violating node of the BFS prefix wins for every
+          chunking, and counting stops at the witness. *)
+  mutants : int;  (** fuzz: mutants generated per corpus parent per round *)
 }
 
 val default_options : options
 
-type stats = { explored : int; depth_reached : int }
+type stats = {
+  explored : int;  (** runs executed and merged *)
+  depth_reached : int;  (** move-set depth (bounded) or rounds (fuzz) *)
+  states : int;
+      (** decision-prefix states visited: total journal entries over
+          merged runs *)
+  distinct : int;  (** distinct runs in the seen cache *)
+  seen_hits : int;  (** nodes cut because their run was already seen *)
+  pruned : int;  (** branch points suppressed by dpor commutation *)
+}
 
 type witness = {
   node : node;
+      (** the move set; {!root} for fuzz witnesses (shrink those with
+          {!Shrink.minimize_trace}) *)
   trace : Decision.t list;  (** full decision trace; replays bit-identically *)
   result : Sim.result;
   violation : string;
@@ -75,7 +111,13 @@ type outcome =
   | Exhausted of stats  (** the bounded space contains no violation *)
   | Budget of stats  (** [max_runs] exhausted before the space *)
 
+(** Dispatches on [options.mode]; [Fuzz] delegates to {!fuzz}. *)
 val search : ?options:options -> Problem.t -> outcome * stats
+
+(** Coverage-guided fuzzing (ignores [options.mode]). Never returns
+    [Exhausted]: the mutation space has no bound, so the hunt ends in a
+    [Violation] or a [Budget]. *)
+val fuzz : ?options:options -> Problem.t -> outcome * stats
 
 (** [split_at k l] = [(first k elements, the rest)]. Tail-recursive —
     frontiers reach hundreds of thousands of nodes. Exposed for the

@@ -1,0 +1,54 @@
+(** Happens-before over recorded {!Decision} journals.
+
+    The simulator's journal is a total order on the decisions a run took;
+    most adjacent pairs commute. Two entries are {e dependent} when they
+    touch the same simulator state: deliveries and picks at the same
+    destination (one in-flight set), drops on the same link (and the
+    deliveries they feed), crashes against everything that touches the
+    victim (and against each other — they share the crash budget),
+    suspicion moves against the suspecting process's events, and
+    scheduling permutations against their own tick. The happens-before
+    order is the transitive closure of dependence edges taken in journal
+    order; entries it leaves unordered are {e concurrent} — deviating at
+    one reaches the same runs as deviating anywhere else in the commuting
+    gap, which is what the engine's dpor mode exploits to branch once per
+    dependence class.
+
+    [of_journal] materializes the closure as reachability bitsets (used
+    by the unit and law tests); the engine's branch pruning uses only the
+    closure-free range scans. *)
+
+(** Whether an entry reads or writes process [p]'s state: its deliveries
+    and picks, drops on links it borders, crash and suspicion queries
+    naming it. Scheduling permutations touch no single process. *)
+val touches : Decision.entry -> Pid.t -> bool
+
+(** Symmetric dependence of two entries (see the module preamble for the
+    case table). *)
+val dependent : Decision.entry -> Decision.entry -> bool
+
+type t
+
+val of_journal : Decision.entry array -> t
+val length : t -> int
+
+(** [ordered t i j]: entry [i] happens-before entry [j] — [i < j] and a
+    chain of dependent entries links them. Irreflexive and antisymmetric
+    by construction (it refines journal order), transitive by closure.
+    Raises [Invalid_argument] out of bounds. *)
+val ordered : t -> int -> int -> bool
+
+(** Neither ordered before the other (and distinct): the deviation points
+    commute. *)
+val concurrent : t -> int -> int -> bool
+
+(** Messages received by [dst] strictly between journal indices [lo] and
+    [hi] (deliver coins answered [true]). The dpor crash refinement
+    compares this against the victim's event-count delta: a crash point
+    whose whole delta is passive receipts commutes with the previous
+    one. *)
+val receives_between : Decision.entry array -> dst:Pid.t -> lo:int -> hi:int -> int
+
+(** Whether any entry strictly between [lo] and [hi] touches [pid] — the
+    dpor spacing test for suspicion and pick branch points. *)
+val touches_between : Decision.entry array -> pid:Pid.t -> lo:int -> hi:int -> bool

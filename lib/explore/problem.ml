@@ -65,6 +65,11 @@ let run ?max_ticks t ~plan ~silence =
   let config, protocol = materialize ?max_ticks t source in
   (Sim.execute ~decisions:source config protocol, source)
 
+let run_guided ?max_ticks t ~trace =
+  let source = Decision.guided trace in
+  let config, protocol = materialize ?max_ticks t source in
+  (Sim.execute ~decisions:source config protocol, source)
+
 let replay ?max_ticks t ~trace =
   let source = Decision.replay trace in
   let config, protocol = materialize ?max_ticks t source in

@@ -48,6 +48,14 @@ val run :
   silence:(Pid.t * Pid.t) list ->
   Sim.result * Decision.source
 
+(** Tolerant execution of a (possibly mutated) trace: follows it through
+    a {!Decision.guided} source, falling back to the scripted defaults at
+    the first mismatch — the fuzzer's executor. The returned source is
+    recording, so its trace is the {e effective} decision sequence, which
+    replays strictly. *)
+val run_guided :
+  ?max_ticks:int -> t -> trace:Decision.t list -> Sim.result * Decision.source
+
 (** Strict trace replay (raises {!Decision.Divergence} on mismatch). *)
 val replay : ?max_ticks:int -> t -> trace:Decision.t list -> Sim.result
 

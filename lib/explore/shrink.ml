@@ -163,3 +163,78 @@ let minimize problem (w : Engine.witness) =
             decisions = List.length trace;
           }
       | None -> invalid_arg "Shrink.minimize: witness does not violate")
+
+(* Trace-level minimization for fuzz witnesses, which carry no move set
+   (their node is {!Engine.root}). The trace is executed tolerantly
+   ({!Problem.run_guided}), so every candidate is a legal schedule; each
+   check re-records, so the final trace is the effective sequence and
+   replays strictly. *)
+let violates_trace problem ~max_ticks trace =
+  let result, source = Problem.run_guided problem ~max_ticks ~trace in
+  match Problem.violation problem result with
+  | Some desc -> Some (desc, result, source)
+  | None -> None
+
+(* Greedily revert mutated decisions to the scripted defaults while the
+   violation persists — the trace analogue of [remove_moves]. One pass in
+   index order suffices for a fixpoint check per position; reverting a
+   position never re-perturbs an earlier one. *)
+let revert_defaults problem ~max_ticks trace =
+  let default = function
+    | Decision.Deliver _ -> Some (Decision.Deliver true)
+    | Decision.Drop _ -> Some (Decision.Drop false)
+    | Decision.Crash _ -> Some (Decision.Crash false)
+    | Decision.Suspect _ -> Some (Decision.Suspect 0)
+    | Decision.Pick _ -> Some (Decision.Pick 0)
+    | Decision.Order _ -> None (* identity order is journal-dependent *)
+  in
+  let arr = Array.of_list trace in
+  Array.iteri
+    (fun i d ->
+      match default d with
+      | Some d' when d' <> d ->
+          let saved = arr.(i) in
+          arr.(i) <- d';
+          if violates_trace problem ~max_ticks (Array.to_list arr) = None then
+            arr.(i) <- saved
+      | _ -> ())
+    arr;
+  Array.to_list arr
+
+let shrink_horizon_trace problem ~max_ticks trace =
+  match violates_trace problem ~max_ticks trace with
+  | None -> max_ticks
+  | Some (_, result, _) ->
+      let lo = ref (decisive_floor result.Sim.run) and hi = ref max_ticks in
+      if !lo > !hi then max_ticks
+      else begin
+        while !lo < !hi do
+          let mid = (!lo + !hi) / 2 in
+          if violates_trace problem ~max_ticks:mid trace <> None then hi := mid
+          else lo := mid + 1
+        done;
+        if violates_trace problem ~max_ticks:!lo trace <> None then !lo
+        else max_ticks
+      end
+
+let minimize_trace problem (w : Engine.witness) =
+  let max_ticks = problem.Problem.config.Sim.max_ticks in
+  let trace = revert_defaults problem ~max_ticks w.Engine.trace in
+  let horizon = shrink_horizon_trace problem ~max_ticks trace in
+  let finish ~max_ticks (desc, result, source) =
+    let trace = Decision.trace source in
+    {
+      node = Engine.root;
+      max_ticks;
+      trace;
+      result;
+      violation = desc;
+      decisions = List.length trace;
+    }
+  in
+  match violates_trace problem ~max_ticks:horizon trace with
+  | Some hit -> finish ~max_ticks:horizon hit
+  | None -> (
+      match violates_trace problem ~max_ticks trace with
+      | Some hit -> finish ~max_ticks hit
+      | None -> invalid_arg "Shrink.minimize_trace: witness does not violate")

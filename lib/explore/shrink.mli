@@ -27,3 +27,12 @@ type shrunk = {
 (** Raises [Invalid_argument] if the witness does not actually violate
     (it always does for witnesses produced by {!Engine.search}). *)
 val minimize : Problem.t -> Engine.witness -> shrunk
+
+(** Trace-level minimization for {!Engine.fuzz} witnesses, whose node is
+    {!Engine.root} (so {!minimize} would find nothing to re-execute).
+    Greedily reverts mutated decisions to the scripted defaults, then
+    binary-searches the horizon as {!minimize} does. Candidates are
+    executed tolerantly ({!Problem.run_guided}) and the returned trace is
+    re-recorded, so it replays strictly. Raises [Invalid_argument] if the
+    witness does not actually violate. *)
+val minimize_trace : Problem.t -> Engine.witness -> shrunk

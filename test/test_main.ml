@@ -23,4 +23,5 @@ let () =
       ("enumerate", Test_enumerate.suite);
       ("kernel", Test_kernel.suite);
       ("explore", Test_explore.suite);
+      ("dpor", Test_dpor.suite);
     ]
