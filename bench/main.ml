@@ -20,7 +20,7 @@ let experiments =
     ("kb", "E15: knowledge-based programs (FHMV97)", Extensions.kb_programs);
     ("ck", "E16: the knowledge hierarchy / common knowledge", Extensions.common_knowledge);
     ("classify", "E17: implemented detectors vs the paper's taxonomy", Extensions.classify);
-    ("perf", "P1-P11: performance and ablations", fun () -> Perf.run ());
+    ("perf", "P1-P12: performance and ablations", fun () -> Perf.run ());
   ]
 
 let run_all () =
@@ -62,7 +62,7 @@ let pool_stats_arg =
 
 let perf_cmd =
   Cmd.v
-    (Cmd.info "perf" ~doc:"P1-P11: performance and ablations")
+    (Cmd.info "perf" ~doc:"P1-P12: performance and ablations")
     Term.(
       const (fun domains smoke pool_stats ->
           Option.iter Ensemble.set_domains domains;

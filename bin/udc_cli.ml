@@ -627,6 +627,145 @@ let scenarios_cmd =
        ~doc:"Run the adversarial lower-bound scenarios and verify them.")
     Term.(const scenarios $ n_arg $ seed_arg)
 
+(* ---------- scale ---------- *)
+
+let scale n shards degree backend regime runs ticks faults committee seed
+    domains out check_digest =
+  let fail fmt =
+    Printf.ksprintf
+      (fun s ->
+        prerr_endline ("udc scale: " ^ s);
+        exit 2)
+      fmt
+  in
+  let regime =
+    match Explore.Classify.regime_of_string regime with
+    | Ok r -> r
+    | Error e -> fail "%s" e
+  in
+  let mk_pair =
+    match Detector.Backends.of_ring_label backend with
+    | Some mk -> mk
+    | None -> fail "unknown backend %S (phi | swim | gossip)" backend
+  in
+  let p =
+    Scale.Estimate.params ~shards ~degree ~regime ~runs ~ticks ?faults
+      ~committee ~seed ?domains ~n ~backend ()
+  in
+  if check_digest then (
+    (* One workload, both engines; pairs are single-use, so build one per
+       execution. Meant for a small --n: the unsharded reference run is
+       the cost. *)
+    let pair () =
+      let committee =
+        if p.Scale.Estimate.committee > 0 then
+          Some
+            ( p.Scale.Estimate.committee,
+              (module Core.Ack_udc.P : Protocol.S) )
+        else None
+      in
+      mk_pair ~degree ?committee ~n ()
+    in
+    let cfg = Scale.Estimate.config p ~seed in
+    let reference =
+      let pr = pair () in
+      Sim.execute
+        { cfg with Sim.oracle = pr.Detector.Backends.oracle }
+        pr.Detector.Backends.protocol
+    in
+    let sharded =
+      let pr = pair () in
+      Scale.Shard.execute ~shards:1 ?domains
+        { cfg with Sim.oracle = pr.Detector.Backends.oracle }
+        pr.Detector.Backends.protocol
+    in
+    let da = Run.digest reference.Sim.run
+    and db = Run.digest sharded.Sim.run in
+    if da <> db then (
+      Printf.eprintf
+        "udc scale: digest gate FAILED: Sim.execute %s vs Shard.execute %s\n"
+        da db;
+      exit 1);
+    Format.printf "digest gate: shards=1 is bit-identical to Sim.execute (%s)@."
+      da);
+  let r = Scale.Estimate.estimate p in
+  Format.printf "%a@." Scale.Estimate.pp_report r;
+  match out with
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (Scale.Estimate.to_json r);
+      output_char oc '\n';
+      close_out oc;
+      Format.printf "report written to %s@." path
+  | None -> ()
+
+let scale_n_arg =
+  Arg.(
+    value & opt int 10_000
+    & info [ "n" ] ~doc:"Number of processes (the point of this mode).")
+
+let shards_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "shards" ]
+        ~doc:
+          "Shards for the two-tier engine; each gets its own decision \
+           stream, channel, and arenas.")
+
+let degree_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "degree" ] ~doc:"Ring monitoring degree (successors watched).")
+
+let scale_runs_arg =
+  Arg.(
+    value & opt int 20
+    & info [ "runs" ] ~doc:"Seeded runs in the estimation ensemble.")
+
+let scale_ticks_arg =
+  Arg.(value & opt int 240 & info [ "ticks" ] ~doc:"Run horizon (ticks).")
+
+let faults_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "faults" ]
+        ~doc:"Crash victims per run. Defaults to max 1 (min 8 (n/8)).")
+
+let committee_arg =
+  Arg.(
+    value & opt int 4
+    & info [ "committee" ]
+        ~doc:
+          "Ack-UDC committee size riding on the detector (pids 0..c-1); 0 \
+           disables the UDC scoring.")
+
+let check_digest_arg =
+  Arg.(
+    value & flag
+    & info [ "check-digest" ]
+        ~doc:
+          "First run one workload unsharded through both Sim.execute and \
+           the sharded engine and require bit-identical run digests (use a \
+           small --n; the unsharded reference is the cost).")
+
+let scale_cmd =
+  Cmd.v
+    (Cmd.info "scale"
+       ~doc:
+         "Statistically estimate detector-class axioms and the UDC \
+          conditions at large n: run a seed ensemble on the sharded \
+          engine with ring-topology detector backends, score \
+          completeness/accuracy over the monitored pairs with Wilson \
+          intervals, and report detection-latency and false-suspicion \
+          distributions. Bit-identical at every --domains value; at \
+          --shards 1 the engine is bit-identical to the reference \
+          simulator (checkable with --check-digest).")
+    Term.(
+      const scale $ scale_n_arg $ shards_arg $ degree_arg $ backend_arg
+      $ regime_arg $ scale_runs_arg $ scale_ticks_arg $ faults_arg
+      $ committee_arg $ seed_arg $ domains_arg $ out_arg $ check_digest_arg)
+
 let () =
   let info =
     Cmd.info "udc"
@@ -643,4 +782,5 @@ let () =
             scenarios_cmd;
             explore_cmd;
             classify_cmd;
+            scale_cmd;
           ]))

@@ -496,6 +496,325 @@ let gossip_core (cfg : gossip_config) : (module CORE) =
   end)
 
 (* ------------------------------------------------------------------ *)
+(* Ring-topology cores for the sharded large-n mode. The full-mesh cores
+   above keep O(n) state per process and touch every peer per round —
+   unusable at n = 10^6 under the one-event-per-tick discipline. The ring
+   cores monitor only [degree] successors: process p watches
+   p+1 .. p+degree (mod n) and pushes its liveness signal to
+   p-1 .. p-degree (mod n), the processes watching it. State and per-tick
+   work are O(degree); a quiet tick returns the state {e physically}
+   unchanged, which the adapter below turns into a zero-allocation slot.
+   Suspicion scans are deadline-driven: arrivals compute the next tick at
+   which any watched peer could become overdue, and the O(degree) rescan
+   runs only when the clock reaches it. *)
+
+let ring_watched ~n ~degree me =
+  List.init (min degree (n - 1)) (fun i -> (me + i + 1) mod n)
+
+let ring_watchers ~n ~degree me =
+  List.init (min degree (n - 1)) (fun i -> ((me - i - 1) mod n + n) mod n)
+
+(* Smallest integer elapsed time at which the φ of the fitted
+   distribution crosses the threshold — the arrival-time inversion that
+   replaces a per-tick φ evaluation with a precomputed deadline. φ is
+   monotone in [elapsed], so exponential search then bisection. *)
+let phi_deadline ~mean ~std ~threshold =
+  let over e = phi ~elapsed:(float_of_int e) ~mean ~std > threshold in
+  let rec widen hi = if over hi || hi > 1_000_000 then hi else widen (2 * hi) in
+  let hi = widen (max 1 (int_of_float mean)) in
+  let rec bisect lo hi =
+    (* invariant: not (over lo), over hi *)
+    if hi - lo <= 1 then hi
+    else
+      let mid = (lo + hi) / 2 in
+      if over mid then bisect lo mid else bisect mid hi
+  in
+  if over 1 then 1 else bisect 1 hi
+
+let gossip_ring_core (cfg : gossip_config) ~degree : (module CORE) =
+  (module struct
+    type t = {
+      me : Pid.t;
+      watched : int array;
+      watchers : Pid.t list; (* push targets, constant — shared as [pending] *)
+      last_heard : int array; (* mutated in place: states are single-use *)
+      seq : int;
+      last_round : int;
+      pending : Pid.t list;
+      suspected : Pid.Set.t;
+      next_check : int; (* earliest tick a watched peer can become overdue *)
+    }
+
+    let name = "gossip-ring"
+
+    let create ~n ~me =
+      {
+        me;
+        watched = Array.of_list (ring_watched ~n ~degree me);
+        watchers = ring_watchers ~n ~degree me;
+        last_heard = Array.make (min degree (n - 1)) 0;
+        seq = 0;
+        last_round = -1;
+        pending = [];
+        suspected = Pid.Set.empty;
+        next_check = cfg.fail_timeout + 1;
+      }
+
+    let rescan t ~now =
+      let suspected = ref Pid.Set.empty in
+      let next = ref max_int in
+      Array.iteri
+        (fun i q ->
+          if now - t.last_heard.(i) > cfg.fail_timeout then
+            suspected := Pid.Set.add q !suspected
+          else next := min !next (t.last_heard.(i) + cfg.fail_timeout + 1))
+        t.watched;
+      let suspected =
+        if Pid.Set.equal !suspected t.suspected then t.suspected
+        else !suspected
+      in
+      { t with suspected; next_check = !next }
+
+    let on_message t ~now ~src = function
+      | Message.Heartbeat _ -> (
+          match Array.length t.watched with
+          | 0 -> Some t
+          | _ ->
+              let rec find i =
+                if i < 0 then -1
+                else if t.watched.(i) = src then i
+                else find (i - 1)
+              in
+              let i = find (Array.length t.watched - 1) in
+              if i < 0 then Some t (* stray heartbeat: detector traffic *)
+              else begin
+                t.last_heard.(i) <- now;
+                if Pid.Set.mem src t.suspected then
+                  Some { t with suspected = Pid.Set.remove src t.suspected }
+                else Some t
+              end)
+      | _ -> None
+
+    let tick t ~now =
+      let round = now / cfg.gossip_period in
+      let t =
+        if round > t.last_round then
+          { t with seq = t.seq + 1; last_round = round; pending = t.watchers }
+        else t
+      in
+      if now >= t.next_check then rescan t ~now else t
+
+    let next_send t ~now:_ =
+      match t.pending with
+      | [] -> None
+      | dst :: pending -> Some ({ t with pending }, (dst, Message.Heartbeat t.seq))
+
+    let suspicions t = t.suspected
+  end)
+
+let phi_ring_core (cfg : phi_config) ~degree : (module CORE) =
+  (module struct
+    type t = {
+      me : Pid.t;
+      watched : int array;
+      watchers : Pid.t list;
+      last : int array; (* last arrival; 0 = bootstrap anchor, as phi_core *)
+      windows : Phi_window.t array;
+      deadline : int array; (* per watched peer: suspect at this tick *)
+      seq : int;
+      last_round : int;
+      pending : Pid.t list;
+      suspected : Pid.Set.t;
+      next_check : int;
+    }
+
+    let name = "phi-ring"
+
+    let bootstrap_deadline =
+      phi_deadline ~mean:cfg.bootstrap ~std:cfg.min_std ~threshold:cfg.threshold
+
+    let create ~n ~me =
+      let d = min degree (n - 1) in
+      {
+        me;
+        watched = Array.of_list (ring_watched ~n ~degree me);
+        watchers = ring_watchers ~n ~degree me;
+        last = Array.make d 0;
+        windows = Array.make d (Phi_window.create ~capacity:cfg.window);
+        deadline = Array.make d bootstrap_deadline;
+        seq = 0;
+        last_round = -1;
+        pending = [];
+        suspected = Pid.Set.empty;
+        next_check = bootstrap_deadline;
+      }
+
+    let rescan t ~now =
+      let suspected = ref Pid.Set.empty in
+      let next = ref max_int in
+      Array.iteri
+        (fun i q ->
+          if now >= t.deadline.(i) then suspected := Pid.Set.add q !suspected
+          else next := min !next t.deadline.(i))
+        t.watched;
+      let suspected =
+        if Pid.Set.equal !suspected t.suspected then t.suspected
+        else !suspected
+      in
+      { t with suspected; next_check = !next }
+
+    let on_message t ~now ~src = function
+      | Message.Heartbeat _ -> (
+          match Array.length t.watched with
+          | 0 -> Some t
+          | _ ->
+              let rec find i =
+                if i < 0 then -1
+                else if t.watched.(i) = src then i
+                else find (i - 1)
+              in
+              let i = find (Array.length t.watched - 1) in
+              if i < 0 then Some t
+              else begin
+                (* as in phi_core: the first arrival only anchors the
+                   clock; later ones feed the inter-arrival window *)
+                if t.last.(i) > 0 then
+                  t.windows.(i) <-
+                    Phi_window.observe t.windows.(i)
+                      (float_of_int (now - t.last.(i)));
+                t.last.(i) <- now;
+                let mean, std =
+                  match
+                    ( Phi_window.mean t.windows.(i),
+                      Phi_window.variance t.windows.(i) )
+                  with
+                  | Some m, Some v -> (m, Float.max cfg.min_std (sqrt v))
+                  | _ -> (cfg.bootstrap, cfg.min_std)
+                in
+                t.deadline.(i) <-
+                  now + phi_deadline ~mean ~std ~threshold:cfg.threshold;
+                if Pid.Set.mem src t.suspected then
+                  Some { t with suspected = Pid.Set.remove src t.suspected }
+                else Some t
+              end)
+      | _ -> None
+
+    let tick t ~now =
+      let round = now / cfg.hb_period in
+      let t =
+        if round > t.last_round then
+          { t with seq = t.seq + 1; last_round = round; pending = t.watchers }
+        else t
+      in
+      if now >= t.next_check then rescan t ~now else t
+
+    let next_send t ~now:_ =
+      match t.pending with
+      | [] -> None
+      | dst :: pending -> Some ({ t with pending }, (dst, Message.Heartbeat t.seq))
+
+    let suspicions t = t.suspected
+  end)
+
+(* Direct-probe SWIM over the ring: round-robin ping of the watched
+   successors, suspect on timeout, retract on any (even late) ack. No
+   ping-req proxies — the indirection would cross the monitoring
+   neighbourhood, and the retraction-on-ack surrogate already covers the
+   false-suspicion recovery the proxies exist for. *)
+let swim_ring_core (cfg : swim_config) ~degree : (module CORE) =
+  (module struct
+    type t = {
+      me : Pid.t;
+      watched : int array;
+      ring_pos : int;
+      seq : int;
+      last_round : int;
+      outstanding : (Pid.t * int * int) option; (* target, seq, sent_at *)
+      sent : (int * Pid.t) list; (* recent seq -> target, newest first *)
+      pending : (Pid.t * Message.t) list;
+      suspected : Pid.Set.t;
+    }
+
+    let name = "swim-ring"
+
+    let create ~n ~me =
+      {
+        me;
+        watched = Array.of_list (ring_watched ~n ~degree me);
+        ring_pos = 0;
+        seq = 0;
+        last_round = -1;
+        outstanding = None;
+        sent = [];
+        pending = [];
+        suspected = Pid.Set.empty;
+      }
+
+    let keep = 8
+
+    let on_message t ~now:_ ~src = function
+      | Message.Swim_ping { origin; seq } ->
+          Some
+            { t with pending = (src, Message.Swim_ack { origin; seq }) :: t.pending }
+      | Message.Swim_ack { origin; seq } when Pid.equal origin t.me -> (
+          match List.assoc_opt seq t.sent with
+          | Some target ->
+              Some
+                {
+                  t with
+                  outstanding =
+                    (match t.outstanding with
+                    | Some (_, s, _) when s = seq -> None
+                    | other -> other);
+                  suspected = Pid.Set.remove target t.suspected;
+                }
+          | None -> Some t)
+      | Message.Swim_ack _ | Message.Swim_ping_req _ ->
+          Some t (* stray probe traffic: consumed, never routed inward *)
+      | _ -> None
+
+    let tick t ~now =
+      let t =
+        match t.outstanding with
+        | Some (target, _, sent_at) when now - sent_at >= cfg.suspect_timeout ->
+            {
+              t with
+              outstanding = None;
+              suspected = Pid.Set.add target t.suspected;
+            }
+        | _ -> t
+      in
+      let round = now / cfg.probe_period in
+      if round > t.last_round then
+        match Array.length t.watched with
+        | 0 -> { t with last_round = round }
+        | d when t.outstanding = None ->
+            let target = t.watched.(t.ring_pos mod d) in
+            let seq = t.seq in
+            {
+              t with
+              last_round = round;
+              ring_pos = t.ring_pos + 1;
+              seq = seq + 1;
+              outstanding = Some (target, seq, now);
+              sent = List.filteri (fun i _ -> i < keep) ((seq, target) :: t.sent);
+              pending =
+                (target, Message.Swim_ping { origin = t.me; seq }) :: t.pending;
+            }
+        | _ ->
+            (* the round's probe budget is consumed by the outstanding one *)
+            { t with last_round = round }
+      else t
+
+    let next_send t ~now:_ =
+      match t.pending with
+      | [] -> None
+      | (dst, msg) :: pending -> Some ({ t with pending }, (dst, msg))
+
+    let suspicions t = t.suspected
+  end)
+
+(* ------------------------------------------------------------------ *)
 (* The adapter: wrap a core as a timed protocol that publishes its
    suspicions into the per-run cells and alternates fairly with an inner
    application protocol (the {!Convert.With_gossip} turn-taking idiom). *)
@@ -525,32 +844,43 @@ let adapt (type a) (module D : CORE with type t = a)
     let on_suspect t r = { t with inner = P.on_suspect t.inner r }
 
     let step t ~now =
-      let t = publish { t with det = D.tick t.det ~now } in
-      let det_step () =
+      (* Invariant: [cells.(me)] always equals the current detector's
+         suspicions (every core starts with an empty set, matching the
+         cell initialisation, and every later change goes through
+         [publish]). So when [tick] returns the state physically
+         unchanged — the ring cores' deadline caching on quiet slots —
+         both the record allocation and the publish can be skipped. *)
+      let det = D.tick t.det ~now in
+      let t = if det == t.det then t else publish { t with det } in
+      (* The two sides are tried in alternating priority, written out as
+         direct branches: a slot where neither side has work must return
+         [t] physically unchanged (no closure, record, or pack
+         allocation), because at large n almost every slot is that slot.
+         A fully idle tick therefore keeps its priority instead of
+         flipping it — equivalent fairness (a side only loses its turn to
+         a side that acted), one allocation cheaper. *)
+      if t.det_turn then
         match D.next_send t.det ~now with
         | Some (det, (dst, msg)) ->
-            Some
-              ( publish { t with det; det_turn = false },
-                Protocol.Send_to (dst, msg) )
-        | None -> None
-      in
-      let inner_step () =
+            (publish { t with det; det_turn = false }, Protocol.Send_to (dst, msg))
+        | None -> (
+            let inner, act = P.step t.inner ~now in
+            match act with
+            | Protocol.No_op ->
+                if inner == t.inner then (t, Protocol.No_op)
+                else ({ t with inner; det_turn = true }, Protocol.No_op)
+            | act -> ({ t with inner; det_turn = true }, act))
+      else
         let inner, act = P.step t.inner ~now in
         match act with
-        | Protocol.No_op ->
-            if inner == t.inner then None
-            else Some ({ t with inner; det_turn = true }, Protocol.No_op)
-        | act -> Some ({ t with inner; det_turn = true }, act)
-      in
-      let first, second =
-        if t.det_turn then (det_step, inner_step) else (inner_step, det_step)
-      in
-      match first () with
-      | Some r -> r
-      | None -> (
-          match second () with
-          | Some r -> r
-          | None -> ({ t with det_turn = not t.det_turn }, Protocol.No_op))
+        | Protocol.No_op when inner == t.inner -> (
+            match D.next_send t.det ~now with
+            | Some (det, (dst, msg)) ->
+                ( publish { t with det; det_turn = false },
+                  Protocol.Send_to (dst, msg) )
+            | None -> (t, Protocol.No_op))
+        | Protocol.No_op -> ({ t with inner; det_turn = true }, Protocol.No_op)
+        | act -> ({ t with inner; det_turn = true }, act)
 
     (* Detectors probe forever; runs with a backend stop only at the
        horizon (or an application goal). *)
@@ -563,7 +893,10 @@ let cell_oracle ~name (cells : Pid.Set.t array) =
   let poll p (_ : Oracle.view) =
     let cur = cells.(p) in
     match last.(p) with
-    | Some prev when Pid.Set.equal prev cur -> None
+    (* physical equality first: on quiet ticks the adapter republishes
+       the same set, and at large n the structural compare would
+       dominate the poll *)
+    | Some prev when prev == cur || Pid.Set.equal prev cur -> None
     | None when Pid.Set.is_empty cur -> None
     | _ ->
         last.(p) <- Some cur;
@@ -591,10 +924,52 @@ let swim ?(cfg = swim_defaults) ?inner ~n () =
 let gossip ?(cfg = gossip_defaults) ?inner ~n () =
   make_pair (gossip_core cfg) ?inner ~n ()
 
+(* Committee wrapper for the sharded mode: the application protocol runs
+   only on pids 0..c-1 and believes the system has [c] members, while the
+   detector layer above it still spans the full ring. *)
+let clamp_committee c (module P : Protocol.S) : (module Protocol.S) =
+  (module struct
+    include P
+
+    let create ~n:_ ~me = P.create ~n:c ~me
+  end)
+
+let make_ring_pair (module D : CORE) ?committee ~n () =
+  let cells = Array.make n Pid.Set.empty in
+  let module Base = (val adapt (module D) (module Idle) ~cells) in
+  let base p = Protocol.make_timed (module Base) ~n ~me:p in
+  let protocol =
+    match committee with
+    | None -> base
+    | Some (c, inner) ->
+        let module Com = (val adapt (module D) (clamp_committee c inner) ~cells)
+        in
+        fun p ->
+          if p < c then Protocol.make_timed (module Com) ~n ~me:p else base p
+  in
+  { oracle = cell_oracle ~name:D.name cells; protocol }
+
+let gossip_ring ?(cfg = gossip_defaults) ?(degree = 2) ?committee ~n () =
+  make_ring_pair (gossip_ring_core cfg ~degree) ?committee ~n ()
+
+let phi_ring ?(cfg = phi_defaults) ?(degree = 2) ?committee ~n () =
+  make_ring_pair (phi_ring_core cfg ~degree) ?committee ~n ()
+
+let swim_ring ?(cfg = swim_defaults) ?(degree = 2) ?committee ~n () =
+  make_ring_pair (swim_ring_core cfg ~degree) ?committee ~n ()
+
 let labels = [ "phi"; "swim"; "gossip" ]
 
 let of_label = function
   | "phi" -> Some (fun ~n -> phi_accrual ~n ())
   | "swim" -> Some (fun ~n -> swim ~n ())
   | "gossip" -> Some (fun ~n -> gossip ~n ())
+  | _ -> None
+
+let of_ring_label = function
+  | "phi" -> Some (fun ~degree ?committee ~n () -> phi_ring ~degree ?committee ~n ())
+  | "swim" ->
+      Some (fun ~degree ?committee ~n () -> swim_ring ~degree ?committee ~n ())
+  | "gossip" ->
+      Some (fun ~degree ?committee ~n () -> gossip_ring ~degree ?committee ~n ())
   | _ -> None

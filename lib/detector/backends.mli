@@ -91,3 +91,69 @@ val gossip : ?cfg:gossip_config -> ?inner:(module Protocol.S) -> n:int -> unit -
 val labels : string list
 
 val of_label : string -> (n:int -> pair) option
+
+(** {2 Ring-topology variants for the sharded large-n mode}
+
+    The full-mesh backends above keep O(n) state per process; at
+    [n = 10^6] that is quadratic memory and per-tick work. The ring
+    variants monitor a bounded neighbourhood instead: process [p] watches
+    its [degree] successors [p+1 .. p+degree (mod n)] and pushes its
+    liveness signal to the [degree] predecessors watching it. State and
+    per-event work are O(degree), and a quiet tick leaves the detector
+    state {e physically} unchanged, which the adapter turns into a
+    zero-allocation slot — the property the sharded simulator's
+    throughput target rests on.
+
+    Ring detector states are single-use imperative values (their arrival
+    tables are mutated in place); like the pairs themselves, build a
+    fresh pair per execution. *)
+
+(** [ring_watched ~n ~degree p] is the list of processes [p] monitors —
+    the [min degree (n-1)] successors of [p] on the ring. The estimator
+    scopes completeness/accuracy claims to exactly these monitored
+    pairs. *)
+val ring_watched : n:int -> degree:int -> Pid.t -> Pid.t list
+
+(** The processes monitoring [p] (to whom [p] pushes heartbeats). *)
+val ring_watchers : n:int -> degree:int -> Pid.t -> Pid.t list
+
+(** [phi_deadline ~mean ~std ~threshold] is the smallest integer elapsed
+    time at which {!phi} crosses [threshold] — the arrival-time inversion
+    that lets the ring φ detector precompute a suspicion deadline instead
+    of evaluating φ every tick. *)
+val phi_deadline : mean:float -> std:float -> threshold:float -> int
+
+(** [committee] runs an application protocol on pids [0..c-1] (re-created
+    with [n = c], so a small protocol instance rides on a huge monitored
+    system); all other pids run the idle protocol. Defaults to no
+    committee (everyone idle under the detector). [degree] defaults
+    to 2. *)
+val gossip_ring :
+  ?cfg:gossip_config ->
+  ?degree:int ->
+  ?committee:int * (module Protocol.S) ->
+  n:int ->
+  unit ->
+  pair
+
+val phi_ring :
+  ?cfg:phi_config ->
+  ?degree:int ->
+  ?committee:int * (module Protocol.S) ->
+  n:int ->
+  unit ->
+  pair
+
+val swim_ring :
+  ?cfg:swim_config ->
+  ?degree:int ->
+  ?committee:int * (module Protocol.S) ->
+  n:int ->
+  unit ->
+  pair
+
+(** Ring variant of {!of_label}; same labels, ring cores. *)
+val of_ring_label :
+  string ->
+  (degree:int -> ?committee:int * (module Protocol.S) -> n:int -> unit -> pair)
+  option

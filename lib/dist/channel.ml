@@ -5,14 +5,26 @@
    cold callers. Removal semantics are bit-compatible with the original
    newest-first cons representation: [deliver] removes the {e newest}
    matching instance, and [oldest_in_flight] breaks sent-tick ties toward
-   the {e newest} entry (ascending scan with [<=]), exactly as the old
-   fold over the newest-first list did. *)
+   the {e newest} entry, exactly as the old fold over the newest-first
+   list did.
+
+   Because the simulator's clock never goes backwards, the [sent] column
+   of a queue is nondecreasing in practice; [sorted] tracks whether that
+   invariant has held for every push so far. While it holds,
+   [oldest_in_flight] is a binary search (the minimum is at index 0 and
+   the newest tie is the last entry with that send tick) instead of a
+   full scan — the old O(backlog) scan per delivery was quadratic pain at
+   large-n backlogs. A caller that pushes out of order (nothing in the
+   tree does, but the API allows it) merely flips the queue back to the
+   scan path: behaviour is identical either way, only the complexity
+   changes. *)
 
 type queue = {
   mutable src : int array;
   mutable msg : Message.t array;
   mutable sent : int array;
   mutable len : int;
+  mutable sorted : bool; (* [sent] nondecreasing so far *)
 }
 
 type t = {
@@ -28,7 +40,8 @@ type t = {
 
 let filler_msg = Message.Heartbeat 0
 
-let fresh_queue () = { src = [||]; msg = [||]; sent = [||]; len = 0 }
+let fresh_queue () =
+  { src = [||]; msg = [||]; sent = [||]; len = 0; sorted = true }
 
 let queue_push q ~src ~msg ~sent =
   if q.len = Array.length q.src then begin
@@ -43,6 +56,7 @@ let queue_push q ~src ~msg ~sent =
     q.msg <- msg';
     q.sent <- sent'
   end;
+  if q.sorted && q.len > 0 && sent < q.sent.(q.len - 1) then q.sorted <- false;
   q.src.(q.len) <- src;
   q.msg.(q.len) <- msg;
   q.sent.(q.len) <- sent;
@@ -75,7 +89,13 @@ let create ?(link_loss = []) ~n ~decide ~loss_rate ~max_consecutive_drops () =
     drops = Hashtbl.create 64;
   }
 
-let send t ~now ~src ~dst msg =
+(* The loss decision half of [send]: consult the fairness table and the
+   decision source, update the consecutive-loss count, but do not touch
+   the in-flight queues. The sharded simulator uses this for cross-shard
+   sends, where the decision belongs to the sender's shard but the queue
+   belongs to the destination's; [dst] may therefore be any pid, not just
+   one of this channel's [n] destinations. *)
+let gate t ~now ~src ~dst msg =
   let key = (src, dst, Message.fairness_key msg) in
   let rate =
     if Hashtbl.length t.link_loss = 0 then t.loss_rate
@@ -88,12 +108,22 @@ let send t ~now ~src ~dst msg =
   let drop = (not forced_keep) && t.decide ~now ~src ~dst ~rate in
   if drop then (
     Hashtbl.replace t.drops key (consecutive + 1);
-    `Dropped)
+    false)
   else (
     Hashtbl.replace t.drops key 0;
-    queue_push t.flight.(dst) ~src ~msg ~sent:now;
-    t.count <- t.count + 1;
+    true)
+
+(* The enqueue half of [send]: file a message whose loss decision was
+   already made (by this channel's [gate] or by a remote shard's). *)
+let inject t ~src ~dst ~sent msg =
+  queue_push t.flight.(dst) ~src ~msg ~sent;
+  t.count <- t.count + 1
+
+let send t ~now ~src ~dst msg =
+  if gate t ~now ~src ~dst msg then (
+    inject t ~src ~dst ~sent:now msg;
     `Kept)
+  else `Dropped
 
 let backlog t ~dst = t.flight.(dst).len
 
@@ -109,6 +139,20 @@ let deliverable t ~dst =
 let oldest_in_flight t ~dst =
   let q = t.flight.(dst) in
   if q.len = 0 then None
+  else if q.sorted then begin
+    (* the minimum send tick is at index 0; the newest entry with that
+       tick (the historical [<=] tie-break) is the last index of the
+       leading run of equal ticks — binary search for its end *)
+    let oldest = q.sent.(0) in
+    let lo = ref 0 and hi = ref (q.len - 1) in
+    (* invariant: sent.(lo) = oldest; find the greatest such index *)
+    while !lo < !hi do
+      let mid = (!lo + !hi + 1) / 2 in
+      if q.sent.(mid) = oldest then lo := mid else hi := mid - 1
+    done;
+    let best = !lo in
+    Some (q.src.(best), q.msg.(best), q.sent.(best))
+  end
   else begin
     (* ties on the send tick resolve to the newest entry ([<=]) — the
        tie-break of the historical newest-first fold, preserved for
@@ -122,12 +166,19 @@ let oldest_in_flight t ~dst =
 
 let deliver t ~src ~dst msg =
   let q = t.flight.(dst) in
+  (* Newest matching instance, as in the original list removal. The
+     physical-equality probe is a pure fast path: the simulator passes
+     the exact value it read out of this queue, and [==] implying
+     [Message.equal] means the first physical hit is also the first
+     structural hit scanning from the newest end. *)
   let rec find i =
     if i < 0 then invalid_arg "Channel.deliver: message not in flight"
-    else if Pid.equal q.src.(i) src && Message.equal q.msg.(i) msg then i
+    else if
+      Pid.equal q.src.(i) src
+      && (q.msg.(i) == msg || Message.equal q.msg.(i) msg)
+    then i
     else find (i - 1)
   in
-  (* newest matching instance, as in the original list removal *)
   queue_remove q (find (q.len - 1));
   t.count <- t.count - 1
 
@@ -137,7 +188,8 @@ let drop_all_in_flight t =
   Array.iter
     (fun q ->
       Array.fill q.msg 0 q.len filler_msg;
-      q.len <- 0)
+      q.len <- 0;
+      q.sorted <- true)
     t.flight;
   t.count <- 0
 
@@ -145,6 +197,22 @@ let drop_in_flight_to t ~dst =
   let q = t.flight.(dst) in
   Array.fill q.msg 0 q.len filler_msg;
   t.count <- t.count - q.len;
-  q.len <- 0
+  q.len <- 0;
+  q.sorted <- true
 
+(* A crashed process never sends again and never accepts another send, so
+   its rows in the fairness table are dead weight — and at large n the
+   table is keyed by (src, dst, fairness key), an O(n² · keys) leak if
+   churn keeps adding processes that later crash. Dropping the dead rows
+   is behaviour-neutral: no future [gate] call can look them up. *)
+let forget t ~pid =
+  let dead =
+    Hashtbl.fold
+      (fun ((src, dst, _) as key) _ acc ->
+        if Pid.equal src pid || Pid.equal dst pid then key :: acc else acc)
+      t.drops []
+  in
+  List.iter (Hashtbl.remove t.drops) dead
+
+let fairness_table_size t = Hashtbl.length t.drops
 let set_loss_rate t rate = t.loss_rate <- rate

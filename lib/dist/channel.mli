@@ -29,8 +29,25 @@ val create :
     receive must be < [n]. *)
 
 (** [send t ~now ~src ~dst msg] records a send. The channel decides whether
-    the message is kept in flight or lost. *)
+    the message is kept in flight or lost. Equivalent to {!gate} followed
+    (on a keep) by {!inject}. *)
 val send : t -> now:int -> src:Pid.t -> dst:Pid.t -> Message.t -> [ `Kept | `Dropped ]
+
+(** [gate t ~now ~src ~dst msg] makes the loss decision for one send —
+    fairness-table lookup, forced keep, decision source, consecutive-loss
+    update — without enqueueing anything. Returns [true] when the message
+    is kept. Unlike the queue operations, [dst] is not restricted to this
+    channel's [n] destinations: the sharded simulator gates cross-shard
+    sends on the sender's channel and enqueues on the destination
+    shard's. *)
+val gate : t -> now:int -> src:Pid.t -> dst:Pid.t -> Message.t -> bool
+
+(** [inject t ~src ~dst ~sent msg] enqueues a message whose loss decision
+    was already made. [sent] is the tick of the original send; pushing
+    with a [sent] below the queue's last entry is legal but demotes
+    {!oldest_in_flight} for that destination from binary search back to a
+    linear scan. *)
+val inject : t -> src:Pid.t -> dst:Pid.t -> sent:int -> Message.t -> unit
 
 (** Messages currently in flight to [dst], with sender and send tick, in
     send order. *)
@@ -46,7 +63,10 @@ val backlog : t -> dst:Pid.t -> int
 val nth_in_flight : t -> dst:Pid.t -> int -> Pid.t * Message.t * int
 
 (** [oldest_in_flight t ~dst] is the in-flight message to [dst] with the
-    smallest send tick, if any. *)
+    smallest send tick, if any; ties on the tick resolve to the newest
+    entry. O(log backlog) while sends to [dst] have arrived in
+    nondecreasing tick order (the simulator always sends this way);
+    O(backlog) otherwise. *)
 val oldest_in_flight : t -> dst:Pid.t -> (Pid.t * Message.t * int) option
 
 (** Remove one in-flight instance (it is being received). Raises if absent. *)
@@ -60,5 +80,16 @@ val drop_all_in_flight : t -> unit
 
 (** Adversary move: lose every in-flight message addressed to [dst]. *)
 val drop_in_flight_to : t -> dst:Pid.t -> unit
+
+(** [forget t ~pid] discards every fairness-table row whose source or
+    destination is [pid]. Behaviour-neutral for a crashed [pid] (it never
+    sends or receives again); the simulator calls it on crash so the
+    table stays bounded by the live working set instead of leaking
+    O(n² · keys) under churn. *)
+val forget : t -> pid:Pid.t -> unit
+
+(** Number of live fairness-table rows (regression hook for the
+    bounded-growth guarantee of {!forget}). *)
+val fairness_table_size : t -> int
 
 val set_loss_rate : t -> float -> unit

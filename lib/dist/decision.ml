@@ -219,7 +219,10 @@ let order s ~tick a =
       match replayed s ~kind:"order" ~accept with
       | Some (Some p) -> Array.blit p 0 a 0 n
       | Some None | None -> identity ()));
-  commit s ~tick (Q_order { n }) (Order (Array.copy a))
+  (* recording sources pay for the trace copy; the random fast path —
+     the sharded engine's per-tick shuffle — must not *)
+  if s.record then commit s ~tick (Q_order { n }) (Order (Array.copy a))
+  else s.made <- s.made + 1
 
 let deliver s ~tick ~dst ~backlog ~p =
   let taken =
@@ -233,7 +236,8 @@ let deliver s ~tick ~dst ~backlog ~p =
         | Some (Some b) -> b
         | Some None | None -> true)
   in
-  commit s ~tick (Q_deliver { dst; backlog }) (Deliver taken);
+  if s.record then commit s ~tick (Q_deliver { dst; backlog }) (Deliver taken)
+  else s.made <- s.made + 1;
   taken
 
 let pick s ~tick ~dst ~keys ~arity =
@@ -276,7 +280,8 @@ let drop s ~tick ~src ~dst ~rate =
         | Some (Some b) -> b
         | Some None | None -> false)
   in
-  commit s ~tick (Q_drop { src; dst }) (Drop taken);
+  if s.record then commit s ~tick (Q_drop { src; dst }) (Drop taken)
+  else s.made <- s.made + 1;
   taken
 
 let crash s ~tick ~pid ~events =

@@ -130,12 +130,15 @@ module Builder = struct
 
   let initial_capacity = 64
 
-  let fresh () =
+  (* The default capacity suits the simulator's history lengths; the
+     sharded large-n engine starts its million builders far smaller. *)
+  let fresh ?(capacity = initial_capacity) () =
+    let capacity = max 1 capacity in
     {
-      events = Array.make initial_capacity Event.Crash;
-      ticks = Array.make initial_capacity 0;
-      ehash = Array.make initial_capacity 0;
-      thash = Array.make initial_capacity 0;
+      events = Array.make capacity Event.Crash;
+      ticks = Array.make capacity 0;
+      ehash = Array.make capacity 0;
+      thash = Array.make capacity 0;
       len = 0;
       crashed = false;
       suspect = None;

@@ -104,8 +104,10 @@ module Builder : sig
   type t
 
   (** A standalone builder, not attached to any arena (for linear
-      run transforms and tests). *)
-  val fresh : unit -> t
+      run transforms and tests). [capacity] (default 64) sizes the
+      initial buffers; the sharded simulator passes a small capacity so a
+      million mostly-quiet builders do not pre-reserve gigabytes. *)
+  val fresh : ?capacity:int -> unit -> t
 
   val reset : t -> unit
 

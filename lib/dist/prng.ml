@@ -19,6 +19,18 @@ let split t =
   (* A second mix decorrelates the child stream from the parent's. *)
   { state = mix64 seed }
 
+(* Shard 0 keeps the root seed untouched so a one-shard simulation draws
+   the exact stream the unsharded simulator would; other shards get a
+   stream keyed by (seed, shard) through the same mixing discipline as
+   [split]. *)
+let shard_seed seed shard =
+  if shard = 0 then seed
+  else
+    mix64
+      (Int64.add
+         (Int64.logxor seed (mix64 (Int64.of_int shard)))
+         (Int64.mul golden_gamma (Int64.of_int shard)))
+
 let int t bound =
   assert (bound > 0);
   let x = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in

@@ -13,6 +13,12 @@ val create : int64 -> t
     subsequent outputs of [t]. *)
 val split : t -> t
 
+(** [shard_seed seed k] derives the seed of shard [k]'s decision stream
+    from a run seed. [shard_seed seed 0 = seed], so a one-shard run is
+    bit-identical to the unsharded simulator; for [k > 0] the derived
+    streams are decorrelated from the root and from one another. *)
+val shard_seed : int64 -> int -> int64
+
 val copy : t -> t
 
 (** [next_int64 t] advances the state and returns 64 uniform bits. *)

@@ -53,10 +53,13 @@ let on_suspect (Packed (m, s)) r =
   let (module M) = m in
   Packed (m, M.on_suspect s r)
 
-let step (Packed (m, s)) ~now =
+let step (Packed (m, s) as t) ~now =
   let (module M) = m in
   let s', act = M.step s ~now in
-  (Packed (m, s'), act)
+  (* a step that returns its state physically unchanged (the ring
+     detectors' quiet slots) must not cost a fresh pack either — this is
+     what makes large-n quiet slots allocation-free *)
+  ((if s' == s then t else Packed (m, s')), act)
 
 let quiescent (Packed ((module M), s)) = M.quiescent s
 let performed (Packed ((module M), s)) = M.performed s

@@ -103,6 +103,7 @@ let crash_process m p =
   m.crashed.(p) <- true;
   rebuild_crashed_list m;
   Channel.drop_in_flight_to m.channel ~dst:p;
+  Channel.forget m.channel ~pid:p;
   (* a crashed owner will never initiate its planned actions *)
   m.pending_init_count <-
     m.pending_init_count - List.length m.pending_inits.(p);
@@ -355,13 +356,33 @@ let execute ?decisions cfg make_process =
   let order = Array.of_list (Pid.all cfg.n) in
   let reason = ref Max_ticks in
   let drained = ref 0 in
+  (* The schedule is walked by a cursor over a stable sort: O(schedule)
+     total instead of the old O(schedule × ticks) rescan per tick. The
+     stable sort keeps duplicate-tick entries in list order, so the last
+     entry listed for a tick wins — exactly what the old in-order
+     [List.iter] did. Entries at tick 0 (or earlier) take effect before
+     the first tick; the old loop, starting at tick 1, silently dropped
+     them. *)
+  let schedule_cursor =
+    ref
+      (List.stable_sort
+         (fun (a, _) (b, _) -> Int.compare a b)
+         cfg.loss_schedule)
+  in
+  let apply_schedule tick =
+    let rec go = function
+      | (at, rate) :: rest when at <= tick ->
+          Channel.set_loss_rate m.channel rate;
+          go rest
+      | rest -> schedule_cursor := rest
+    in
+    go !schedule_cursor
+  in
+  apply_schedule 0;
   (try
      for tick = 1 to cfg.max_ticks do
        m.now <- tick;
-       List.iter
-         (fun (at, rate) ->
-           if at = tick then Channel.set_loss_rate m.channel rate)
-         cfg.loss_schedule;
+       apply_schedule tick;
        Decision.order m.source ~tick order;
        Array.iter (fun p -> schedule_process m p) order;
        if cfg.blackout_after_do && m.any_do && not m.blackout_done then (

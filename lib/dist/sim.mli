@@ -38,10 +38,14 @@ type config = {
       (** [(tick, rate)] switch points: when [tick] starts, the channel's
           global loss rate becomes [rate]. The finite surrogate for
           partial synchrony — an eventually-timely regime is a lossy rate
-          followed by [(gst, 0.0)]. Drop decisions are consulted per send
-          regardless of the current rate, so the schedule changes drop
-          {e outcomes} but never the decision-trace shape; the default
-          [[]] leaves every existing configuration bit-identical. *)
+          followed by [(gst, 0.0)]. Entries at tick 0 or earlier take
+          effect before the first tick (they override [loss_rate] for the
+          whole run); entries listed for the same tick apply in list
+          order, so the last one wins. Drop decisions are consulted per
+          send regardless of the current rate, so the schedule changes
+          drop {e outcomes} but never the decision-trace shape; the
+          default [[]] leaves every existing configuration
+          bit-identical. *)
   fault_plan : Fault_plan.t;
   init_plan : Init_plan.t;
   oracle : Oracle.t;

@@ -1,0 +1,92 @@
+(** Statistical knowledge-claim estimation at large n.
+
+    {!Explore.Classify} checks the detector-class axioms exactly on
+    small-n ensembles; this module scores them {e statistically} on
+    sharded large-n runs, scoped to the pairs a ring backend actually
+    monitors (process [p] watches its [degree] ring successors), and
+    reports Wilson confidence intervals plus the operational
+    distributions the large-n membership literature reports: detection
+    latency (ticks from crash to first suspicion by a correct monitor)
+    and false-suspicion counts. A small committee running
+    [Core.Ack_udc] on top of the ring detector scores the UDC
+    conditions — uniformity (safety) and termination — on the same
+    runs. *)
+
+(** A Wilson score interval for a Bernoulli rate. *)
+type ci = { successes : int; trials : int; rate : float; lo : float; hi : float }
+
+(** [wilson ~successes ~trials ()] with [z] defaulting to 1.96 (95%).
+    [trials = 0] yields NaN rates. *)
+val wilson : ?z:float -> successes:int -> trials:int -> unit -> ci
+
+type dist = { samples : int; mean : float; p50 : float; p99 : float; max : float }
+
+(** Nearest-rank percentiles; [None] on an empty sample list. *)
+val dist_of : float list -> dist option
+
+type params = {
+  n : int;
+  shards : int;
+  degree : int;
+  backend : string;  (** ["gossip"] | ["swim"] | ["phi"] *)
+  regime : Explore.Classify.regime;
+  runs : int;
+  ticks : int;
+  faults : int;  (** random crash victims per run *)
+  committee : int;  (** [Ack_udc] committee size; 0 disables *)
+  seed : int64;
+  domains : int option;
+}
+
+(** Defaults: shards 1, degree 2, fair-lossy, 20 runs of 240 ticks,
+    [max 1 (min 8 (n/8))] faults, committee 4, seed 42. *)
+val params :
+  ?shards:int ->
+  ?degree:int ->
+  ?regime:Explore.Classify.regime ->
+  ?runs:int ->
+  ?ticks:int ->
+  ?faults:int ->
+  ?committee:int ->
+  ?seed:int64 ->
+  ?domains:int ->
+  n:int ->
+  backend:string ->
+  unit ->
+  params
+
+(** The per-seed simulator configuration (regime dressing mirrors
+    [Explore.Classify.config]); exposed so tests and benches reuse the
+    exact estimation workload. The oracle field is filled in per run
+    with the fresh backend pair's oracle. *)
+val config : params -> seed:int64 -> Sim.config
+
+type report = {
+  p : params;
+  monitored_pairs : int;
+  completeness : ci;  (** crashed targets finally suspected by their correct monitors *)
+  strong_accuracy : ci;  (** no false suspicion anywhere in the run *)
+  weak_accuracy : ci;  (** some correct process never falsely suspected *)
+  ev_strong_accuracy : ci;  (** no false suspicion after the 3/4-horizon cutoff *)
+  ev_weak_accuracy : ci;
+  cls_p : ci;  (** completeness ∧ strong accuracy *)
+  cls_s : ci;
+  cls_ev_p : ci;
+  cls_ev_s : ci;
+  detection_latency : dist option;
+  false_per_run : dist option;
+  udc_uniformity : ci option;  (** someone performed ⇒ all correct members did *)
+  udc_termination : ci option;  (** all correct members performed *)
+  wall : float;
+  process_ticks : int;
+  digest : string;  (** MD5 over the ensemble's run digests, in order *)
+}
+
+(** Runs the ensemble (on the {!Ensemble} pool; bit-identical at every
+    domain count) and scores it. *)
+val estimate : params -> report
+
+val pp_report : Format.formatter -> report -> unit
+
+(** One JSON object (hand-rolled, schema stable) for the E18 grid. *)
+val to_json : report -> string

@@ -440,6 +440,134 @@ let sim_deterministic () =
         = History.timed_events (Run.history r2.Sim.run p)))
     (Pid.all 4)
 
+(* ---------- Loss schedules (the tick-0 cutover fix) ---------- *)
+
+(* A fixed workload whose only varying inputs are the loss rate and its
+   schedule representation. *)
+let digest_with ~seed ~loss_rate ~schedule =
+  let cfg = Sim.config ~n:5 ~seed in
+  let cfg =
+    {
+      cfg with
+      Sim.loss_rate;
+      loss_schedule = schedule;
+      goal = Sim.Run_to_max;
+      max_ticks = 60;
+      init_plan = Init_plan.one ~owner:0 ~at:1;
+      fault_plan = Fault_plan.crash_at [ (3, 20) ];
+      oracle = Detector.Oracles.perfect ();
+    }
+  in
+  let r = Sim.execute_uniform cfg (module Core.Ack_udc.P) in
+  Run.digest r.Sim.run
+
+(* A tick-0 (or negative-tick) schedule entry must override the base rate
+   before any send is gated — the regression where entries at [tick <= 0]
+   were silently skipped and the base rate leaked into the whole run. *)
+let schedule_tick0_cutover () =
+  Alcotest.(check string) "tick-0 entry overrides base rate"
+    (digest_with ~seed:3L ~loss_rate:0.35 ~schedule:[])
+    (digest_with ~seed:3L ~loss_rate:0.9 ~schedule:[ (0, 0.35) ]);
+  Alcotest.(check string) "negative tick behaves like tick 0"
+    (digest_with ~seed:3L ~loss_rate:0.9 ~schedule:[ (0, 0.35) ])
+    (digest_with ~seed:3L ~loss_rate:0.9 ~schedule:[ (-4, 0.35) ])
+
+(* Several entries at the same tick: the last one listed wins, exactly as
+   if the earlier ones were absent. *)
+let schedule_same_tick_last_wins () =
+  Alcotest.(check string) "last entry wins"
+    (digest_with ~seed:7L ~loss_rate:0.1 ~schedule:[ (12, 0.6) ])
+    (digest_with ~seed:7L ~loss_rate:0.1
+       ~schedule:[ (12, 0.0); (12, 0.95); (12, 0.6) ])
+
+(* Representation invariance: a constant rate [r] and the schedule
+   [[(0, r)]] over a junk base rate describe the same channel, so the run
+   is bit-identical either way. *)
+let schedule_representation_invariant =
+  QCheck.Test.make ~name:"loss schedule [(0,r)] = constant rate r" ~count:40
+    QCheck.(pair int64 (float_range 0.0 0.8))
+    (fun (seed, r) ->
+      digest_with ~seed ~loss_rate:r ~schedule:[]
+      = digest_with ~seed ~loss_rate:0.99 ~schedule:[ (0, r) ])
+
+(* Entry order is irrelevant: the cursor stable-sorts by tick, so any
+   permutation of distinct-tick entries yields the same run. *)
+let schedule_order_invariant =
+  QCheck.Test.make ~name:"loss schedule order-invariant" ~count:40
+    QCheck.(pair int64 (list_of_size (Gen.int_range 0 6) (float_range 0.0 0.8)))
+    (fun (seed, rates) ->
+      let sched = List.mapi (fun i r -> ((i * 7) + 2, r)) rates in
+      digest_with ~seed ~loss_rate:0.2 ~schedule:sched
+      = digest_with ~seed ~loss_rate:0.2 ~schedule:(List.rev sched))
+
+(* ---------- Channel state across crashes (S2/S3) ---------- *)
+
+(* Crashing a process must prune its rows from the fairness-drop table:
+   under churn the table stays bounded by the live pairs instead of
+   growing with every pid that ever existed. *)
+let channel_forget_prunes_drops () =
+  let always_drop ~now:_ ~src:_ ~dst:_ ~rate:_ = true in
+  let ch =
+    Channel.create ~n:16 ~decide:always_drop ~loss_rate:1.0
+      ~max_consecutive_drops:100 ()
+  in
+  let m = Message.Coord_request (alpha 0 0, Fact.Set.empty) in
+  for round = 0 to 200 do
+    let src = round mod 16 and dst = (round + 1) mod 16 in
+    ignore (Channel.send ch ~now:round ~src ~dst m)
+  done;
+  Alcotest.(check bool) "table populated" true
+    (Channel.fairness_table_size ch > 0);
+  for pid = 0 to 15 do
+    Channel.forget ch ~pid
+  done;
+  Alcotest.(check int) "all rows pruned" 0 (Channel.fairness_table_size ch);
+  (* interleaved churn: the table never exceeds the live-pair bound *)
+  for round = 0 to 300 do
+    let src = round mod 16 and dst = (round + 3) mod 16 in
+    ignore (Channel.send ch ~now:round ~src ~dst m);
+    if round mod 10 = 9 then Channel.forget ch ~pid:(round mod 16);
+    Alcotest.(check bool) "bounded by pairs" true
+      (Channel.fairness_table_size ch <= 16 * 16)
+  done
+
+(* The sorted-cursor oldest_in_flight must agree with a linear scan in
+   both regimes: nondecreasing sends (binary-searched) and out-of-order
+   injections (fallback scan). *)
+let channel_oldest_in_flight () =
+  let keep ~now:_ ~src:_ ~dst:_ ~rate:_ = false in
+  let ch =
+    Channel.create ~n:4 ~decide:keep ~loss_rate:0.0 ~max_consecutive_drops:4 ()
+  in
+  let m = Message.Coord_request (alpha 0 0, Fact.Set.empty) in
+  Alcotest.(check bool) "empty" true (Channel.oldest_in_flight ch ~dst:1 = None);
+  Channel.inject ch ~src:0 ~dst:1 ~sent:5 m;
+  Channel.inject ch ~src:2 ~dst:1 ~sent:7 m;
+  Channel.inject ch ~src:3 ~dst:1 ~sent:7 m;
+  (match Channel.oldest_in_flight ch ~dst:1 with
+  | Some (src, _, sent) ->
+      Alcotest.(check int) "oldest sent" 5 sent;
+      Alcotest.(check int) "oldest src" 0 src
+  | None -> Alcotest.fail "expected a message");
+  (* deliver the oldest; the next oldest surfaces *)
+  Channel.deliver ch ~src:0 ~dst:1 m;
+  (match Channel.oldest_in_flight ch ~dst:1 with
+  | Some (_, _, sent) -> Alcotest.(check int) "next oldest" 7 sent
+  | None -> Alcotest.fail "expected a message");
+  (* out-of-order injection (sent below the tail) switches to the scan *)
+  Channel.inject ch ~src:0 ~dst:1 ~sent:2 m;
+  match Channel.oldest_in_flight ch ~dst:1 with
+  | Some (_, _, sent) -> Alcotest.(check int) "unsorted oldest" 2 sent
+  | None -> Alcotest.fail "expected a message"
+
+(* Pinned digest: a fixed-seed reference run. Any change to the channel
+   internals, the loss-schedule cursor, or the scheduler that shifts
+   observable behavior shows up here as a digest mismatch. *)
+let sim_pinned_digest () =
+  Alcotest.(check string) "reference digest"
+    "7f1a31145dd8ebf8f291a10dd476ff6d"
+    (digest_with ~seed:2026L ~loss_rate:0.3 ~schedule:[ (15, 0.05); (30, 0.6) ])
+
 let qsuite = List.map QCheck_alcotest.to_alcotest
   [
     prng_int_bounds;
@@ -448,6 +576,8 @@ let qsuite = List.map QCheck_alcotest.to_alcotest
     channel_bounded_unfairness;
     r3_cursor_matches_reference;
     sim_runs_well_formed;
+    schedule_representation_invariant;
+    schedule_order_invariant;
   ]
 
 let suite =
@@ -485,5 +615,14 @@ let suite =
     Alcotest.test_case "run: init ownership" `Quick run_init_once;
     Alcotest.test_case "run: faulty set" `Quick run_faulty_set;
     Alcotest.test_case "sim: deterministic" `Quick sim_deterministic;
+    Alcotest.test_case "loss schedule: tick-0 cutover" `Quick
+      schedule_tick0_cutover;
+    Alcotest.test_case "loss schedule: same-tick last wins" `Quick
+      schedule_same_tick_last_wins;
+    Alcotest.test_case "channel: crash prunes drop rows" `Quick
+      channel_forget_prunes_drops;
+    Alcotest.test_case "channel: oldest in flight" `Quick
+      channel_oldest_in_flight;
+    Alcotest.test_case "sim: pinned reference digest" `Quick sim_pinned_digest;
   ]
   @ qsuite

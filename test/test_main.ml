@@ -24,4 +24,5 @@ let () =
       ("kernel", Test_kernel.suite);
       ("explore", Test_explore.suite);
       ("dpor", Test_dpor.suite);
+      ("scale", Test_scale.suite);
     ]

@@ -1,0 +1,243 @@
+(* The sharded large-n engine: shards=1 bit-identity with Sim.execute,
+   determinism across shard/domain counts, record/replay, the ring
+   detector cores, and the statistical estimator. *)
+
+let ring_pair backend ~n ~degree =
+  match Detector.Backends.of_ring_label backend with
+  | Some mk -> mk ~degree ~n ()
+  | None -> Alcotest.failf "unknown ring backend %s" backend
+
+(* A supported (Run_to_max, At-triggered) config exercising losses, a
+   loss schedule, and mid-run crashes. *)
+let scale_config ~n ~seed ~ticks =
+  let cfg = Sim.config ~n ~seed in
+  {
+    cfg with
+    Sim.goal = Sim.Run_to_max;
+    max_ticks = ticks;
+    loss_rate = 0.3;
+    loss_schedule = [ (ticks / 2, 0.05) ];
+    fault_plan =
+      Fault_plan.crash_at [ (1, ticks / 3); (n - 1, ticks / 2) ];
+  }
+
+let exec_sim backend ~n ~seed ~ticks =
+  let pair = ring_pair backend ~n ~degree:2 in
+  let cfg = scale_config ~n ~seed ~ticks in
+  Sim.execute
+    { cfg with Sim.oracle = pair.Detector.Backends.oracle }
+    pair.Detector.Backends.protocol
+
+let exec_sharded ?domains backend ~shards ~n ~seed ~ticks =
+  let pair = ring_pair backend ~n ~degree:2 in
+  let cfg = scale_config ~n ~seed ~ticks in
+  Scale.Shard.execute ~shards ?domains
+    { cfg with Sim.oracle = pair.Detector.Backends.oracle }
+    pair.Detector.Backends.protocol
+
+let one_shard_bit_identical () =
+  List.iter
+    (fun backend ->
+      List.iter
+        (fun seed ->
+          let a = exec_sim backend ~n:7 ~seed ~ticks:120 in
+          let b = exec_sharded backend ~shards:1 ~n:7 ~seed ~ticks:120 in
+          Alcotest.(check string)
+            (Printf.sprintf "%s digest (seed %Ld)" backend seed)
+            (Run.digest a.Sim.run) (Run.digest b.Sim.run);
+          Alcotest.(check bool)
+            "same stop reason" true
+            (a.Sim.reason = b.Sim.reason))
+        [ 1L; 7L; 42L ])
+    Detector.Backends.labels
+
+let sharded_deterministic () =
+  let digest shards domains =
+    let r = exec_sharded ~domains "gossip" ~shards ~n:13 ~seed:5L ~ticks:100 in
+    Run.digest r.Sim.run
+  in
+  (* same (seed, shards) at different domain counts: identical *)
+  Alcotest.(check string) "domains 1 = 2" (digest 3 1) (digest 3 2);
+  Alcotest.(check string) "domains 2 = 4" (digest 3 2) (digest 3 4);
+  (* repeatable at the same settings *)
+  Alcotest.(check string) "repeatable" (digest 4 2) (digest 4 2)
+
+let shard_record_replay () =
+  let pair () = ring_pair "swim" ~n:11 ~degree:2 in
+  let cfg seed =
+    let p = pair () in
+    ( { (scale_config ~n:11 ~seed ~ticks:90) with
+        Sim.oracle = p.Detector.Backends.oracle
+      },
+      p.Detector.Backends.protocol )
+  in
+  let c1, p1 = cfg 9L in
+  let res, traces = Scale.Shard.record ~shards:3 c1 p1 in
+  Alcotest.(check int) "one trace per shard" 3 (Array.length traces);
+  let c2, p2 = cfg 9L in
+  let res' = Scale.Shard.replay ~traces ~shards:3 c2 p2 in
+  Alcotest.(check string) "replay digest" (Run.digest res.Sim.run)
+    (Run.digest res'.Sim.run)
+
+let unsupported_rejected () =
+  let p = ring_pair "gossip" ~n:4 ~degree:2 in
+  let cfg = Sim.config ~n:4 ~seed:1L in
+  Alcotest.check_raises "goal"
+    (Invalid_argument "Shard: only the Run_to_max goal is supported")
+    (fun () ->
+      ignore (Scale.Shard.execute cfg p.Detector.Backends.protocol));
+  let p = ring_pair "gossip" ~n:4 ~degree:2 in
+  let cfg =
+    {
+      cfg with
+      Sim.goal = Sim.Run_to_max;
+      fault_plan =
+        Fault_plan.of_entries
+          [ { Fault_plan.victim = 1; trigger = Fault_plan.After_any_do } ];
+    }
+  in
+  Alcotest.check_raises "trigger"
+    (Invalid_argument "Shard: only At-triggered fault entries are supported")
+    (fun () ->
+      ignore (Scale.Shard.execute cfg p.Detector.Backends.protocol))
+
+(* Ring cores: in a reliable run, a crashed process is eventually
+   suspected by its ring monitors, and nobody suspects a live process. *)
+let ring_detects backend () =
+  let n = 8 and victim = 3 in
+  let pair = ring_pair backend ~n ~degree:2 in
+  let cfg = Sim.config ~n ~seed:11L in
+  let cfg =
+    {
+      cfg with
+      Sim.goal = Sim.Run_to_max;
+      max_ticks = 260;
+      fault_plan = Fault_plan.crash_at [ (victim, 40) ];
+      oracle = pair.Detector.Backends.oracle;
+    }
+  in
+  let res = Sim.execute cfg pair.Detector.Backends.protocol in
+  let run = res.Sim.run in
+  let monitors =
+    Detector.Backends.ring_watchers ~n ~degree:2 victim
+  in
+  List.iter
+    (fun p ->
+      let timeline = Detector.Spec.event_timeline run p in
+      let final =
+        List.fold_left (fun _ (_, s) -> s) Pid.Set.empty timeline
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: monitor %d suspects %d" backend p victim)
+        true
+        (Pid.Set.mem victim final))
+    monitors;
+  (* Lossless channels still jitter deliveries by up to [max_delay], so
+     accrual-style detectors may suspect transiently; the honest claim is
+     eventual accuracy — final suspicion sets hold only crashed pids. *)
+  let horizon = Run.horizon run in
+  for p = 0 to n - 1 do
+    let final =
+      List.fold_left
+        (fun _ (_, s) -> s)
+        Pid.Set.empty
+        (Detector.Spec.event_timeline run p)
+    in
+    Pid.Set.iter
+      (fun q ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s: %d falsely suspects %d at horizon" backend p q)
+          true
+          (Run.crashed_by run q horizon))
+      final
+  done
+
+let phi_deadline_monotone =
+  QCheck.Test.make ~name:"phi_deadline inverts phi" ~count:200
+    QCheck.(triple (float_range 1.0 60.0) (float_range 0.5 10.0) (float_range 0.5 8.0))
+    (fun (mean, std, threshold) ->
+      let d =
+        Detector.Backends.phi_deadline ~mean ~std ~threshold
+      in
+      let phi_at e =
+        Detector.Backends.phi ~elapsed:(float_of_int e) ~mean ~std
+      in
+      d >= 1
+      && phi_at d > threshold
+      && (d = 1 || phi_at (d - 1) <= threshold))
+
+let wilson_interval () =
+  let c = Scale.Estimate.wilson ~successes:9 ~trials:10 () in
+  Alcotest.(check (float 1e-9)) "rate" 0.9 c.Scale.Estimate.rate;
+  Alcotest.(check bool) "lo < rate" true (c.Scale.Estimate.lo < 0.9);
+  Alcotest.(check bool) "hi > rate" true (c.Scale.Estimate.hi > 0.9);
+  (* known Wilson bounds for 9/10 at z = 1.96 *)
+  Alcotest.(check bool) "lo ~ 0.596" true
+    (Float.abs (c.Scale.Estimate.lo -. 0.59585) < 5e-3);
+  Alcotest.(check bool) "hi ~ 0.982" true
+    (Float.abs (c.Scale.Estimate.hi -. 0.98213) < 5e-3);
+  let z = Scale.Estimate.wilson ~successes:0 ~trials:0 () in
+  Alcotest.(check bool) "empty trials -> nan" true
+    (Float.is_nan z.Scale.Estimate.rate)
+
+let estimate_smoke () =
+  let p =
+    Scale.Estimate.params ~shards:2 ~runs:4 ~ticks:160 ~faults:2
+      ~committee:3 ~n:12 ~backend:"gossip" ()
+  in
+  let r = Scale.Estimate.estimate p in
+  let in01 (c : Scale.Estimate.ci) =
+    c.Scale.Estimate.trials = 4
+    && c.Scale.Estimate.rate >= 0.
+    && c.Scale.Estimate.rate <= 1.
+    && c.Scale.Estimate.lo <= c.Scale.Estimate.rate
+    && c.Scale.Estimate.rate <= c.Scale.Estimate.hi
+  in
+  List.iter
+    (fun (label, c) ->
+      Alcotest.(check bool) label true (in01 c))
+    [
+      ("completeness", r.Scale.Estimate.completeness);
+      ("strong", r.Scale.Estimate.strong_accuracy);
+      ("weak", r.Scale.Estimate.weak_accuracy);
+      ("evP", r.Scale.Estimate.cls_ev_p);
+      ("evS", r.Scale.Estimate.cls_ev_s);
+    ];
+  Alcotest.(check bool) "committee scored" true
+    (r.Scale.Estimate.udc_uniformity <> None);
+  Alcotest.(check int) "digest is md5 hex" 32
+    (String.length r.Scale.Estimate.digest);
+  (* the estimator ensemble is deterministic *)
+  let r' = Scale.Estimate.estimate p in
+  Alcotest.(check string) "deterministic" r.Scale.Estimate.digest
+    r'.Scale.Estimate.digest;
+  (* JSON is well-formed enough to round-trip the digest *)
+  let js = Scale.Estimate.to_json r in
+  Alcotest.(check bool) "json mentions digest" true
+    (let needle = r.Scale.Estimate.digest in
+     let rec find i =
+       i + String.length needle <= String.length js
+       && (String.sub js i (String.length needle) = needle || find (i + 1))
+     in
+     find 0)
+
+let suite =
+  [
+    Alcotest.test_case "shards=1 is bit-identical to Sim.execute" `Slow
+      one_shard_bit_identical;
+    Alcotest.test_case "sharded runs are domain-count independent" `Quick
+      sharded_deterministic;
+    Alcotest.test_case "sharded record/replay round-trips" `Quick
+      shard_record_replay;
+    Alcotest.test_case "unsupported configs are rejected" `Quick
+      unsupported_rejected;
+    Alcotest.test_case "gossip ring detects ring crashes" `Quick
+      (ring_detects "gossip");
+    Alcotest.test_case "phi ring detects ring crashes" `Quick
+      (ring_detects "phi");
+    Alcotest.test_case "swim ring detects ring crashes" `Quick
+      (ring_detects "swim");
+    QCheck_alcotest.to_alcotest phi_deadline_monotone;
+    Alcotest.test_case "wilson interval" `Quick wilson_interval;
+    Alcotest.test_case "estimator smoke" `Slow estimate_smoke;
+  ]
