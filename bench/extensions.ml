@@ -359,3 +359,75 @@ let classify () =
        of every class under fair loss, phi degrades from \
        eventually-perfect to eventually-strong - and the explorer \
        certifies phi is not P with a shrunk replayable schedule"
+
+(* E19: k-set agreement as a decision protocol riding on each
+   implemented backend under each channel regime (including the ADD
+   average-delay model), with the epistemic experiment alongside: on
+   runs that attain k-set safety, do the deciders' knowledge states
+   validate the conditions an (S,k) oracle would induce (KS1: each
+   decider knows its own proposal; KS2: a common core of min(k,#correct)
+   correct proposers is known-initiated by every decider)?  Negative
+   cells are certified by an explorer-found shrunk repro in which
+   adversarial suspicions defeat the bound. *)
+let kset () =
+  Util.header
+    "E19: k-set agreement on implemented detectors and ADD channels";
+  let k = 2 in
+  let params =
+    {
+      Explore.Classify.default_params with
+      Explore.Classify.runs = 8;
+      max_ticks = 240;
+      gst = 120;
+    }
+  in
+  Format.printf "    %-8s %-18s %-9s %-11s %-10s %-5s %s@." "backend"
+    "regime" "attained" "terminated" "(S,k)-sim" "KS1" "KS2";
+  List.iter
+    (fun backend ->
+      List.iter
+        (fun regime ->
+          match Explore.Classify.kset ~backend ~regime ~k params with
+          | Error e -> failwith e
+          | Ok o ->
+              Format.printf "    %-8s %-18s %-9s %-11s %-10s %-5s %s@."
+                backend
+                (Explore.Classify.regime_label regime)
+                (Printf.sprintf "%d/%d" o.Explore.Classify.attained
+                   params.Explore.Classify.runs)
+                (Printf.sprintf "%d/%d" o.Explore.Classify.terminated
+                   params.Explore.Classify.runs)
+                (Printf.sprintf "%d/%d" o.Explore.Classify.sk_simulated
+                   params.Explore.Classify.runs)
+                (Printf.sprintf "%d/%d" o.Explore.Classify.ks1
+                   params.Explore.Classify.runs)
+                (Printf.sprintf "%d/%d" o.Explore.Classify.ks2
+                   params.Explore.Classify.runs))
+        Explore.Classify.regimes)
+    Detector.Backends.labels;
+  (* the negative cell, certified: with the adversary playing the
+     detector, a legal schedule splits the min rule past k values *)
+  (match Explore.Classify.certify_kset ~k:1 ~n:3 () with
+  | Error e -> failwith e
+  | Ok cert ->
+      Format.printf
+        "    certificate: adversarial suspicions defeat kset:1 — %s \
+         (explored %d schedules)@."
+        cert.Explore.Classify.repro.Explore.Repro.violation
+        cert.Explore.Classify.explored);
+  Util.paper_vs_measured
+    ~claim:
+      "coordination is knowledge acquisition: the paper derives what \
+       processes must know to act, and weaker detectors buy weaker \
+       agreement — for k-set agreement the operative oracle strength is \
+       k-weak accuracy ((S,k)): some min(k, #correct) correct processes \
+       are never suspected"
+    ~measured:
+      "the grid separates the backends: gossip's conservative timeouts \
+       simulate an (S,2) oracle in every regime (incl. ADD) and attain \
+       2-set safety throughout; phi's bootstrap false-suspicions split \
+       the min rule past 2 values on reliable runs — the one cell that \
+       loses safety; every attaining run validates KS1/KS2 at the \
+       deciders' decide points; and the explorer certifies that \
+       unconstrained suspicions (below (S,k)) admit a replayable \
+       schedule deciding k+1 values"

@@ -20,6 +20,7 @@ let experiments =
     ("kb", "E15: knowledge-based programs (FHMV97)", Extensions.kb_programs);
     ("ck", "E16: the knowledge hierarchy / common knowledge", Extensions.common_knowledge);
     ("classify", "E17: implemented detectors vs the paper's taxonomy", Extensions.classify);
+    ("kset", "E19: k-set agreement on detectors and ADD channels", Extensions.kset);
     ("perf", "P1-P12: performance and ablations", fun () -> Perf.run ());
   ]
 

@@ -211,9 +211,30 @@ let scenario_of_name name ~n ~t ~seed =
         (Printf.sprintf "unknown scenario %S (solo | confined | lying | blind)"
            s)
 
+(* The --channel argument: "reliable" (no ADD bounds) or "add[:W/B]"
+   (ADD channels with window W and delay bound B, default 4/8). *)
+let parse_channel = function
+  | "reliable" -> Ok None
+  | "add" -> Ok (Some { Channel.window = 4; bound = 8 })
+  | s when String.length s > 4 && String.sub s 0 4 = "add:" -> (
+      let spec = String.sub s 4 (String.length s - 4) in
+      match String.split_on_char '/' spec with
+      | [ w; b ] -> (
+          match (int_of_string_opt w, int_of_string_opt b) with
+          | Some window, Some bound when window >= 1 && bound >= 1 ->
+              Ok (Some { Channel.window; bound })
+          | _ ->
+              Error
+                (Printf.sprintf "bad ADD bounds %S (expected add:W/B, W,B >= 1)" s)
+          )
+      | _ ->
+          Error
+            (Printf.sprintf "bad ADD bounds %S (expected add:W/B, W,B >= 1)" s))
+  | s -> Error (Printf.sprintf "unknown channel %S (reliable | add[:W/B])" s)
+
 let explore scenario t property proto_label n seed mode search_depth window
-    max_runs domains max_ticks crash_budget adversarial out replay expect
-    pool_stats =
+    max_runs domains max_ticks crash_budget adversarial channel out replay
+    expect pool_stats =
   let fail fmt =
     Printf.ksprintf
       (fun s ->
@@ -221,13 +242,25 @@ let explore scenario t property proto_label n seed mode search_depth window
         exit 2)
       fmt
   in
+  (* exit 1 = the run contradicted an expectation (--expect, or a repro
+     file's recorded digest/violation); exit 2 = usage error (fail) *)
+  let mismatch fmt =
+    Printf.ksprintf
+      (fun s ->
+        prerr_endline ("udc explore: " ^ s);
+        exit 1)
+      fmt
+  in
+  let add =
+    match parse_channel channel with Ok a -> a | Error e -> fail "%s" e
+  in
   match replay with
   | Some path -> (
       match Explore.Repro.load path with
       | Error e -> fail "%s" e
       | Ok r -> (
           match Explore.Repro.replay r with
-          | Error e -> fail "replay failed: %s" e
+          | Error e -> mismatch "replay failed: %s" e
           | Ok (result, desc) ->
               Format.printf "problem:   %s (%s, property %s)@."
                 r.Explore.Repro.problem.Explore.Problem.name
@@ -238,7 +271,11 @@ let explore scenario t property proto_label n seed mode search_depth window
                 (List.length r.Explore.Repro.trace)
                 Sim.pp_stop_reason result.Sim.reason;
               Format.printf "digest:    %s (verified)@." r.Explore.Repro.digest;
-              Format.printf "violation: %s@." desc))
+              Format.printf "violation: %s@." desc;
+              (* a verified repro IS a violation: --expect applies to the
+                 replay path exactly as to the search path *)
+              if expect = "none" then
+                mismatch "expected no violation, replay exhibited one"))
   | None ->
       let problem =
         match scenario with
@@ -256,10 +293,27 @@ let explore scenario t property proto_label n seed mode search_depth window
                 with
                 | Error e, _ | _, Error e -> fail "%s" e
                 | Ok property, Ok protocol ->
+                    (* k-set runs on everyone proposing their own id
+                       (the vector [Property.Kset] scores validity
+                       against); the single-action plan is for the
+                       one-coordination-action UDC protocols *)
+                    let init_plan =
+                      if proto_label = "kset" then
+                        Init_plan.of_entries
+                          (List.map
+                             (fun q ->
+                               {
+                                 Init_plan.action =
+                                   Action_id.make ~owner:q ~tag:q;
+                                 at = 1;
+                               })
+                             (Pid.all n))
+                      else Init_plan.one ~owner:0 ~at:1
+                    in
                     let config =
                       {
                         (Sim.config ~n ~seed) with
-                        Sim.init_plan = Init_plan.one ~owner:0 ~at:1;
+                        Sim.init_plan;
                         max_ticks;
                         crash_budget;
                       }
@@ -267,6 +321,13 @@ let explore scenario t property proto_label n seed mode search_depth window
                     Explore.Problem.make ~name:proto_label
                       ~adversarial_oracle:adversarial ~config ~protocol
                       ~protocol_label:proto_label property))
+      in
+      let problem =
+        {
+          problem with
+          Explore.Problem.config =
+            { problem.Explore.Problem.config with Sim.add };
+        }
       in
       Format.printf "exploring %s (%s) for %s, mode %s, depth <= %d@."
         problem.Explore.Problem.name problem.Explore.Problem.protocol_label
@@ -294,9 +355,8 @@ let explore scenario t property proto_label n seed mode search_depth window
           stats.Explore.Engine.seen_hits stats.Explore.Engine.pruned
       in
       let check_expect_none () =
-        if expect = "violation" then (
-          prerr_endline "udc explore: expected a violation, none found";
-          exit 1)
+        if expect = "violation" then
+          mismatch "expected a violation, none found"
       in
       (match outcome with
       | Explore.Engine.Exhausted stats ->
@@ -335,9 +395,8 @@ let explore scenario t property proto_label n seed mode search_depth window
               Explore.Repro.save path repro;
               Format.printf "repro written to %s@." path
           | None -> Format.printf "@.%s" (Explore.Repro.to_string repro));
-          if expect = "none" then (
-            prerr_endline "udc explore: expected no violation, found one";
-            exit 1))
+          if expect = "none" then
+            mismatch "expected no violation, found one")
 
 let scenario_arg =
   Arg.(
@@ -360,8 +419,8 @@ let property_arg =
     & info [ "property" ]
         ~doc:
           "Property to hunt (without --scenario): dc1 | dc2 | dc3 | udc | \
-           nudc | epistemic-dc2 | detector:CLASS | expect-udc-violated | \
-           expect-dc1-violated.")
+           nudc | epistemic-dc2 | kset:K | detector:CLASS | \
+           expect-udc-violated | expect-dc1-violated.")
 
 let explore_protocol_arg =
   Arg.(
@@ -369,7 +428,18 @@ let explore_protocol_arg =
     & info [ "protocol"; "p" ]
         ~doc:
           "Protocol (without --scenario): nudc | reliable | ack | theta | \
-           heartbeat | majority:T | gen:T.")
+           heartbeat | kset | majority:T | gen:T | phi | swim | gossip.")
+
+let channel_arg =
+  Arg.(
+    value & opt string "reliable"
+    & info [ "channel" ]
+        ~doc:
+          "Channel model: reliable (fair-lossy under explorer-chosen drops) \
+           | add[:W/B] (ADD bounds: per-link window W caps consecutive \
+           drops, delay bound B forces overdue deliveries; default 4/8). \
+           ADD bounds are config-driven and consume no decisions, so repro \
+           files record and replay them.")
 
 let mode_arg =
   Arg.(
@@ -450,17 +520,30 @@ let expect_arg =
     & info [ "expect" ]
         ~doc:
           "Exit nonzero unless the outcome matches: violation (a witness \
-           must be found) | none (the space must be clean) | any.")
+           must be found) | none (the space must be clean) | any. Applies \
+           to both the search and --replay paths. Exit codes: 0 = outcome \
+           matches, 1 = outcome contradicts the expectation (or a repro \
+           failed to reproduce its recorded digest/violation), 2 = usage \
+           or configuration error.")
 
 (* ---------- classify ---------- *)
 
 let classify backend regime n crashes runs max_ticks gst domains certify out
-    expect =
+    expect problem k =
   let fail fmt =
     Printf.ksprintf
       (fun s ->
         prerr_endline ("udc classify: " ^ s);
         exit 2)
+      fmt
+  in
+  (* same contract as udc explore: 1 = measured outcome contradicts
+     --expect, 2 = usage error *)
+  let mismatch fmt =
+    Printf.ksprintf
+      (fun s ->
+        prerr_endline ("udc classify: " ^ s);
+        exit 1)
       fmt
   in
   let regime =
@@ -469,47 +552,84 @@ let classify backend regime n crashes runs max_ticks gst domains certify out
     | Error e -> fail "%s" e
   in
   let params = { Explore.Classify.n; crashes; runs; max_ticks; gst } in
-  let outcome =
-    match Explore.Classify.classify ?domains ~backend ~regime params with
-    | Ok o -> o
-    | Error e -> fail "%s" e
+  let emit_repro repro =
+    (match Explore.Repro.replay repro with
+    | Ok (_, desc) -> Format.printf "repro replayed digest-strict: %s@." desc
+    | Error e -> fail "repro failed to replay: %s" e);
+    match out with
+    | Some path ->
+        Explore.Repro.save path repro;
+        Format.printf "repro written to %s@." path
+    | None -> Format.printf "@.%s" (Explore.Repro.to_string repro)
   in
-  Format.printf "%a@." Explore.Classify.pp_outcome outcome;
-  (match expect with
-  | None -> ()
-  | Some expected ->
-      let got =
-        Explore.Classify.assignment_string outcome.Explore.Classify.assignment
+  match problem with
+  | "detector" ->
+      let outcome =
+        match Explore.Classify.classify ?domains ~backend ~regime params with
+        | Ok o -> o
+        | Error e -> fail "%s" e
       in
-      if got <> expected then (
-        Printf.eprintf
-          "udc classify: expected assignment %S, measured %S\n" expected got;
-        exit 1));
-  if certify then
-    match Explore.Classify.certification_target outcome with
-    | None ->
+      Format.printf "%a@." Explore.Classify.pp_outcome outcome;
+      (match expect with
+      | None -> ()
+      | Some expected ->
+          let got =
+            Explore.Classify.assignment_string
+              outcome.Explore.Classify.assignment
+          in
+          if got <> expected then
+            mismatch "expected assignment %S, measured %S" expected got);
+      if certify then (
+        match Explore.Classify.certification_target outcome with
+        | None ->
+            Format.printf
+              "certify: nothing to certify (strongest class already \
+               satisfied)@."
+        | Some against -> (
+            Format.printf "certify: searching for a schedule violating %s@."
+              (Detector.Spec.cls_name against);
+            match Explore.Classify.certify ~backend ~against ~n () with
+            | Error e -> fail "certification failed: %s" e
+            | Ok cert ->
+                Format.printf "certified: %s is not %s (%d runs explored)@."
+                  backend
+                  (Detector.Spec.cls_name cert.Explore.Classify.against)
+                  cert.Explore.Classify.explored;
+                emit_repro cert.Explore.Classify.repro))
+  | "kset" ->
+      if k < 1 then fail "--k must be >= 1";
+      let outcome =
+        match Explore.Classify.kset ?domains ~backend ~regime ~k params with
+        | Ok o -> o
+        | Error e -> fail "%s" e
+      in
+      Format.printf "%a@." Explore.Classify.pp_kset_outcome outcome;
+      (match expect with
+      | None -> ()
+      | Some "attained" ->
+          if outcome.Explore.Classify.attained <> runs then
+            mismatch "expected k-set attained on all %d runs, got %d" runs
+              outcome.Explore.Classify.attained
+      | Some "violated" ->
+          if outcome.Explore.Classify.attained = runs then
+            mismatch "expected a k-set violation, all %d runs attained it"
+              runs
+      | Some e ->
+          fail "unknown --expect %S for --problem kset (attained | violated)"
+            e);
+      if certify then (
         Format.printf
-          "certify: nothing to certify (strongest class already satisfied)@."
-    | Some against -> (
-        Format.printf "certify: searching for a schedule violating %s@."
-          (Detector.Spec.cls_name against);
-        match Explore.Classify.certify ~backend ~against ~n () with
+          "certify: searching for a suspicion pattern deciding > %d values@."
+          k;
+        match Explore.Classify.certify_kset ~k ~n () with
         | Error e -> fail "certification failed: %s" e
         | Ok cert ->
             Format.printf
-              "certified: %s is not %s (%d runs explored)@." backend
-              (Detector.Spec.cls_name cert.Explore.Classify.against)
-              cert.Explore.Classify.explored;
-            let repro = cert.Explore.Classify.repro in
-            (match Explore.Repro.replay repro with
-            | Ok (_, desc) ->
-                Format.printf "repro replayed digest-strict: %s@." desc
-            | Error e -> fail "repro failed to replay: %s" e);
-            (match out with
-            | Some path ->
-                Explore.Repro.save path repro;
-                Format.printf "repro written to %s@." path
-            | None -> Format.printf "@.%s" (Explore.Repro.to_string repro)))
+              "certified: adversarial suspicions defeat kset:%d (%d runs \
+               explored)@."
+              cert.Explore.Classify.k cert.Explore.Classify.explored;
+            emit_repro cert.Explore.Classify.repro)
+  | p -> fail "unknown problem %S (detector | kset)" p
 
 let backend_arg =
   Arg.(
@@ -521,7 +641,24 @@ let regime_arg =
   Arg.(
     value & opt string "reliable"
     & info [ "regime"; "r" ]
-        ~doc:"Channel regime: reliable | lossy | eventually-timely.")
+        ~doc:
+          "Channel regime: reliable | lossy | eventually-timely | add \
+           (lossy with per-link ADD window/delay bounds).")
+
+let problem_arg =
+  Arg.(
+    value & opt string "detector"
+    & info [ "problem" ]
+        ~doc:
+          "What to classify: detector (the backend against the class \
+           taxonomy) | kset (k-set agreement riding on the backend, scored \
+           for safety, termination, (S,k) simulation, and the KS1/KS2 \
+           knowledge conditions).")
+
+let k_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "k" ] ~doc:"k-set agreement bound (with --problem kset).")
 
 let runs_arg =
   Arg.(
@@ -556,8 +693,12 @@ let classify_expect_arg =
     & opt (some string) None
     & info [ "expect" ]
         ~doc:
-          "Exit nonzero unless the measured assignment equals this string \
-           (e.g. 'eventually-perfect+strong').")
+          "Exit nonzero unless the measurement matches. With --problem \
+           detector: the assignment string (e.g. \
+           'eventually-perfect+strong'). With --problem kset: attained (all \
+           runs reached k-set safety) | violated (some run did not). Exit \
+           codes as in udc explore: 0 = match, 1 = mismatch, 2 = usage or \
+           configuration error.")
 
 let classify_cmd =
   Cmd.v
@@ -568,24 +709,31 @@ let classify_cmd =
           check each class's axioms on every run, and report the maximal \
           classes that held throughout. Bit-identical at every --domains \
           value. With --certify, also search for a shrunk replayable \
-          counterexample against the next stronger class.")
+          counterexample against the next stronger class. With --problem \
+          kset, score the min-rule k-set agreement protocol riding on the \
+          backend instead; --certify then searches for an adversarial \
+          suspicion pattern deciding more than k values. Exit codes: 0 = \
+          outcome matches --expect, 1 = mismatch, 2 = usage or \
+          configuration error.")
     Term.(
       const classify $ backend_arg $ regime_arg $ n_arg $ crashes_arg
       $ runs_arg $ classify_max_ticks_arg $ gst_arg $ domains_arg
-      $ certify_arg $ out_arg $ classify_expect_arg)
+      $ certify_arg $ out_arg $ classify_expect_arg $ problem_arg $ k_arg)
 
 let explore_cmd =
   Cmd.v
     (Cmd.info "explore"
        ~doc:
          "Systematically explore schedules for a specification violation, \
-          shrink the witness, and emit a replayable repro file.")
+          shrink the witness, and emit a replayable repro file. Exit codes: \
+          0 = outcome matches --expect, 1 = outcome contradicts --expect or \
+          a replay failed to reproduce, 2 = usage or configuration error.")
     Term.(
       const explore $ scenario_arg $ t_arg $ property_arg
       $ explore_protocol_arg $ n_arg $ seed_arg $ mode_arg $ search_depth_arg
       $ window_arg $ max_runs_arg $ domains_arg $ max_ticks_arg
-      $ crash_budget_arg $ adversarial_arg $ out_arg $ replay_arg $ expect_arg
-      $ pool_stats_arg)
+      $ crash_budget_arg $ adversarial_arg $ channel_arg $ out_arg
+      $ replay_arg $ expect_arg $ pool_stats_arg)
 
 let simulate_cmd =
   Cmd.v

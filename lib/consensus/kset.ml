@@ -1,0 +1,114 @@
+(* k-set agreement on the explore substrate (Biely, Robinson & Schmid's
+   setting). Every process is initiated with its own proposal (the init
+   action's tag), broadcasts it as a round-0 estimate until acknowledged,
+   and decides the minimum value among its own proposal and every value
+   heard, once each peer is either heard from or suspected. The decision
+   is recorded as a [Do] whose tag is the decided value, so
+   [Run_index.decision] reads it directly.
+
+   The [k] of k-set agreement lives entirely in the {e property}
+   ([Explore.Property.Kset k]): the protocol itself is the same greedy
+   min-rule for every k. How many distinct values survive is decided by
+   the failure detector's false suspicions — a falsely suspected proposer
+   is skipped by some deciders and heard by others, which is exactly the
+   (S,k) degradation the E19 experiment measures. *)
+
+module P : Protocol.S = struct
+  type state = {
+    me : Pid.t;
+    n : int;
+    proposal : int option; (* the init action's tag *)
+    heard : int Pid.Map.t; (* proposer -> value *)
+    suspected_ever : Pid.Set.t; (* "says or has said" *)
+    decided : int option;
+    out : Outbox.t;
+  }
+
+  let name = "kset"
+
+  let create ~n ~me =
+    {
+      me;
+      n;
+      proposal = None;
+      heard = Pid.Map.empty;
+      suspected_ever = Pid.Set.empty;
+      decided = None;
+      out = Outbox.empty;
+    }
+
+  let est_key dst = Printf.sprintf "est:%s" (Pid.to_string dst)
+
+  let on_init t alpha =
+    match t.proposal with
+    | Some _ -> t (* one proposal per process; later inits are ignored *)
+    | None ->
+        let v = Action_id.tag alpha in
+        let out =
+          List.fold_left
+            (fun out dst ->
+              if Pid.equal dst t.me then out
+              else
+                Outbox.set_recurring out ~key:(est_key dst) ~dst
+                  (Message.Cons_estimate { round = 0; value = v; ts = 0 }))
+            t.out (Pid.all t.n)
+        in
+        { t with proposal = Some v; out }
+
+  let on_recv t ~src msg =
+    match msg with
+    | Message.Cons_estimate { value; _ } ->
+        {
+          t with
+          heard = Pid.Map.add src value t.heard;
+          out =
+            Outbox.push t.out ~dst:src
+              (Message.Cons_ack { round = 0; ok = true });
+        }
+    | Message.Cons_ack _ -> { t with out = Outbox.cancel t.out ~key:(est_key src) }
+    | _ -> t
+
+  let on_suspect t r =
+    match r with
+    | Report.Std _ | Report.Correct_set _ ->
+        {
+          t with
+          suspected_ever =
+            Pid.Set.union t.suspected_ever (Report.suspects_in ~n:t.n r);
+        }
+    | Report.Gen _ -> t
+
+  let accounted t q =
+    Pid.equal q t.me
+    || Pid.Map.mem q t.heard
+    || Pid.Set.mem q t.suspected_ever
+
+  let ready t =
+    t.proposal <> None && t.decided = None
+    && List.for_all (accounted t) (Pid.all t.n)
+
+  let step t ~now =
+    if ready t then
+      let v =
+        Pid.Map.fold
+          (fun _ v acc -> min v acc)
+          t.heard
+          (Option.get t.proposal)
+      in
+      ( { t with decided = Some v },
+        Protocol.Perform (Action_id.make ~owner:t.me ~tag:v) )
+    else
+      match Outbox.next t.out ~now with
+      | Some (out, (dst, msg)) -> ({ t with out }, Protocol.Send_to (dst, msg))
+      | None -> (t, Protocol.No_op)
+
+  (* a decided process keeps retransmitting its estimate until every peer
+     has acknowledged — its value must still reach slower deciders *)
+  let quiescent t =
+    Outbox.is_empty t.out && (t.decided <> None || t.proposal = None)
+
+  let performed t =
+    match t.decided with
+    | None -> Action_id.Set.empty
+    | Some v -> Action_id.Set.singleton (Action_id.make ~owner:t.me ~tag:v)
+end

@@ -1,0 +1,15 @@
+(** k-set agreement protocol (min-rule over heard proposals).
+
+    Every process is initiated with its own proposal (the init action's
+    tag — the wiring proposes pid [q]'s own id via [Action_id.make
+    ~owner:q ~tag:q]), broadcasts it as a round-0 estimate until each
+    peer acknowledges, and decides the minimum of its proposal and every
+    value heard once each peer is heard from or suspected. The decision
+    is a [Do] whose tag is the decided value ({!Spec.decision} reads it).
+
+    The parameter [k] lives in the property checked over the run
+    ({!Spec.k_agreement}, [Explore.Property.Kset]), not in the protocol:
+    how many distinct values survive is determined by the detector's
+    false suspicions, which is what the (S,k) classification measures. *)
+
+module P : Protocol.S

@@ -26,6 +26,19 @@ let validity ~proposals run =
   | Some (p, v) ->
       errorf "validity: %a decided %d, which nobody proposed" Pid.pp p v
 
+(* k-set agreement: at most k distinct decided values across the run.
+   [k = 1] is agreement. *)
+let k_agreement ~k run =
+  if k < 1 then invalid_arg "Spec.k_agreement: k < 1";
+  let distinct =
+    List.sort_uniq Int.compare (List.map snd (decisions run))
+  in
+  if List.length distinct <= k then Ok ()
+  else
+    errorf "%d-set agreement: %d distinct values decided (%s)" k
+      (List.length distinct)
+      (String.concat "," (List.map string_of_int distinct))
+
 let termination run =
   match
     List.find_opt

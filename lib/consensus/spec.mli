@@ -10,6 +10,11 @@ val decision : Run.t -> Pid.t -> int option
     differently. *)
 val agreement : Run.t -> (unit, string) result
 
+(** k-set agreement: at most [k] distinct values are decided across the
+    whole run (uniform — faulty deciders count). [k = 1] is agreement.
+    Raises [Invalid_argument] on [k < 1]. *)
+val k_agreement : k:int -> Run.t -> (unit, string) result
+
 (** Validity: every decided value is some process's proposal. *)
 val validity : proposals:int array -> Run.t -> (unit, string) result
 

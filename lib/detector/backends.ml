@@ -966,6 +966,12 @@ let of_label = function
   | "gossip" -> Some (fun ~n -> gossip ~n ())
   | _ -> None
 
+let of_label_inner = function
+  | "phi" -> Some (fun ~inner ~n -> phi_accrual ~inner ~n ())
+  | "swim" -> Some (fun ~inner ~n -> swim ~inner ~n ())
+  | "gossip" -> Some (fun ~inner ~n -> gossip ~inner ~n ())
+  | _ -> None
+
 let of_ring_label = function
   | "phi" -> Some (fun ~degree ?committee ~n () -> phi_ring ~degree ?committee ~n ())
   | "swim" ->

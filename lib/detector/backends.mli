@@ -92,6 +92,12 @@ val labels : string list
 
 val of_label : string -> (n:int -> pair) option
 
+(** Like {!of_label}, but composes an application protocol under the
+    detector (the [?inner] of the named constructor) — how the k-set
+    experiment rides a decision protocol on each backend. *)
+val of_label_inner :
+  string -> (inner:(module Protocol.S) -> n:int -> pair) option
+
 (** {2 Ring-topology variants for the sharded large-n mode}
 
     The full-mesh backends above keep O(n) state per process; at

@@ -51,6 +51,25 @@ let weak_accuracy ?(timeline = event_timeline) run =
   then Ok ()
   else errorf "weak accuracy: every correct process was suspected at some point"
 
+(* k-Weak Accuracy, the accuracy half of the (S,k) classes from the k-set
+   agreement literature (Biely, Robinson & Schmid): at least
+   [min k #correct] correct processes are never suspected by anyone.
+   [k = 1] is exactly weak accuracy. *)
+let k_weak_accuracy ?(timeline = event_timeline) ~k run =
+  if k < 1 then invalid_arg "Spec.k_weak_accuracy: k < 1";
+  let correct = Run.correct run in
+  let needed = min k (Pid.Set.cardinal correct) in
+  let unsuspected =
+    Pid.Set.cardinal
+      (Pid.Set.filter (fun q -> not (ever_suspected timeline run q)) correct)
+  in
+  if unsuspected >= needed then Ok ()
+  else
+    errorf
+      "%d-weak accuracy: only %d correct processes escape suspicion, %d \
+       required"
+      k unsuspected needed
+
 let final_suspects timeline run p =
   suspects_at timeline run p (Run.horizon run)
 
@@ -198,6 +217,7 @@ let t_useful run ~t =
 type cls =
   | Perfect
   | Strong
+  | Strong_k of int
   | Weak
   | Eventually_perfect
   | Eventually_strong
@@ -207,11 +227,30 @@ type cls =
 let cls_name = function
   | Perfect -> "perfect"
   | Strong -> "strong"
+  | Strong_k k -> Printf.sprintf "strong-%d" k
   | Weak -> "weak"
   | Eventually_perfect -> "eventually-perfect"
   | Eventually_strong -> "eventually-strong"
   | Impermanent_strong -> "impermanent-strong"
   | Impermanent_weak -> "impermanent-weak"
+
+let cls_of_string s =
+  match s with
+  | "perfect" -> Some Perfect
+  | "strong" -> Some Strong
+  | "weak" -> Some Weak
+  | "eventually-perfect" -> Some Eventually_perfect
+  | "eventually-strong" -> Some Eventually_strong
+  | "impermanent-strong" -> Some Impermanent_strong
+  | "impermanent-weak" -> Some Impermanent_weak
+  | _ ->
+      let prefix = "strong-" in
+      let pl = String.length prefix in
+      if String.length s > pl && String.sub s 0 pl = prefix then
+        match int_of_string_opt (String.sub s pl (String.length s - pl)) with
+        | Some k when k >= 1 -> Some (Strong_k k)
+        | _ -> None
+      else None
 
 let satisfies ?(timeline = event_timeline) cls run =
   let ( &&& ) a b = match a with Error _ -> a | Ok () -> b () in
@@ -221,6 +260,9 @@ let satisfies ?(timeline = event_timeline) cls run =
       strong_completeness ~timeline run
   | Strong ->
       weak_accuracy ~timeline run &&& fun () ->
+      strong_completeness ~timeline run
+  | Strong_k k ->
+      k_weak_accuracy ~timeline ~k run &&& fun () ->
       strong_completeness ~timeline run
   | Weak ->
       weak_accuracy ~timeline run &&& fun () ->
@@ -240,13 +282,22 @@ let satisfies ?(timeline = event_timeline) cls run =
 
 (* The implication ladder among the classes we classify against: P ⟹ S
    (strong accuracy implies weak), P ⟹ ◇P and S ⟹ ◇S (permanent
-   accuracy implies its eventual weakening), ◇P ⟹ ◇S. Used to report
-   {e maximal} empirical assignments. *)
+   accuracy implies its eventual weakening), ◇P ⟹ ◇S. The (S,k) rungs
+   sit between P and S: P ⟹ (S,k) for every k, (S,j) ⟹ (S,i) for
+   i ≤ j, and (S,k) ⟹ S ⟹ ◇S. [Strong_k 1] and [Strong] are
+   semantically the same class; we deliberately state only
+   [Strong_k 1 ⟹ Strong] (never the converse) so the relation stays
+   antisymmetric and "maximal assignment" stays well-defined — classifiers
+   score [Strong_k k] for k ≥ 2 only. Used to report {e maximal}
+   empirical assignments. *)
 let implies a b =
   a = b
   ||
   match (a, b) with
-  | Perfect, (Strong | Eventually_perfect | Eventually_strong) -> true
+  | Perfect, (Strong | Strong_k _ | Eventually_perfect | Eventually_strong) ->
+      true
+  | Strong_k j, Strong_k i -> i <= j
+  | Strong_k _, (Strong | Eventually_strong) -> true
   | Strong, Eventually_strong -> true
   | Eventually_perfect, Eventually_strong -> true
   | _ -> false

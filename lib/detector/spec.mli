@@ -31,6 +31,13 @@ val strong_accuracy : ?timeline:timeline -> Run.t -> (unit, string) result
     never suspected (by anyone, at any time). *)
 val weak_accuracy : ?timeline:timeline -> Run.t -> (unit, string) result
 
+(** k-Weak Accuracy, the accuracy half of the (S,k) classes used in the
+    k-set agreement literature: at least [min k #correct] correct
+    processes are never suspected by anyone. [k = 1] is weak accuracy.
+    Raises [Invalid_argument] on [k < 1]. *)
+val k_weak_accuracy :
+  ?timeline:timeline -> k:int -> Run.t -> (unit, string) result
+
 (** Strong Completeness: every faulty process is eventually permanently
     suspected by every correct process. *)
 val strong_completeness : ?timeline:timeline -> Run.t -> (unit, string) result
@@ -85,6 +92,9 @@ val t_useful : Run.t -> t:int -> (unit, string) result
 type cls =
   | Perfect
   | Strong
+  | Strong_k of int
+      (** (S,k): k-weak accuracy plus strong completeness. [Strong_k 1]
+          coincides with [Strong]; classifiers score [k >= 2] only. *)
   | Weak
   | Eventually_perfect
   | Eventually_strong
@@ -93,10 +103,16 @@ type cls =
 
 val cls_name : cls -> string
 
+(** Inverse of {!cls_name} ("strong-K" parses to [Strong_k K], [K >= 1]).
+    [None] on unknown names. *)
+val cls_of_string : string -> cls option
+
 (** Conjunction of the class's accuracy and completeness properties. *)
 val satisfies : ?timeline:timeline -> cls -> Run.t -> (unit, string) result
 
 (** [implies a b]: satisfying [a] entails satisfying [b] on every run
-    (P ⟹ S ⟹ ◇S, P ⟹ ◇P ⟹ ◇S). Used to report maximal empirical
+    (P ⟹ (S,k) ⟹ S ⟹ ◇S, (S,j) ⟹ (S,i) for i ≤ j, P ⟹ ◇P ⟹ ◇S).
+    Deliberately one-directional between [Strong_k 1] and [Strong] so the
+    relation stays antisymmetric. Used to report maximal empirical
     assignments. *)
 val implies : cls -> cls -> bool

@@ -27,15 +27,21 @@ type queue = {
   mutable sorted : bool; (* [sent] nondecreasing so far *)
 }
 
+type add = { window : int; bound : int }
+
 type t = {
   decide : now:int -> src:Pid.t -> dst:Pid.t -> rate:float -> bool;
   mutable loss_rate : float;
   link_loss : (Pid.t * Pid.t, float) Hashtbl.t;
   max_consecutive_drops : int;
+  add : add option;
   flight : queue array; (* dense: one queue per destination pid *)
   mutable count : int; (* total in flight, all destinations *)
   (* (src, dst, fairness key) -> consecutive losses *)
   drops : (Pid.t * Pid.t * string, int) Hashtbl.t;
+  (* ADD regime only: (src, dst) -> consecutive losses on the link,
+     regardless of message content. Untouched when [add = None]. *)
+  add_drops : (Pid.t * Pid.t, int) Hashtbl.t;
 }
 
 let filler_msg = Message.Heartbeat 0
@@ -71,12 +77,18 @@ let queue_remove q i =
   (* drop the stale tail reference so sealed messages can be collected *)
   q.msg.(q.len) <- filler_msg
 
-let create ?(link_loss = []) ~n ~decide ~loss_rate ~max_consecutive_drops () =
+let create ?(link_loss = []) ?add ~n ~decide ~loss_rate ~max_consecutive_drops
+    () =
   if n < 0 then invalid_arg "Channel.create: n";
   if loss_rate < 0.0 || loss_rate > 1.0 then
     invalid_arg "Channel.create: loss_rate";
   if max_consecutive_drops < 0 then
     invalid_arg "Channel.create: max_consecutive_drops";
+  (match add with
+  | Some { window; bound } ->
+      if window < 1 then invalid_arg "Channel.create: add window";
+      if bound < 1 then invalid_arg "Channel.create: add bound"
+  | None -> ());
   let overrides = Hashtbl.create 8 in
   List.iter (fun (link, rate) -> Hashtbl.replace overrides link rate) link_loss;
   {
@@ -84,9 +96,11 @@ let create ?(link_loss = []) ~n ~decide ~loss_rate ~max_consecutive_drops () =
     loss_rate;
     link_loss = overrides;
     max_consecutive_drops;
+    add;
     flight = Array.init n (fun _ -> fresh_queue ());
     count = 0;
     drops = Hashtbl.create 64;
+    add_drops = Hashtbl.create 8;
   }
 
 (* The loss decision half of [send]: consult the fairness table and the
@@ -105,12 +119,36 @@ let gate t ~now ~src ~dst msg =
   in
   let consecutive = Option.value ~default:0 (Hashtbl.find_opt t.drops key) in
   let forced_keep = consecutive >= t.max_consecutive_drops in
+  (* ADD channels bound the loss on each (src, dst) link as a whole: at
+     most [window - 1] consecutive drops regardless of message content,
+     so every window of [window] sends delivers at least one message
+     (Kumar & Welch's average-loss bound, specialized to a sliding
+     window). The forced keep consumes no decision, so traces are
+     bit-identical whenever the force never fires — and [add = None]
+     leaves this whole branch dead. *)
+  let link = (src, dst) in
+  let add_forced =
+    match t.add with
+    | None -> false
+    | Some { window; _ } ->
+        Option.value ~default:0 (Hashtbl.find_opt t.add_drops link)
+        >= window - 1
+  in
+  let forced_keep = forced_keep || add_forced in
   let drop = (not forced_keep) && t.decide ~now ~src ~dst ~rate in
   if drop then (
     Hashtbl.replace t.drops key (consecutive + 1);
+    (match t.add with
+    | Some _ ->
+        let c = Option.value ~default:0 (Hashtbl.find_opt t.add_drops link) in
+        Hashtbl.replace t.add_drops link (c + 1)
+    | None -> ());
     false)
   else (
     Hashtbl.replace t.drops key 0;
+    (match t.add with
+    | Some _ -> Hashtbl.replace t.add_drops link 0
+    | None -> ());
     true)
 
 (* The enqueue half of [send]: file a message whose loss decision was
@@ -212,7 +250,14 @@ let forget t ~pid =
         if Pid.equal src pid || Pid.equal dst pid then key :: acc else acc)
       t.drops []
   in
-  List.iter (Hashtbl.remove t.drops) dead
+  List.iter (Hashtbl.remove t.drops) dead;
+  let dead_links =
+    Hashtbl.fold
+      (fun ((src, dst) as key) _ acc ->
+        if Pid.equal src pid || Pid.equal dst pid then key :: acc else acc)
+      t.add_drops []
+  in
+  List.iter (Hashtbl.remove t.add_drops) dead_links
 
 let fairness_table_size t = Hashtbl.length t.drops
 let set_loss_rate t rate = t.loss_rate <- rate

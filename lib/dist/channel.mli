@@ -12,8 +12,18 @@
 
 type t
 
+type add = { window : int; bound : int }
+(** ADD (average delay/loss) channel parameters, after Kumar & Welch:
+    on every (src, dst) link, at most [window - 1] consecutive sends are
+    lost (so each window of [window] sends delivers at least one), and no
+    kept message waits in flight longer than [bound] ticks — the simulator
+    force-delivers the oldest overdue message before consulting the
+    deliver coin. Both bounds are enforced without consuming Decisions,
+    so record/replay and the explorer work unchanged. *)
+
 val create :
   ?link_loss:((Pid.t * Pid.t) * float) list ->
+  ?add:add ->
   n:int ->
   decide:(now:int -> src:Pid.t -> dst:Pid.t -> rate:float -> bool) ->
   loss_rate:float ->
@@ -26,7 +36,9 @@ val create :
     each send that is not a forced keep (typically
     [Decision.drop] on the run's decision source, or a PRNG coin). [n]
     sizes the dense per-destination in-flight queues: every pid that can
-    receive must be < [n]. *)
+    receive must be < [n]. [add] layers the ADD per-link loss window on
+    top of the fairness bound; raises [Invalid_argument] on
+    [window < 1] or [bound < 1]. *)
 
 (** [send t ~now ~src ~dst msg] records a send. The channel decides whether
     the message is kept in flight or lost. Equivalent to {!gate} followed

@@ -9,6 +9,7 @@ type config = {
   max_consecutive_drops : int;
   max_delay : int;
   loss_schedule : (int * float) list;
+  add : Channel.add option;
   fault_plan : Fault_plan.t;
   init_plan : Init_plan.t;
   oracle : Oracle.t;
@@ -28,6 +29,7 @@ let config ~n ~seed =
     max_consecutive_drops = 8;
     max_delay = 6;
     loss_schedule = [];
+    add = None;
     fault_plan = Fault_plan.empty;
     init_plan = Init_plan.empty;
     oracle = Oracle.none;
@@ -37,6 +39,40 @@ let config ~n ~seed =
     blackout_after_do = false;
     crash_budget = 0;
   }
+
+(* Config validation. Bad loss rates, unsorted or duplicate-tick schedule
+   entries, and negative fairness bounds used to be accepted silently and
+   surface as nonsense downstream (PR 9 fixed one such symptom — same-tick
+   last-wins — after the fact). Reject them at construction instead.
+   Negative and tick-0 schedule entries stay legal: they are the pinned
+   "cutover before the first tick" behaviour. The rate check is written
+   [not (r >= 0 && r <= 1)] so NaN is rejected too. *)
+let validate cfg =
+  let bad fmt = Printf.ksprintf invalid_arg fmt in
+  let check_rate what r =
+    if not (r >= 0.0 && r <= 1.0) then
+      bad "Sim.validate: %s %g outside [0, 1]" what r
+  in
+  check_rate "loss_rate" cfg.loss_rate;
+  List.iter (fun (_, r) -> check_rate "link_loss rate" r) cfg.link_loss;
+  if cfg.max_consecutive_drops < 0 then
+    bad "Sim.validate: max_consecutive_drops %d < 0" cfg.max_consecutive_drops;
+  let rec check_schedule = function
+    | (t1, _) :: ((t2, _) :: _ as rest) ->
+        if t1 > t2 then
+          bad "Sim.validate: loss_schedule not sorted (tick %d after %d)" t2 t1;
+        if t1 = t2 then
+          bad "Sim.validate: loss_schedule duplicate tick %d" t1;
+        check_schedule rest
+    | [ _ ] | [] -> ()
+  in
+  List.iter (fun (_, r) -> check_rate "loss_schedule rate" r) cfg.loss_schedule;
+  check_schedule cfg.loss_schedule;
+  match cfg.add with
+  | None -> ()
+  | Some { Channel.window; bound } ->
+      if window < 1 then bad "Sim.validate: add window %d < 1" window;
+      if bound < 1 then bad "Sim.validate: add bound %d < 1" bound
 
 type result = {
   run : Run.t;
@@ -212,6 +248,24 @@ let schedule_process m p =
             let backlog = Channel.backlog m.channel ~dst:p in
             if backlog = 0 then protocol_step m p
             else
+              (* ADD delay bound: a kept message older than [bound] must
+                 be received now — it preempts the whole slot and consumes
+                 no Decision, so the trace stays a pure function of the
+                 decision stream (replay and the explorer see nothing
+                 new) and configs without [add] are bit-identical. *)
+              let add_overdue =
+                match m.cfg.add with
+                | None -> None
+                | Some { Channel.bound; _ } -> (
+                    match Channel.oldest_in_flight m.channel ~dst:p with
+                    | Some (_, _, sent_at) as x when m.now - sent_at >= bound
+                      ->
+                        x
+                    | _ -> None)
+              in
+              match add_overdue with
+              | Some delivery -> deliver_message m p delivery
+              | None ->
               let p_deliver =
                 Float.min 0.9 (0.5 +. (0.08 *. float_of_int backlog))
               in
@@ -297,6 +351,7 @@ let system_quiescent m =
 let arena_key = Domain.DLS.new_key History.Builder.arena
 
 let execute ?decisions cfg make_process =
+  validate cfg;
   let source =
     match decisions with
     | Some s -> s
@@ -334,7 +389,7 @@ let execute ?decisions cfg make_process =
       cfg;
       source;
       channel =
-        Channel.create ~link_loss:cfg.link_loss ~n:cfg.n ~decide
+        Channel.create ~link_loss:cfg.link_loss ?add:cfg.add ~n:cfg.n ~decide
           ~loss_rate:cfg.loss_rate
           ~max_consecutive_drops:cfg.max_consecutive_drops ();
       hists;
@@ -357,12 +412,11 @@ let execute ?decisions cfg make_process =
   let reason = ref Max_ticks in
   let drained = ref 0 in
   (* The schedule is walked by a cursor over a stable sort: O(schedule)
-     total instead of the old O(schedule × ticks) rescan per tick. The
-     stable sort keeps duplicate-tick entries in list order, so the last
-     entry listed for a tick wins — exactly what the old in-order
-     [List.iter] did. Entries at tick 0 (or earlier) take effect before
-     the first tick; the old loop, starting at tick 1, silently dropped
-     them. *)
+     total instead of the old O(schedule × ticks) rescan per tick.
+     [validate] has already rejected unsorted and duplicate-tick
+     schedules, so the sort is a no-op kept for defence in depth.
+     Entries at tick 0 (or earlier) take effect before the first tick;
+     the old loop, starting at tick 1, silently dropped them. *)
   let schedule_cursor =
     ref
       (List.stable_sort

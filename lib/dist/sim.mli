@@ -40,12 +40,22 @@ type config = {
           partial synchrony — an eventually-timely regime is a lossy rate
           followed by [(gst, 0.0)]. Entries at tick 0 or earlier take
           effect before the first tick (they override [loss_rate] for the
-          whole run); entries listed for the same tick apply in list
-          order, so the last one wins. Drop decisions are consulted per
-          send regardless of the current rate, so the schedule changes
-          drop {e outcomes} but never the decision-trace shape; the
-          default [[]] leaves every existing configuration
+          whole run). Entries must be strictly increasing in tick:
+          unsorted or duplicate-tick schedules raise [Invalid_argument]
+          at execution (see {!validate}). Drop decisions are consulted
+          per send regardless of the current rate, so the schedule
+          changes drop {e outcomes} but never the decision-trace shape;
+          the default [[]] leaves every existing configuration
           bit-identical. *)
+  add : Channel.add option;
+      (** [Some {window; bound}] switches the channel to the ADD
+          (average delay/loss) regime of Kumar & Welch on top of the
+          configured loss rate: per (src, dst) link at most [window - 1]
+          consecutive sends are lost, and any kept message in flight for
+          [bound] or more ticks is force-delivered before the deliver
+          coin is consulted. Neither bound consumes a Decision, so
+          record/replay and the explorer work unchanged, and the default
+          [None] leaves every existing configuration bit-identical. *)
   fault_plan : Fault_plan.t;
   init_plan : Init_plan.t;
   oracle : Oracle.t;
@@ -69,6 +79,15 @@ type config = {
 (** Sensible defaults: no losses, no faults, no oracle, goal
     [All_alive_performed]. *)
 val config : n:int -> seed:int64 -> config
+
+(** [validate cfg] raises [Invalid_argument] when the configuration is
+    malformed: a loss rate (global, per-link, or scheduled) outside
+    [0, 1] or NaN, a [loss_schedule] that is not strictly increasing in
+    tick (unsorted or duplicate ticks), [max_consecutive_drops < 0], or
+    an ADD window/bound below 1. Negative and tick-0 schedule entries
+    remain legal (pre-run cutover). Called by {!execute}; exposed so
+    config builders can fail fast. *)
+val validate : config -> unit
 
 type result = {
   run : Run.t;

@@ -1,20 +1,23 @@
-type regime = Reliable | Fair_lossy | Eventually_timely
+type regime = Reliable | Fair_lossy | Eventually_timely | Add
 
-let regimes = [ Reliable; Fair_lossy; Eventually_timely ]
+let regimes = [ Reliable; Fair_lossy; Eventually_timely; Add ]
 
 let regime_label = function
   | Reliable -> "reliable"
   | Fair_lossy -> "lossy"
   | Eventually_timely -> "eventually-timely"
+  | Add -> "add"
 
 let regime_of_string = function
   | "reliable" -> Ok Reliable
   | "lossy" -> Ok Fair_lossy
   | "eventually-timely" -> Ok Eventually_timely
+  | "add" -> Ok Add
   | s ->
       Error
         (Printf.sprintf
-           "unknown regime %S (expected reliable | lossy | eventually-timely)"
+           "unknown regime %S (expected reliable | lossy | eventually-timely \
+            | add)"
            s)
 
 type params = { n : int; crashes : int; runs : int; max_ticks : int; gst : int }
@@ -23,7 +26,14 @@ let default_params = { n = 5; crashes = 2; runs = 30; max_ticks = 320; gst = 160
 
 let classes =
   Detector.Spec.
-    [ Perfect; Strong; Eventually_perfect; Eventually_strong ]
+    [
+      Perfect;
+      Strong_k 3;
+      Strong_k 2;
+      Strong;
+      Eventually_perfect;
+      Eventually_strong;
+    ]
 
 type outcome = {
   backend : string;
@@ -61,6 +71,16 @@ let config ~regime ~params ~seed =
         Sim.loss_rate = 0.45;
         loss_schedule = [ (params.gst, 0.0) ];
         max_consecutive_drops = 12;
+      }
+  (* Same ambient loss as the eventually-timely regime, but the bound is
+     per-link and holds from tick 0: the ADD window caps consecutive
+     per-link drops and the delay bound forces overdue deliveries, with
+     no GST cutover. *)
+  | Add ->
+      {
+        cfg with
+        Sim.loss_rate = 0.45;
+        add = Some { Channel.window = 4; bound = 8 };
       }
 
 let seeds count = List.init count (fun i -> Int64.of_int ((i * 7919) + 13))
@@ -176,7 +196,15 @@ let certification_target o =
     (fun c ->
       (not (List.mem c sat_all))
       && List.for_all (fun a -> Detector.Spec.implies c a) o.assignment)
-    Detector.Spec.[ Eventually_strong; Eventually_perfect; Strong; Perfect ]
+    Detector.Spec.
+      [
+        Eventually_strong;
+        Eventually_perfect;
+        Strong;
+        Strong_k 2;
+        Strong_k 3;
+        Perfect;
+      ]
 
 type certificate = {
   against : Detector.Spec.cls;
@@ -220,3 +248,178 @@ let certify ?(max_ticks = 160) ?(options = Engine.default_options) ~backend
                "no violation of %s within the run budget (%d nodes explored)"
                (Detector.Spec.cls_name against)
                explored))
+
+(* ---- k-set agreement grid ---------------------------------------- *)
+
+(* Every process proposes its own id at tick 1, so the proposal vector
+   is [0 .. n-1] and [Consensus.Spec.validity] needs no side channel. *)
+let proposal_plan n =
+  Init_plan.of_entries
+    (List.map
+       (fun q -> { Init_plan.action = Action_id.make ~owner:q ~tag:q; at = 1 })
+       (Pid.all n))
+
+type kset_outcome = {
+  backend : string;
+  regime : regime;
+  k : int;
+  params : params;
+  attained : int;
+  terminated : int;
+  sk_simulated : int;
+  ks1 : int;
+  ks2 : int;
+  digest : string;
+}
+
+(* The epistemic side of the grid: over the single-run system, at each
+   decider's decide tick,
+   - KS1: the decider knows its own proposal was initiated (grounding);
+   - KS2: one common core of >= min(k, #correct) correct proposers is
+     known-initiated by every decider.
+   With perfect-recall semantics on one run, [K_p (inited a_q)] holds at
+   [p]'s decide point exactly when every point with the same [p]-local
+   history lies at or after [q]'s init — true when [p] heard [q]'s
+   estimate before deciding, false when a suspicion let [p] skip it.
+   KS2 is therefore the run-level trace of the knowledge precondition an
+   (S,k) oracle induces: the k-weak accuracy core is exactly a set of
+   correct processes no decider was allowed to skip. *)
+let kset_epistemics ~k run =
+  let n = Run.n run in
+  let deciders =
+    List.filter_map
+      (fun p ->
+        match Consensus.Spec.decision run p with
+        | None -> None
+        | Some v ->
+            Option.map
+              (fun tick -> (p, tick))
+              (Run.do_tick run p (Action_id.make ~owner:p ~tag:v)))
+      (Pid.all n)
+  in
+  let env = Epistemic.Checker.make (Epistemic.System.of_runs [ run ]) in
+  let knows p tick q =
+    Epistemic.Checker.holds env
+      (Epistemic.Formula.intern
+         (Epistemic.Formula.K
+            (p, Epistemic.Formula.inited (Action_id.make ~owner:q ~tag:q))))
+      ~run:0 ~tick
+  in
+  let ks1 =
+    deciders <> [] && List.for_all (fun (p, tick) -> knows p tick p) deciders
+  in
+  let correct = Pid.Set.elements (Run.correct run) in
+  let core =
+    List.filter
+      (fun q -> List.for_all (fun (p, tick) -> knows p tick q) deciders)
+      correct
+  in
+  let ks2 = deciders <> [] && List.length core >= min k (List.length correct) in
+  (ks1, ks2)
+
+let kset ?domains ~backend ~regime ~k params =
+  if k < 1 then invalid_arg "Classify.kset: k < 1";
+  match Detector.Backends.of_label_inner backend with
+  | None -> Error (Printf.sprintf "unknown detector backend %S" backend)
+  | Some mk ->
+      let proposals = Array.init params.n Fun.id in
+      let job seed =
+        let cfg = config ~regime ~params ~seed in
+        let cfg = { cfg with Sim.init_plan = proposal_plan params.n } in
+        let pair =
+          mk ~inner:(module Consensus.Kset.P : Protocol.S) ~n:params.n
+        in
+        let cfg = { cfg with Sim.oracle = pair.Detector.Backends.oracle } in
+        let result = Sim.execute cfg pair.Detector.Backends.protocol in
+        let run = result.Sim.run in
+        let attained =
+          Result.is_ok (Consensus.Spec.k_agreement ~k run)
+          && Result.is_ok (Consensus.Spec.validity ~proposals run)
+        in
+        let terminated = Result.is_ok (Consensus.Spec.termination run) in
+        let sk =
+          Result.is_ok (Detector.Spec.satisfies (Detector.Spec.Strong_k k) run)
+        in
+        let ks1, ks2 =
+          if attained then kset_epistemics ~k run else (false, false)
+        in
+        (attained, terminated, sk, ks1, ks2, Run.digest run)
+      in
+      let verdicts = Ensemble.run ?domains ~seeds:(seeds params.runs) job in
+      let count f = List.length (List.filter f verdicts) in
+      let digest =
+        Digest.to_hex
+          (Digest.string
+             (String.concat ""
+                (List.map (fun (_, _, _, _, _, d) -> d) verdicts)))
+      in
+      Ok
+        {
+          backend;
+          regime;
+          k;
+          params;
+          attained = count (fun (a, _, _, _, _, _) -> a);
+          terminated = count (fun (_, t, _, _, _, _) -> t);
+          sk_simulated = count (fun (_, _, s, _, _, _) -> s);
+          ks1 = count (fun (_, _, _, a, _, _) -> a);
+          ks2 = count (fun (_, _, _, _, b, _) -> b);
+          digest;
+        }
+
+let pp_kset_outcome ppf o =
+  Format.fprintf ppf
+    "@[<v2>kset:%d on %s × %s (n=%d, t=%d, %d runs, horizon %d):" o.k o.backend
+    (regime_label o.regime) o.params.n o.params.crashes o.params.runs
+    o.params.max_ticks;
+  Format.fprintf ppf "@,%-18s %d/%d" "attained" o.attained o.params.runs;
+  Format.fprintf ppf "@,%-18s %d/%d" "terminated" o.terminated o.params.runs;
+  Format.fprintf ppf "@,%-18s %d/%d"
+    (Printf.sprintf "strong-%d timeline" o.k)
+    o.sk_simulated o.params.runs;
+  Format.fprintf ppf "@,%-18s %d/%d" "KS1 (own init)" o.ks1 o.params.runs;
+  Format.fprintf ppf "@,%-18s %d/%d" "KS2 (common core)" o.ks2 o.params.runs;
+  Format.fprintf ppf "@,digest: %s@]" o.digest
+
+type kset_certificate = { k : int; repro : Repro.t; explored : int }
+
+(* Negative cells are certified with the adversary playing the detector:
+   the explorer controls suspicions directly ([Adversarial.oracle]), so
+   a violation is a legal schedule + suspicion pattern under which the
+   min-rule protocol decides more than [k] values — exactly what an
+   oracle below (S,k) permits. *)
+let certify_kset ?(max_ticks = 40) ?(options = Engine.default_options) ~k ~n ()
+    =
+  if k < 1 then invalid_arg "Classify.certify_kset: k < 1";
+  let config =
+    {
+      (Sim.config ~n ~seed:1L) with
+      Sim.goal = Sim.Run_to_max;
+      max_ticks;
+      init_plan = proposal_plan n;
+    }
+  in
+  let problem =
+    Problem.make
+      ~name:(Printf.sprintf "kset-%d" k)
+      ~adversarial_oracle:true ~config
+      ~protocol:(fun p -> Protocol.make (module Consensus.Kset.P) ~n ~me:p)
+      ~protocol_label:"kset" (Property.Kset k)
+  in
+  let outcome, stats = Engine.search ~options problem in
+  let explored = stats.Engine.explored in
+  match outcome with
+  | Engine.Violation (witness, _) ->
+      let shrunk = Shrink.minimize problem witness in
+      Ok { k; repro = Repro.of_shrunk problem shrunk; explored }
+  | Engine.Exhausted _ ->
+      Error
+        (Printf.sprintf
+           "no legal schedule violating kset:%d found: bounded space \
+            exhausted (%d nodes)"
+           k explored)
+  | Engine.Budget _ ->
+      Error
+        (Printf.sprintf
+           "no violation of kset:%d within the run budget (%d nodes explored)"
+           k explored)

@@ -19,7 +19,10 @@
       the worst-case legal schedule separating the backend from the
       stronger class. *)
 
-type regime = Reliable | Fair_lossy | Eventually_timely
+(** [Add] is the average-delay regime: the same ambient loss as
+    [Eventually_timely] but bounded per link from tick 0 by the ADD
+    window/delay pair ({!Channel.add}) instead of by a GST cutover. *)
+type regime = Reliable | Fair_lossy | Eventually_timely | Add
 
 val regimes : regime list
 val regime_label : regime -> string
@@ -91,3 +94,69 @@ val certify :
   n:int ->
   unit ->
   (certificate, string) result
+
+(** {2 k-set agreement grid}
+
+    The min-rule k-set protocol ({!Consensus.Kset}) rides on each
+    implemented backend ({!Detector.Backends.of_label_inner}) under each
+    channel regime, every process proposing its own id at tick 1. Each
+    run is scored on the decision side (safety attained, all correct
+    decided), the detector side (did the suspicion timeline satisfy
+    k-weak accuracy, i.e. simulate an (S,k) oracle), and the knowledge
+    side (KS1/KS2 below) — the empirical face of the paper's claim that
+    coordination is knowledge acquisition. *)
+
+type kset_outcome = {
+  backend : string;
+  regime : regime;
+  k : int;
+  params : params;
+  attained : int;
+      (** runs on which k-agreement + validity held over the deciders *)
+  terminated : int;  (** runs on which every correct process decided *)
+  sk_simulated : int;
+      (** runs whose suspicion timeline satisfied [Strong_k k] — the
+          backend simulated an (S,k) oracle on that run *)
+  ks1 : int;
+      (** attained runs where every decider [p] knew
+          [K_p(inited a_p)] at its decide tick (grounding: you know
+          your own proposal) *)
+  ks2 : int;
+      (** attained runs with a common core of >= min(k, #correct)
+          correct proposers known-initiated by {e every} decider at its
+          decide tick — the knowledge precondition an (S,k) oracle's
+          k-weak accuracy core induces *)
+  digest : string;  (** MD5 over the ensemble's run digests, in order *)
+}
+
+(** Bit-identical at every domain count, like {!classify}. Raises
+    [Invalid_argument] when [k < 1]. *)
+val kset :
+  ?domains:int ->
+  backend:string ->
+  regime:regime ->
+  k:int ->
+  params ->
+  (kset_outcome, string) result
+
+val pp_kset_outcome : Format.formatter -> kset_outcome -> unit
+
+type kset_certificate = {
+  k : int;
+  repro : Repro.t;
+  explored : int;  (** explorer nodes evaluated *)
+}
+
+(** Certify a negative cell: bounded search, with the {e adversarial}
+    oracle playing the detector (explorer-chosen suspicions), for a
+    legal schedule on which the min-rule protocol decides more than [k]
+    values — evidence that an oracle below (S,k) admits the violation.
+    [Error] when the bounded space contains none. Raises
+    [Invalid_argument] when [k < 1]. *)
+val certify_kset :
+  ?max_ticks:int ->
+  ?options:Engine.options ->
+  k:int ->
+  n:int ->
+  unit ->
+  (kset_certificate, string) result

@@ -7,6 +7,7 @@ type t =
   | Expect of Core.Adversary.expectation
   | Detector of Detector.Spec.cls
   | Epistemic_dc2
+  | Kset of int
 
 let to_string = function
   | Dc1 -> "dc1"
@@ -18,6 +19,7 @@ let to_string = function
   | Expect Core.Adversary.Dc1_violated -> "expect-dc1-violated"
   | Detector cls -> "detector:" ^ Detector.Spec.cls_name cls
   | Epistemic_dc2 -> "epistemic-dc2"
+  | Kset k -> Printf.sprintf "kset:%d" k
 
 let all =
   [
@@ -36,15 +38,46 @@ let all =
     Detector Detector.Spec.Impermanent_strong;
     Detector Detector.Spec.Impermanent_weak;
     Epistemic_dc2;
+    Kset 2;
   ]
+
+(* "kset:K" and "detector:strong-K" carry an integer parameter, so they
+   are parsed by prefix instead of by membership in the finite [all]
+   list. *)
+let parse_param s ~prefix k =
+  let pl = String.length prefix in
+  if String.length s > pl && String.sub s 0 pl = prefix then
+    match int_of_string_opt (String.sub s pl (String.length s - pl)) with
+    | Some i when i >= 1 -> Some (k i)
+    | _ -> None
+  else None
 
 let of_string s =
   match List.find_opt (fun p -> to_string p = s) all with
   | Some p -> Ok p
-  | None ->
-      Error
-        (Printf.sprintf "unknown property %S (expected one of: %s)" s
-           (String.concat " | " (List.map to_string all)))
+  | None -> (
+      let parametric =
+        match parse_param s ~prefix:"kset:" (fun k -> Kset k) with
+        | Some _ as p -> p
+        | None -> (
+            match
+              if String.length s > 9 && String.sub s 0 9 = "detector:" then
+                Detector.Spec.cls_of_string
+                  (String.sub s 9 (String.length s - 9))
+              else None
+            with
+            | Some cls -> Some (Detector cls)
+            | None -> None)
+      in
+      match parametric with
+      | Some p -> Ok p
+      | None ->
+          Error
+            (Printf.sprintf
+               "unknown property %S (expected one of: %s | kset:K | \
+                detector:strong-K)"
+               s
+               (String.concat " | " (List.map to_string all))))
 
 let of_violation = function Ok () -> None | Error e -> Some e
 
@@ -82,3 +115,14 @@ let violation t run =
       | Error _ -> None)
   | Detector cls -> of_violation (Detector.Spec.satisfies cls run)
   | Epistemic_dc2 -> epistemic_dc2 run
+  | Kset k -> (
+      (* safety only — agreement degree and validity; termination is
+         scored separately by the classification grids, since bounded
+         lossy runs routinely time out without violating k-set safety *)
+      match Consensus.Spec.k_agreement ~k run with
+      | Error _ as e -> of_violation e
+      | Ok () ->
+          of_violation
+            (Consensus.Spec.validity
+               ~proposals:(Array.init (Run.n run) Fun.id)
+               run))

@@ -17,8 +17,15 @@ type t =
   | Expect of Core.Adversary.expectation
   | Detector of Detector.Spec.cls
   | Epistemic_dc2
+  | Kset of int
+      (** k-set agreement {e safety}: at most [k] distinct decided values
+          and every decision a proposal (pids propose their own id).
+          Termination is scored by the classification grids, not here. *)
 
 val to_string : t -> string
+
+(** Inverse of {!to_string}. Parametric properties parse by prefix:
+    ["kset:K"] and ["detector:strong-K"] for any [K >= 1]. *)
 val of_string : string -> (t, string) result
 val all : t list
 

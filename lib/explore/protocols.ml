@@ -13,6 +13,7 @@ let parse label =
   | "ack" -> Ok (module Core.Ack_udc.P : Protocol.S)
   | "theta" -> Ok (module Core.Theta_udc.P : Protocol.S)
   | "heartbeat" -> Ok (module Core.Heartbeat_nudc.P : Protocol.S)
+  | "kset" -> Ok (module Consensus.Kset.P : Protocol.S)
   | s -> (
       match (suffixed ~prefix:"majority:" s, suffixed ~prefix:"gen:" s) with
       | Some t, _ -> Ok (Core.Majority_udc.make ~t)
@@ -20,7 +21,7 @@ let parse label =
       | None, None ->
           errorf
             "unknown protocol %S (expected nudc | reliable | ack | theta | \
-             heartbeat | majority:T | gen:T | phi | swim | gossip)"
+             heartbeat | kset | majority:T | gen:T | phi | swim | gossip)"
             s)
 
 let backend_pair = Detector.Backends.of_label

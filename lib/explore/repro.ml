@@ -51,6 +51,12 @@ let to_string t =
   line "drain-margin: %d" cfg.Sim.drain_margin;
   line "goal: %s" (goal_to_string cfg.Sim.goal);
   line "crash-budget: %d" cfg.Sim.crash_budget;
+  (* ADD bounds are config-driven (they consume no decisions), so a
+     replay needs them; the field is omitted for non-ADD configs and
+     ignored by older readers *)
+  (match cfg.Sim.add with
+  | Some { Channel.window; bound } -> line "add: %d/%d" window bound
+  | None -> ());
   line "adversarial-oracle: %b" t.problem.Problem.adversarial_oracle;
   List.iter
     (fun { Init_plan.action; at } ->
@@ -134,6 +140,18 @@ let of_string text =
   let* goal_s = field fields "goal" in
   let* goal = goal_of_string goal_s in
   let* crash_budget = int_field fields "crash-budget" in
+  let* add =
+    match List.assoc_opt "add" fields with
+    | None -> Ok None
+    | Some v -> (
+        match String.split_on_char '/' v with
+        | [ w; b ] -> (
+            match (int_of_string_opt w, int_of_string_opt b) with
+            | Some window, Some bound when window >= 1 && bound >= 1 ->
+                Ok (Some { Channel.window; bound })
+            | _ -> Error (Printf.sprintf "repro file: bad add field %S" v))
+        | _ -> Error (Printf.sprintf "repro file: bad add field %S" v))
+  in
   let* adv_s = field fields "adversarial-oracle" in
   let* adversarial_oracle =
     match bool_of_string_opt adv_s with
@@ -163,6 +181,7 @@ let of_string text =
       drain_margin;
       goal;
       crash_budget;
+      add;
       init_plan;
     }
   in

@@ -32,8 +32,14 @@
 
 type ci = { successes : int; trials : int; rate : float; lo : float; hi : float }
 
+(* With no trials the rate is undefined ([nan]) but the interval is not:
+   zero evidence constrains nothing, so the CI is the whole of [0, 1].
+   Propagating [nan] endpoints instead poisons downstream JSON and any
+   width arithmetic. At the defined endpoints the formula collapses to
+   closed forms (pinned by tests): p=0 gives [0, z^2/(n+z^2)], p=1 gives
+   [n/(n+z^2), 1] — nonzero width strictly inside [0,1]. *)
 let wilson ?(z = 1.96) ~successes ~trials () =
-  if trials = 0 then { successes; trials; rate = nan; lo = nan; hi = nan }
+  if trials = 0 then { successes; trials; rate = nan; lo = 0.; hi = 1. }
   else begin
     let nf = float_of_int trials in
     let p = float_of_int successes /. nf in
@@ -128,6 +134,12 @@ let config p ~seed =
         loss_schedule = [ (max 1 (p.ticks / 2), 0.0) ];
         max_consecutive_drops = 12;
       }
+  | Explore.Classify.Add ->
+      {
+        cfg with
+        Sim.loss_rate = 0.45;
+        add = Some { Channel.window = 4; bound = 8 };
+      }
 
 type run_audit = {
   a_completeness : bool;
@@ -135,6 +147,8 @@ type run_audit = {
   a_weak : bool;
   a_ev_strong : bool;
   a_ev_weak : bool;
+  a_correct : int;
+  a_never_false : int;  (** correct processes never falsely suspected *)
   a_latencies : int list;
   a_false : int;
 }
@@ -216,9 +230,15 @@ let audit ~n ~degree run =
     a_weak = correct_count > correct_in false_ever;
     a_ev_strong = !last_false < cutoff;
     a_ev_weak = correct_count > correct_in false_late;
+    a_correct = correct_count;
+    a_never_false = correct_count - correct_in false_ever;
     a_latencies = !latencies;
     a_false = !false_count;
   }
+
+(* k-weak accuracy scoped to the audited pairs: at least min(k, #correct)
+   correct processes were never falsely suspected by anyone. *)
+let k_weak ~k a = a.a_never_false >= min k a.a_correct
 
 type report = {
   p : params;
@@ -230,6 +250,7 @@ type report = {
   ev_weak_accuracy : ci;
   cls_p : ci;
   cls_s : ci;
+  cls_sk : (int * ci) list; (* (S,k) = completeness /\ k-weak, k = 2, 3 *)
   cls_ev_p : ci;
   cls_ev_s : ci;
   detection_latency : dist option;
@@ -300,6 +321,12 @@ let estimate p =
   let ev_weak = ci (fun r -> (au r).a_ev_weak) in
   let cls_p = ci (fun r -> (au r).a_completeness && (au r).a_strong) in
   let cls_s = ci (fun r -> (au r).a_completeness && (au r).a_weak) in
+  let cls_sk =
+    List.map
+      (fun k ->
+        (k, ci (fun r -> (au r).a_completeness && k_weak ~k (au r))))
+      [ 2; 3 ]
+  in
   let cls_ev_p = ci (fun r -> (au r).a_completeness && (au r).a_ev_strong) in
   let cls_ev_s = ci (fun r -> (au r).a_completeness && (au r).a_ev_weak) in
   let detection_latency =
@@ -333,6 +360,7 @@ let estimate p =
     ev_weak_accuracy = ev_weak;
     cls_p;
     cls_s;
+    cls_sk;
     cls_ev_p;
     cls_ev_s;
     detection_latency;
@@ -369,16 +397,22 @@ let pp_report ppf r =
      eventual strong accuracy %a@,\
      eventual weak accuracy   %a@,\
      P (perfect)              %a@,\
-     S (strong)               %a@,\
-     diamond-P                %a@,\
-     diamond-S                %a@,\
-     detection latency (ticks): %a@,\
-     false suspicions per run:  %a@,"
+     S (strong)               %a@,"
     r.p.backend r.p.degree lbl r.p.n r.p.shards r.p.runs r.p.ticks r.p.faults
     r.monitored_pairs pp_ci r.completeness pp_ci r.strong_accuracy pp_ci
     r.weak_accuracy pp_ci r.ev_strong_accuracy pp_ci r.ev_weak_accuracy pp_ci
-    r.cls_p pp_ci r.cls_s pp_ci r.cls_ev_p pp_ci r.cls_ev_s pp_dist
-    r.detection_latency pp_dist r.false_per_run;
+    r.cls_p pp_ci r.cls_s;
+  List.iter
+    (fun (k, c) ->
+      Format.fprintf ppf "(S,%d) (strong-%d)        %a@," k k pp_ci c)
+    r.cls_sk;
+  Format.fprintf ppf
+    "diamond-P                %a@,\
+     diamond-S                %a@,\
+     detection latency (ticks): %a@,\
+     false suspicions per run:  %a@,"
+    pp_ci r.cls_ev_p pp_ci r.cls_ev_s pp_dist r.detection_latency pp_dist
+    r.false_per_run;
   (match (r.udc_uniformity, r.udc_termination) with
   | Some u, Some t ->
       Format.fprintf ppf
@@ -396,9 +430,13 @@ let pp_report ppf r =
 let json_ci = function
   | None -> "null"
   | Some c ->
+      (* an empty ensemble has rate = nan, which is not JSON *)
+      let rate =
+        if Float.is_nan c.rate then "null" else Printf.sprintf "%.6f" c.rate
+      in
       Printf.sprintf
-        "{\"rate\":%.6f,\"lo\":%.6f,\"hi\":%.6f,\"successes\":%d,\"trials\":%d}"
-        c.rate c.lo c.hi c.successes c.trials
+        "{\"rate\":%s,\"lo\":%.6f,\"hi\":%.6f,\"successes\":%d,\"trials\":%d}"
+        rate c.lo c.hi c.successes c.trials
 
 let json_dist = function
   | None -> "null"
@@ -432,6 +470,11 @@ let to_json r =
         (json_ci (Some r.cls_s))
         (json_ci (Some r.cls_ev_p))
         (json_ci (Some r.cls_ev_s));
+      String.concat ""
+        (List.map
+           (fun (k, c) ->
+             Printf.sprintf "\"S%d\":%s," k (json_ci (Some c)))
+           r.cls_sk);
       Printf.sprintf "\"detection_latency\":%s," (json_dist r.detection_latency);
       Printf.sprintf "\"false_per_run\":%s," (json_dist r.false_per_run);
       Printf.sprintf "\"udc_uniformity\":%s," (json_ci r.udc_uniformity);

@@ -16,7 +16,10 @@
 type ci = { successes : int; trials : int; rate : float; lo : float; hi : float }
 
 (** [wilson ~successes ~trials ()] with [z] defaulting to 1.96 (95%).
-    [trials = 0] yields NaN rates. *)
+    [trials = 0] yields a NaN rate with the vacuous interval [0, 1]
+    (no evidence constrains nothing); endpoints are always finite and
+    inside [0, 1]. At the defined extremes the closed forms are
+    [p = 0 -> [0, z^2/(n+z^2)]] and [p = 1 -> [n/(n+z^2), 1]]. *)
 val wilson : ?z:float -> successes:int -> trials:int -> unit -> ci
 
 type dist = { samples : int; mean : float; p50 : float; p99 : float; max : float }
@@ -71,6 +74,11 @@ type report = {
   ev_weak_accuracy : ci;
   cls_p : ci;  (** completeness ∧ strong accuracy *)
   cls_s : ci;
+  cls_sk : (int * ci) list;
+      (** (S,k) = completeness ∧ k-weak accuracy (at least [min k
+          #correct] correct processes never falsely suspected), for
+          [k = 2, 3] — the scoped statistical face of
+          {!Detector.Spec.cls.Strong_k} *)
   cls_ev_p : ci;
   cls_ev_s : ci;
   detection_latency : dist option;

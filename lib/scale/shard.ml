@@ -71,6 +71,7 @@ let shard_count ~n shards =
   min shards (max 1 n)
 
 let validate (cfg : Sim.config) =
+  Sim.validate cfg;
   (match cfg.goal with
   | Sim.Run_to_max -> ()
   | _ -> invalid_arg "Shard: only the Run_to_max goal is supported");
@@ -179,7 +180,7 @@ let execute ?(shards = 1) ?domains ?decisions (cfg : Sim.config) make_process =
       Decision.drop source ~tick:now ~src ~dst ~rate
     in
     let channel =
-      Channel.create ~link_loss:cfg.link_loss ~n:size ~decide
+      Channel.create ~link_loss:cfg.link_loss ?add:cfg.add ~n:size ~decide
         ~loss_rate:cfg.loss_rate
         ~max_consecutive_drops:cfg.max_consecutive_drops ()
     in
@@ -309,6 +310,21 @@ let execute ?(shards = 1) ?domains ?decisions (cfg : Sim.config) make_process =
               let backlog = Channel.backlog sh.channel ~dst:lp in
               if backlog = 0 then protocol_step sh ~now gp lp
               else
+                (* ADD delay bound, exactly as in [Sim.schedule_process]:
+                   preempts the slot, consumes no Decision *)
+                let add_overdue =
+                  match cfg.add with
+                  | None -> None
+                  | Some { Channel.bound; _ } -> (
+                      match Channel.oldest_in_flight sh.channel ~dst:lp with
+                      | Some (_, _, sent_at) as x when now - sent_at >= bound
+                        ->
+                          x
+                      | _ -> None)
+                in
+                match add_overdue with
+                | Some delivery -> deliver_message sh ~now lp delivery
+                | None ->
                 let p_deliver =
                   Float.min 0.9 (0.5 +. (0.08 *. float_of_int backlog))
                 in

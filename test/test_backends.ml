@@ -144,7 +144,9 @@ let classification_domain_invariance =
   QCheck.Test.make ~name:"classification digest identical at domains 1/2/4"
     ~count:4
     QCheck.(
-      pair (int_range 0 (List.length backends - 1)) (int_range 0 2))
+      pair
+        (int_range 0 (List.length backends - 1))
+        (int_range 0 (List.length Explore.Classify.regimes - 1)))
     (fun (bi, ri) ->
       let backend = List.nth backends bi in
       let regime = List.nth Explore.Classify.regimes ri in

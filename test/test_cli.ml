@@ -1,0 +1,92 @@
+(* The exit-code contract of the driver, exercised through the real
+   binary: 0 = outcome matches --expect, 1 = outcome contradicts it (or
+   a repro fails to reproduce), 2 = usage/configuration error. Both the
+   explore search and replay paths and the classify path honour it. *)
+
+(* resolve relative to the test executable so the path holds under both
+   `dune runtest` (cwd _build/default/test) and `dune exec` (cwd root) *)
+let cli =
+  Filename.concat
+    (Filename.dirname (Filename.dirname Sys.executable_name))
+    "bin/udc_cli.exe"
+
+let run args =
+  let cmd =
+    Printf.sprintf "%s %s >/dev/null 2>&1" (Filename.quote cli)
+      (String.concat " " args)
+  in
+  match Unix.system cmd with
+  | Unix.WEXITED c -> c
+  | Unix.WSIGNALED s | Unix.WSTOPPED s ->
+      Alcotest.failf "cli killed by signal %d" s
+
+let check_exit what expected args =
+  Alcotest.(check int) what expected (run args)
+
+(* a tiny search that reliably finds a k-set violation: the adversary
+   plays the detector, so two suspicions split the min rule *)
+let kset_search extra =
+  [
+    "explore"; "--protocol"; "kset"; "--property"; "kset:1";
+    "--adversarial-oracle"; "-n"; "3"; "--max-ticks"; "16"; "--depth"; "6";
+  ]
+  @ extra
+
+let expect_contract () =
+  let repro = Filename.temp_file "udc_kset" ".repro" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove repro with Sys_error _ -> ())
+    (fun () ->
+      (* search path *)
+      check_exit "search: violation found, --expect violation" 0
+        (kset_search [ "--expect"; "violation"; "--out"; repro ]);
+      check_exit "search: violation found, --expect none" 1
+        (kset_search [ "--expect"; "none" ]);
+      (* replay path honours --expect the same way *)
+      check_exit "replay: --expect violation" 0
+        [ "explore"; "--replay"; repro; "--expect"; "violation" ];
+      check_exit "replay: --expect none" 1
+        [ "explore"; "--replay"; repro; "--expect"; "none" ];
+      (* a tampered digest is an outcome mismatch (1), not usage (2) *)
+      let text = In_channel.with_open_text repro In_channel.input_all in
+      let tampered =
+        String.concat "\n"
+          (List.map
+             (fun line ->
+               if String.length line > 7 && String.sub line 0 7 = "digest:"
+               then "digest: 00000000000000000000000000000000"
+               else line)
+             (String.split_on_char '\n' text))
+      in
+      Out_channel.with_open_text repro (fun oc ->
+          Out_channel.output_string oc tampered);
+      check_exit "replay: tampered digest" 1
+        [ "explore"; "--replay"; repro ]);
+  (* usage errors are 2 on both subcommands *)
+  check_exit "explore: bad channel" 2
+    (kset_search [ "--channel"; "bogus" ]);
+  check_exit "classify: bad regime" 2
+    [ "classify"; "--regime"; "bogus" ];
+  check_exit "classify: bad problem" 2
+    [ "classify"; "--problem"; "bogus" ]
+
+let classify_expect () =
+  let cell extra =
+    [
+      "classify"; "--problem"; "kset"; "--backend"; "gossip"; "--regime";
+      "reliable"; "-n"; "3"; "--crashes"; "0"; "--runs"; "2"; "--max-ticks";
+      "120"; "-k"; "1";
+    ]
+    @ extra
+  in
+  (* crash-free reliable cell: consensus on the min, so k=1 is attained *)
+  check_exit "kset --expect attained" 0 (cell [ "--expect"; "attained" ]);
+  check_exit "kset --expect violated" 1 (cell [ "--expect"; "violated" ]);
+  check_exit "kset --expect bogus" 2 (cell [ "--expect"; "bogus" ])
+
+let suite =
+  [
+    Alcotest.test_case "explore --expect exit codes (search and replay)"
+      `Slow expect_contract;
+    Alcotest.test_case "classify --expect exit codes" `Slow classify_expect;
+  ]

@@ -133,6 +133,115 @@ let eventually_weak_needs_gossip () =
         (Consensus.Spec.consensus ~proposals:props r.Sim.run))
     (seeds 6)
 
+(* ---- k-set agreement: the min-rule protocol on a detector ---- *)
+
+let kset_plan n =
+  Init_plan.of_entries
+    (List.map
+       (fun q -> { Init_plan.action = Action_id.make ~owner:q ~tag:q; at = 1 })
+       (Pid.all n))
+
+let run_kset ?(loss = 0.0) ?(faults = Fault_plan.empty)
+    ?(oracle = Oracle.none) ~n ~seed () =
+  let cfg = Sim.config ~n ~seed in
+  let cfg =
+    {
+      cfg with
+      Sim.loss_rate = loss;
+      oracle;
+      fault_plan = faults;
+      goal = Sim.Run_to_max;
+      max_ticks = 400;
+      init_plan = kset_plan n;
+    }
+  in
+  Sim.execute_uniform cfg (module Consensus.Kset.P)
+
+(* brute force, independent of the checker's sort_uniq: linear scan
+   with an explicit seen list *)
+let distinct_decisions run =
+  let decided =
+    List.filter_map (Consensus.Spec.decision run) (Pid.all (Run.n run))
+  in
+  let rec count seen = function
+    | [] -> List.length seen
+    | v :: tl -> count (if List.mem v seen then seen else v :: seen) tl
+  in
+  count [] decided
+
+let kset_no_faults () =
+  List.iter
+    (fun seed ->
+      let r = run_kset ~n:4 ~seed () in
+      let run = r.Sim.run in
+      well_formed run;
+      (* everyone hears everyone: the min rule collapses to consensus
+         on proposal 0 *)
+      check_ok "1-agreement" (Consensus.Spec.k_agreement ~k:1 run);
+      check_ok "validity"
+        (Consensus.Spec.validity ~proposals:(Array.init 4 Fun.id) run);
+      check_ok "termination" (Consensus.Spec.termination run);
+      List.iter
+        (fun p ->
+          Alcotest.(check (option int))
+            (Printf.sprintf "p%d decides 0" p)
+            (Some 0)
+            (Consensus.Spec.decision run p))
+        (Pid.all 4))
+    (seeds 4)
+
+let kset_crash_without_detector_blocks () =
+  (* no detector: survivors wait forever on the crashed proposer *)
+  let faults = Fault_plan.crash_at [ (0, 3) ] in
+  let r = run_kset ~faults ~n:4 ~seed:7L () in
+  check_err "blocks" (Consensus.Spec.termination r.Sim.run)
+
+let kset_perfect_detector_terminates () =
+  List.iter
+    (fun seed ->
+      let faults = Fault_plan.crash_at [ (0, 3) ] in
+      let r =
+        run_kset ~loss:0.2 ~faults
+          ~oracle:(Detector.Oracles.perfect ~lag:1 ())
+          ~n:4 ~seed ()
+      in
+      let run = r.Sim.run in
+      check_ok "termination" (Consensus.Spec.termination run);
+      (* a survivor either heard 0's proposal or suspected 0: at most
+         two distinct minima *)
+      check_ok "2-agreement" (Consensus.Spec.k_agreement ~k:2 run);
+      check_ok "validity"
+        (Consensus.Spec.validity ~proposals:(Array.init 4 Fun.id) run))
+    (seeds 6)
+
+let kset_checker_differential =
+  QCheck.Test.make ~count:40
+    ~name:"k_agreement agrees with brute-force distinct count"
+    QCheck.(pair small_nat (int_bound 3))
+    (fun (seed, crashes) ->
+      let n = 4 in
+      let seed = Int64.of_int ((seed * 131) + 1) in
+      let prng = Prng.create seed in
+      let faults =
+        Fault_plan.random prng ~n ~t:(min crashes (n - 1)) ~max_tick:30
+      in
+      let r =
+        run_kset ~loss:0.25 ~faults
+          ~oracle:(Detector.Oracles.perfect ~lag:1 ())
+          ~n ~seed ()
+      in
+      let run = r.Sim.run in
+      let d = distinct_decisions run in
+      List.for_all
+        (fun k ->
+          Result.is_ok (Consensus.Spec.k_agreement ~k run) = (d <= k))
+        [ 1; 2; 3; 4 ])
+
+let kset_k_zero_rejected () =
+  Alcotest.check_raises "k=0" (Invalid_argument "Spec.k_agreement: k < 1")
+    (fun () ->
+      ignore (Consensus.Spec.k_agreement ~k:0 (run_kset ~n:3 ~seed:1L ()).Sim.run))
+
 let suite =
   [
     Alcotest.test_case "S algorithm, no faults" `Quick s_algorithm_no_faults;
@@ -145,4 +254,12 @@ let suite =
     Alcotest.test_case "UDC vs consensus separation" `Quick separation;
     Alcotest.test_case "eventually-weak needs the gossip conversion" `Quick
       eventually_weak_needs_gossip;
+    Alcotest.test_case "kset: no faults collapses to consensus on min" `Quick
+      kset_no_faults;
+    Alcotest.test_case "kset: crash without detector blocks" `Quick
+      kset_crash_without_detector_blocks;
+    Alcotest.test_case "kset: perfect detector terminates within 2-set" `Quick
+      kset_perfect_detector_terminates;
+    QCheck_alcotest.to_alcotest kset_checker_differential;
+    Alcotest.test_case "kset: k=0 rejected" `Quick kset_k_zero_rejected;
   ]

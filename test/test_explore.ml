@@ -326,6 +326,90 @@ let ack_with_perfect_detector_clean () =
     (Explore.Problem.make ~name:"ack+perfect" ~config ~protocol
        ~protocol_label:"ack" Explore.Property.Udc)
 
+(* ---------- property parsing & the k-set grid ---------- *)
+
+let property_roundtrip () =
+  List.iter
+    (fun p ->
+      let s = Explore.Property.to_string p in
+      match Explore.Property.of_string s with
+      | Ok p' ->
+          Alcotest.(check string) "round-trip" s (Explore.Property.to_string p')
+      | Error e -> Alcotest.failf "parse of %S failed: %s" s e)
+    (Explore.Property.all
+    @ [
+        Explore.Property.Kset 3;
+        Explore.Property.Kset 7;
+        Explore.Property.Detector (Detector.Spec.Strong_k 2);
+        Explore.Property.Detector (Detector.Spec.Strong_k 5);
+      ]);
+  List.iter
+    (fun s ->
+      match Explore.Property.of_string s with
+      | Ok _ -> Alcotest.failf "accepted %S" s
+      | Error _ -> ())
+    [ "kset:0"; "kset:-1"; "kset:"; "kset:x"; "detector:strong-0"; "bogus" ]
+
+let kset_grid () =
+  let params =
+    {
+      Explore.Classify.default_params with
+      Explore.Classify.n = 4;
+      crashes = 1;
+      runs = 3;
+      max_ticks = 160;
+    }
+  in
+  let outcome domains =
+    match
+      Explore.Classify.kset ~domains ~backend:"gossip"
+        ~regime:Explore.Classify.Reliable ~k:2 params
+    with
+    | Ok o -> o
+    | Error e -> Alcotest.fail e
+  in
+  let o = outcome 1 in
+  (* reliable channels, one crash: the grid's easy cell — all runs
+     attain 2-set safety, terminate, and pass both knowledge checks *)
+  Alcotest.(check int) "attained" 3 o.Explore.Classify.attained;
+  Alcotest.(check int) "terminated" 3 o.Explore.Classify.terminated;
+  Alcotest.(check int) "KS1" 3 o.Explore.Classify.ks1;
+  Alcotest.(check int) "KS2" 3 o.Explore.Classify.ks2;
+  Alcotest.(check bool) "ks2 <= attained" true
+    (o.Explore.Classify.ks2 <= o.Explore.Classify.attained);
+  (* bit-identical across domain counts, like classify *)
+  Alcotest.(check string) "domains=3 digest" o.Explore.Classify.digest
+    (outcome 3).Explore.Classify.digest;
+  (* unknown backend is an Error, not an exception *)
+  Alcotest.(check bool) "unknown backend" true
+    (Result.is_error
+       (Explore.Classify.kset ~backend:"nope"
+          ~regime:Explore.Classify.Reliable ~k:2 params))
+
+let kset_certify () =
+  match Explore.Classify.certify_kset ~k:1 ~n:3 () with
+  | Error e -> Alcotest.fail e
+  | Ok cert ->
+      Alcotest.(check bool) "explored some runs" true
+        (cert.Explore.Classify.explored > 0);
+      let repro = cert.Explore.Classify.repro in
+      (match Explore.Repro.replay repro with
+      | Ok (_, desc) ->
+          Alcotest.(check bool) "violation names 1-set" true
+            (String.length desc >= 5 && String.sub desc 0 5 = "1-set")
+      | Error e -> Alcotest.failf "repro failed to replay: %s" e);
+      (* the repro file round-trips through text, adversarial oracle,
+         init plan and all *)
+      let text = Explore.Repro.to_string repro in
+      (match Explore.Repro.of_string text with
+      | Error e -> Alcotest.failf "repro parse failed: %s" e
+      | Ok reloaded -> (
+          Alcotest.(check string) "repro text round-trips" text
+            (Explore.Repro.to_string reloaded);
+          match Explore.Repro.replay reloaded with
+          | Ok _ -> ()
+          | Error e -> Alcotest.failf "reloaded replay failed: %s" e))
+
 let suite =
   List.map QCheck_alcotest.to_alcotest [ trace_roundtrip; record_replay_digest ]
   @ [
@@ -344,6 +428,12 @@ let suite =
         reliable_clean;
       Alcotest.test_case "ack + perfect detector: space certified clean"
         `Quick ack_with_perfect_detector_clean;
+      Alcotest.test_case "property strings round-trip" `Quick
+        property_roundtrip;
+      Alcotest.test_case "kset grid: easy cell, domain-invariant" `Slow
+        kset_grid;
+      Alcotest.test_case "kset negative cell certified by adversary" `Slow
+        kset_certify;
     ]
   @ List.map
       (fun ((name, _, _) as sc) ->

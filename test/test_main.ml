@@ -25,4 +25,5 @@ let () =
       ("explore", Test_explore.suite);
       ("dpor", Test_dpor.suite);
       ("scale", Test_scale.suite);
+      ("cli", Test_cli.suite);
     ]

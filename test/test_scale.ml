@@ -79,6 +79,46 @@ let shard_record_replay () =
   Alcotest.(check string) "replay digest" (Run.digest res.Sim.run)
     (Run.digest res'.Sim.run)
 
+(* ADD channels through the sharded engine: shards=1 bit-identical to
+   Sim.execute, domain-count independent, and record/replay digest-strict
+   at domains 1/2/4 (the forced keeps/deliveries consume no decisions, so
+   per-shard traces must round-trip unchanged). *)
+let shard_add_channels () =
+  let add = Some { Channel.window = 3; bound = 7 } in
+  let cfg ~seed =
+    let p = ring_pair "gossip" ~n:9 ~degree:2 in
+    ( { (scale_config ~n:9 ~seed ~ticks:100) with
+        Sim.add;
+        loss_rate = 0.45;
+        oracle = p.Detector.Backends.oracle
+      },
+      p.Detector.Backends.protocol )
+  in
+  let c, proto = cfg ~seed:21L in
+  let unsharded = Sim.execute c proto in
+  let c1, p1 = cfg ~seed:21L in
+  let sharded = Scale.Shard.execute ~shards:1 c1 p1 in
+  Alcotest.(check string) "shards=1 bit-identical under ADD"
+    (Run.digest unsharded.Sim.run)
+    (Run.digest sharded.Sim.run);
+  List.iter
+    (fun domains ->
+      let c2, p2 = cfg ~seed:21L in
+      let res, traces = Scale.Shard.record ~shards:3 ~domains c2 p2 in
+      let c3, p3 = cfg ~seed:21L in
+      let res' = Scale.Shard.replay ~traces ~shards:3 ~domains c3 p3 in
+      Alcotest.(check string)
+        (Printf.sprintf "ADD replay digest-strict at domains %d" domains)
+        (Run.digest res.Sim.run)
+        (Run.digest res'.Sim.run))
+    [ 1; 2; 4 ];
+  let digest_at domains =
+    let c4, p4 = cfg ~seed:33L in
+    Run.digest (Scale.Shard.execute ~shards:3 ~domains c4 p4).Sim.run
+  in
+  Alcotest.(check string) "ADD domains 1 = 2" (digest_at 1) (digest_at 2);
+  Alcotest.(check string) "ADD domains 2 = 4" (digest_at 2) (digest_at 4)
+
 let unsupported_rejected () =
   let p = ring_pair "gossip" ~n:4 ~degree:2 in
   let cfg = Sim.config ~n:4 ~seed:1L in
@@ -178,7 +218,28 @@ let wilson_interval () =
     (Float.abs (c.Scale.Estimate.hi -. 0.98213) < 5e-3);
   let z = Scale.Estimate.wilson ~successes:0 ~trials:0 () in
   Alcotest.(check bool) "empty trials -> nan" true
-    (Float.is_nan z.Scale.Estimate.rate)
+    (Float.is_nan z.Scale.Estimate.rate);
+  (* no evidence constrains nothing: the vacuous interval, not NaN *)
+  Alcotest.(check (float 0.)) "empty trials -> lo 0" 0. z.Scale.Estimate.lo;
+  Alcotest.(check (float 0.)) "empty trials -> hi 1" 1. z.Scale.Estimate.hi;
+  (* degenerate endpoints collapse to the closed forms: p=0 gives
+     [0, z^2/(n+z^2)], p=1 gives [n/(n+z^2), 1] — nonzero width strictly
+     inside [0,1] *)
+  let zz = 1.96 *. 1.96 in
+  let lo0 = Scale.Estimate.wilson ~successes:0 ~trials:10 () in
+  Alcotest.(check (float 1e-9)) "p=0 lo" 0. lo0.Scale.Estimate.lo;
+  Alcotest.(check (float 1e-9)) "p=0 hi"
+    (zz /. (10. +. zz))
+    lo0.Scale.Estimate.hi;
+  let hi1 = Scale.Estimate.wilson ~successes:10 ~trials:10 () in
+  Alcotest.(check (float 1e-9)) "p=1 lo"
+    (10. /. (10. +. zz))
+    hi1.Scale.Estimate.lo;
+  Alcotest.(check (float 1e-9)) "p=1 hi" 1. hi1.Scale.Estimate.hi;
+  Alcotest.(check bool) "p=0 width nonzero" true
+    (lo0.Scale.Estimate.hi > lo0.Scale.Estimate.lo);
+  Alcotest.(check bool) "p=1 width nonzero" true
+    (hi1.Scale.Estimate.hi > hi1.Scale.Estimate.lo)
 
 let estimate_smoke () =
   let p =
@@ -203,6 +264,20 @@ let estimate_smoke () =
       ("evP", r.Scale.Estimate.cls_ev_p);
       ("evS", r.Scale.Estimate.cls_ev_s);
     ];
+  (* (S,k) scoring rides on the same audit; k-weak is monotone in k on
+     every run, so the rate can only drop as k grows *)
+  Alcotest.(check (list int)) "Sk levels" [ 2; 3 ]
+    (List.map fst r.Scale.Estimate.cls_sk);
+  List.iter
+    (fun (k, c) ->
+      Alcotest.(check bool) (Printf.sprintf "S%d in01" k) true (in01 c))
+    r.Scale.Estimate.cls_sk;
+  let sk k = List.assoc k r.Scale.Estimate.cls_sk in
+  Alcotest.(check bool) "S3 <= S2" true
+    ((sk 3).Scale.Estimate.successes <= (sk 2).Scale.Estimate.successes);
+  Alcotest.(check bool) "S2 <= S" true
+    ((sk 2).Scale.Estimate.successes
+    <= r.Scale.Estimate.cls_s.Scale.Estimate.successes);
   Alcotest.(check bool) "committee scored" true
     (r.Scale.Estimate.udc_uniformity <> None);
   Alcotest.(check int) "digest is md5 hex" 32
@@ -229,6 +304,8 @@ let suite =
       sharded_deterministic;
     Alcotest.test_case "sharded record/replay round-trips" `Quick
       shard_record_replay;
+    Alcotest.test_case "ADD channels shard digest-strict" `Quick
+      shard_add_channels;
     Alcotest.test_case "unsupported configs are rejected" `Quick
       unsupported_rejected;
     Alcotest.test_case "gossip ring detects ring crashes" `Quick
